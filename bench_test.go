@@ -1,0 +1,208 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// plus the repository's ablations. Each benchmark runs the corresponding
+// experiment at a small scale and reports the paper's headline metric
+// through b.ReportMetric, so `go test -bench=. -benchmem` reproduces the
+// evaluation end to end:
+//
+//	BenchmarkFig4a  — Figure 4(a): mean-estimate accuracy CDFs
+//	BenchmarkFig4b  — Figure 4(b): stddev-estimate accuracy CDFs
+//	BenchmarkFig4c  — Figure 4(c): bursty vs random cross traffic
+//	BenchmarkFig5   — Figure 5: reference-packet interference
+//	BenchmarkTablePlacement — §3.1 deployment complexity table
+//	BenchmarkScalars        — §4.2 quoted scalars
+//	BenchmarkAblation*      — DESIGN.md A1/A2/A3, B1
+//
+// The figures' textual renderings are printed once per benchmark (use
+// cmd/experiments for the full-scale versions).
+package rlir_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	rlir "github.com/netmeasure/rlir"
+)
+
+// benchScale keeps benchmark iterations affordable; cmd/experiments runs
+// the same harnesses at -scale default/full.
+func benchScale() rlir.Scale {
+	return rlir.SmallScale()
+}
+
+// printOnce guards the one-time rendering of each figure.
+var printOnce sync.Map
+
+func renderOnce(key, text string) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Print(text)
+	}
+}
+
+// metricUnit turns a series label into a ReportMetric-safe unit (no
+// whitespace).
+func metricUnit(prefix, label string) string {
+	return prefix + "/" + strings.ReplaceAll(strings.ReplaceAll(label, " ", ""), ",", "_")
+}
+
+func BenchmarkFig4a(b *testing.B) {
+	var fig rlir.Figure
+	for i := 0; i < b.N; i++ {
+		fig = rlir.Fig4a(benchScale())
+	}
+	renderOnce("4a", fig.Render())
+	for _, s := range fig.Series {
+		if s.CDF.N() > 0 {
+			b.ReportMetric(s.CDF.Median(), metricUnit("medianRelErr", s.Label))
+		}
+	}
+}
+
+func BenchmarkFig4b(b *testing.B) {
+	var fig rlir.Figure
+	for i := 0; i < b.N; i++ {
+		fig = rlir.Fig4b(benchScale())
+	}
+	renderOnce("4b", fig.Render())
+	for _, s := range fig.Series {
+		if s.CDF.N() > 0 {
+			b.ReportMetric(s.CDF.FracBelow(0.10), metricUnit("under10pct", s.Label))
+		}
+	}
+}
+
+func BenchmarkFig4c(b *testing.B) {
+	var fig rlir.Figure
+	for i := 0; i < b.N; i++ {
+		fig = rlir.Fig4c(benchScale())
+	}
+	renderOnce("4c", fig.Render())
+	for _, s := range fig.Series {
+		if s.CDF.N() > 0 {
+			b.ReportMetric(s.CDF.Median(), metricUnit("medianRelErr", s.Label))
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	// Interference is a ~1% systematic effect on top of chaotic queue
+	// noise; a longer trace with a tight queue gives enough drop events
+	// for the signal to dominate (same configuration the shape test uses).
+	scale := benchScale()
+	scale.Duration = time.Second
+	scale.QueueBytes = 32 << 10
+	var res rlir.Fig5Result
+	for i := 0; i < b.N; i++ {
+		res = rlir.Fig5(scale, []float64{0.9, 0.98})
+	}
+	renderOnce("5", res.Render())
+	last := res.Points[len(res.Points)-1]
+	b.ReportMetric(last.AdaptiveDiff, "adaptiveLossDiff@98")
+	b.ReportMetric(last.StaticDiff, "staticLossDiff@98")
+}
+
+func BenchmarkTablePlacement(b *testing.B) {
+	var rows []rlir.PlacementRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = rlir.PlacementTable([]int{4, 8, 16, 32, 48})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	renderOnce("placement", rlir.FormatPlacementTable(rows))
+	b.ReportMetric(float64(rows[0].PairOfInterfaces), "instances/k4-pair")
+	b.ReportMetric(rows[len(rows)-1].Reduction, "savings/k48")
+}
+
+func BenchmarkScalars(b *testing.B) {
+	var s rlir.Scalars
+	for i := 0; i < b.N; i++ {
+		s = rlir.RunScalars(benchScale())
+	}
+	renderOnce("scalars", s.Render())
+	b.ReportMetric(s.BaseUtil, "baseUtil")
+	b.ReportMetric(float64(s.AdaptiveGap), "adaptiveGap")
+	b.ReportMetric(s.Median93Static, "medianRelErr@93static")
+}
+
+func BenchmarkAblationDemux(b *testing.B) {
+	cfg := rlir.DefaultFatTreeConfig()
+	cfg.Duration = benchScale().Duration / 2
+	var results []rlir.FatTreeResult
+	for i := 0; i < b.N; i++ {
+		results = rlir.AblationDemux(cfg)
+	}
+	renderOnce("A1", rlir.RenderAblationDemux(results))
+	for _, r := range results {
+		b.ReportMetric(r.Misattribution, "misattrib/"+r.Config.Strategy.String())
+	}
+}
+
+func BenchmarkAblationEstimators(b *testing.B) {
+	var rows []rlir.EstimatorRow
+	for i := 0; i < b.N; i++ {
+		rows = rlir.AblationEstimators(benchScale(), 0.8)
+	}
+	renderOnce("A2", rlir.RenderEstimators(rows))
+	for _, r := range rows {
+		b.ReportMetric(r.MedianRelErr, "medianRelErr/"+r.Estimator.String())
+	}
+}
+
+func BenchmarkAblationClocks(b *testing.B) {
+	var rows []rlir.ClockRow
+	for i := 0; i < b.N; i++ {
+		rows = rlir.AblationClocks(benchScale(), 0.8)
+	}
+	renderOnce("A3", rlir.RenderClocks(rows))
+	b.ReportMetric(rows[0].MedianRelErr, "medianRelErr/perfect")
+	b.ReportMetric(rows[3].MedianRelErr, "medianRelErr/offset100us")
+}
+
+func BenchmarkBaselines(b *testing.B) {
+	var r rlir.BaselineResult
+	for i := 0; i < b.N; i++ {
+		r = rlir.RunBaselines(benchScale(), 0.93)
+	}
+	renderOnce("B1", r.Render())
+	b.ReportMetric(r.RLIRMedian, "medianRelErr/rlir")
+	b.ReportMetric(r.MultiflowMedian, "medianRelErr/multiflow")
+	b.ReportMetric(r.LDAMeanErr, "aggErr/lda")
+}
+
+func BenchmarkLocalization(b *testing.B) {
+	cfg := rlir.DefaultLocalizationConfig()
+	cfg.Duration = benchScale().Duration / 2
+	var res rlir.LocalizationResult
+	for i := 0; i < b.N; i++ {
+		res = rlir.RunLocalization(cfg)
+	}
+	renderOnce("L1", res.Render())
+	ok := 0.0
+	if res.Localized() {
+		ok = 1
+	}
+	b.ReportMetric(ok, "localized")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: packets pushed
+// through the instrumented tandem per second of wall clock — the
+// engineering metric that bounds how large a trace the harness can replay.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	scale := benchScale()
+	var packets uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rlir.RunTandem(rlir.TandemConfig{
+			Scale:      scale,
+			Scheme:     rlir.DefaultStatic(),
+			Model:      rlir.CrossUniform,
+			TargetUtil: 0.93,
+		})
+		packets += r.RegularOffered + r.CrossAdmitted
+	}
+	b.ReportMetric(float64(packets)/b.Elapsed().Seconds(), "pkts/s")
+}

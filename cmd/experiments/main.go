@@ -1,0 +1,125 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (and the repository's ablations) and prints them as text
+// tables and CDF renderings.
+//
+// Usage:
+//
+//	experiments -all
+//	experiments -fig 4a -scale default
+//	experiments -fig 5
+//	experiments -fig A1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	rlir "github.com/netmeasure/rlir"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		fig    = flag.String("fig", "", "which result to regenerate: 4a 4b 4c 5 placement scalars A1 A2 A3 B1")
+		all    = flag.Bool("all", false, "regenerate everything")
+		scale  = flag.String("scale", "default", "small | default | full")
+		seed   = flag.Int64("seed", 1, "deterministic seed")
+		csvDir = flag.String("csv", "", "also write figure series as CSV files into this directory")
+	)
+	flag.Parse()
+
+	sc := pickScale(*scale)
+	sc.Seed = seed64(*seed)
+	csvOut = *csvDir
+
+	targets := []string{}
+	if *all {
+		targets = []string{"placement", "scalars", "4a", "4b", "4c", "5", "A1", "A2", "A3", "B1"}
+	} else if *fig != "" {
+		targets = strings.Split(*fig, ",")
+	} else {
+		flag.Usage()
+		log.Fatal("need -fig or -all")
+	}
+
+	for _, t := range targets {
+		start := time.Now()
+		run(strings.TrimSpace(t), sc)
+		fmt.Printf("[%s done in %v]\n\n", t, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func seed64(s int64) int64 { return s }
+
+func pickScale(name string) rlir.Scale {
+	switch name {
+	case "small":
+		return rlir.SmallScale()
+	case "default":
+		return rlir.DefaultScale()
+	case "full":
+		return rlir.FullScale()
+	default:
+		log.Fatalf("unknown scale %q", name)
+		panic("unreachable")
+	}
+}
+
+// csvOut, when non-empty, receives figure series as CSV files.
+var csvOut string
+
+func emitFigure(f rlir.Figure) {
+	fmt.Print(f.Render())
+	if csvOut == "" {
+		return
+	}
+	files, err := f.WriteCSV(csvOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d CSV series to %s\n", len(files), csvOut)
+}
+
+func run(target string, sc rlir.Scale) {
+	switch target {
+	case "4a":
+		emitFigure(rlir.Fig4a(sc))
+	case "4b":
+		emitFigure(rlir.Fig4b(sc))
+	case "4c":
+		emitFigure(rlir.Fig4c(sc))
+	case "5":
+		r := rlir.Fig5(sc, nil)
+		fmt.Print(r.Render())
+		if csvOut != "" {
+			if _, err := r.WriteCSV(csvOut); err != nil {
+				log.Fatal(err)
+			}
+		}
+	case "placement":
+		rows, err := rlir.PlacementTable([]int{4, 8, 16, 32, 48})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("== §3.1: deployment complexity (measurement instances) ==")
+		fmt.Print(rlir.FormatPlacementTable(rows))
+	case "scalars":
+		fmt.Print(rlir.RunScalars(sc).Render())
+	case "A1":
+		cfg := rlir.DefaultFatTreeConfig()
+		cfg.Seed = sc.Seed
+		fmt.Print(rlir.RenderAblationDemux(rlir.AblationDemux(cfg)))
+	case "A2":
+		fmt.Print(rlir.RenderEstimators(rlir.AblationEstimators(sc, 0.8)))
+	case "A3":
+		fmt.Print(rlir.RenderClocks(rlir.AblationClocks(sc, 0.8)))
+	case "B1":
+		fmt.Print(rlir.RunBaselines(sc, 0.85).Render())
+	default:
+		log.Fatalf("unknown target %q", target)
+	}
+}

@@ -1,0 +1,39 @@
+// Command placement prints the paper's §3.1 deployment-complexity table:
+// how many RLI measurement instances each strategy needs on a k-ary
+// fat-tree, versus full deployment.
+//
+// Usage:
+//
+//	placement [-k 4,8,16,32,48]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	rlir "github.com/netmeasure/rlir"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("placement: ")
+	ks := flag.String("k", "4,8,16,32,48", "comma-separated fat-tree arities (even)")
+	flag.Parse()
+
+	var arities []int
+	for _, s := range strings.Split(*ks, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			log.Fatalf("invalid arity %q: %v", s, err)
+		}
+		arities = append(arities, k)
+	}
+	rows, err := rlir.PlacementTable(arities)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rlir.FormatPlacementTable(rows))
+}

@@ -1,0 +1,157 @@
+// Command rlirsim runs a single RLIR simulation and prints per-flow
+// accuracy results: either the paper's two-switch tandem (Figure 3) or a
+// full k-ary fat-tree deployment (Figure 1).
+//
+// Usage:
+//
+//	rlirsim -topology tandem -scheme static -model random -util 0.93
+//	rlirsim -topology fattree -k 4 -demux reverse-ecmp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	rlir "github.com/netmeasure/rlir"
+	"github.com/netmeasure/rlir/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rlirsim: ")
+	var (
+		topology = flag.String("topology", "tandem", "tandem | fattree")
+		scheme   = flag.String("scheme", "static", "static | adaptive | none")
+		staticN  = flag.Int("n", 100, "static scheme's 1-and-n gap")
+		model    = flag.String("model", "random", "random | bursty | none (tandem)")
+		util     = flag.Float64("util", 0.93, "target bottleneck utilization (tandem)")
+		scale    = flag.String("scale", "default", "small | default | full")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		estName  = flag.String("estimator", "linear", "linear | left | right | nearest")
+		k        = flag.Int("k", 4, "fat-tree arity (fattree)")
+		demux    = flag.String("demux", "reverse-ecmp", "none | marking | reverse-ecmp | oracle (fattree)")
+		duration = flag.Duration("duration", 0, "override trace duration")
+		topn     = flag.Int("top", 10, "per-flow rows to print")
+	)
+	flag.Parse()
+
+	switch *topology {
+	case "tandem":
+		runTandem(*scheme, *staticN, *model, *util, *scale, *seed, *estName, *duration, *topn)
+	case "fattree":
+		runFatTree(*k, *demux, *scheme, *staticN, *seed, *duration)
+	default:
+		log.Fatalf("unknown topology %q", *topology)
+	}
+}
+
+func pickScale(name string) rlir.Scale {
+	switch name {
+	case "small":
+		return rlir.SmallScale()
+	case "default":
+		return rlir.DefaultScale()
+	case "full":
+		return rlir.FullScale()
+	default:
+		log.Fatalf("unknown scale %q", name)
+		panic("unreachable")
+	}
+}
+
+func pickScheme(name string, n int) rlir.InjectionScheme {
+	switch name {
+	case "static":
+		return rlir.Static{N: n}
+	case "adaptive":
+		return rlir.DefaultAdaptive()
+	case "none":
+		return nil
+	default:
+		log.Fatalf("unknown scheme %q", name)
+		panic("unreachable")
+	}
+}
+
+func pickEstimator(name string) core.Estimator {
+	switch name {
+	case "linear":
+		return rlir.Linear
+	case "left":
+		return rlir.LeftRef
+	case "right":
+		return rlir.RightRef
+	case "nearest":
+		return rlir.Nearest
+	default:
+		log.Fatalf("unknown estimator %q", name)
+		panic("unreachable")
+	}
+}
+
+func runTandem(scheme string, n int, model string, util float64, scaleName string, seed int64, est string, duration time.Duration, topn int) {
+	sc := pickScale(scaleName)
+	sc.Seed = seed
+	if duration > 0 {
+		sc.Duration = duration
+	}
+	cfg := rlir.TandemConfig{
+		Scale:        sc,
+		Scheme:       pickScheme(scheme, n),
+		AdaptiveLive: scheme == "adaptive",
+		TargetUtil:   util,
+		Estimator:    pickEstimator(est),
+	}
+	switch model {
+	case "random":
+		cfg.Model = rlir.CrossUniform
+	case "bursty":
+		cfg.Model = rlir.CrossBursty
+	case "none":
+		cfg.Model = rlir.CrossNone
+	default:
+		log.Fatalf("unknown cross model %q", model)
+	}
+
+	res := rlir.RunTandem(cfg)
+	fmt.Printf("run: %s\n", res.Label())
+	fmt.Printf("achieved utilization: %.1f%%\n", res.AchievedUtil*100)
+	fmt.Printf("summary: %s\n", res.Summary)
+	fmt.Printf("receiver: %+v\n", res.Receiver)
+	fmt.Printf("sender:   %+v\n", res.Sender)
+	fmt.Printf("regular loss rate: %.6f\n", res.LossRate())
+	fmt.Println()
+	fmt.Print(core.FormatResults(res.Results, topn))
+	fmt.Println()
+	fmt.Print(rlir.MeanErrCDF(res.Results).Render("relative error (mean estimates)", 1e-3, 1e1, 9))
+}
+
+func runFatTree(k int, demux, scheme string, n int, seed int64, duration time.Duration) {
+	cfg := rlir.DefaultFatTreeConfig()
+	cfg.K = k
+	cfg.Seed = seed
+	if duration > 0 {
+		cfg.Duration = duration
+	}
+	cfg.Scheme = pickScheme(scheme, n)
+	switch demux {
+	case "none":
+		cfg.Strategy = rlir.DemuxNone
+	case "marking":
+		cfg.Strategy = rlir.DemuxMark
+	case "reverse-ecmp":
+		cfg.Strategy = rlir.DemuxReverseECMP
+	case "oracle":
+		cfg.Strategy = rlir.DemuxOracle
+	default:
+		log.Fatalf("unknown demux %q", demux)
+	}
+
+	res := rlir.RunFatTree(cfg)
+	fmt.Printf("fat-tree k=%d, demux=%s, injected=%d packets\n", k, cfg.Strategy, res.Injected)
+	fmt.Printf("downstream (core->ToR): %s\n", res.Downstream)
+	fmt.Printf("upstream   (ToR->core): %s\n", res.Upstream)
+	fmt.Printf("misattribution: %.4f\n", res.Misattribution)
+}

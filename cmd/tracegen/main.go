@@ -1,0 +1,119 @@
+// Command tracegen generates the synthetic workloads that stand in for the
+// paper's CAIDA OC-192 traces, writing them in the repository's binary
+// trace format or as a nanosecond pcap, and summarizing whatever it wrote.
+//
+// Usage:
+//
+//	tracegen -o regular.trc -duration 2s -rate 220e6
+//	tracegen -o cross.pcap -format pcap -seed 2 -src 172.16.0.0/16
+//	tracegen -summarize regular.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/pcapio"
+	"github.com/netmeasure/rlir/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	var (
+		out       = flag.String("o", "", "output file (empty: print summary only)")
+		format    = flag.String("format", "binary", "output format: binary | pcap")
+		duration  = flag.Duration("duration", 2*time.Second, "trace duration")
+		rate      = flag.String("rate", "220e6", "target offered load, bits/second")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		src       = flag.String("src", "10.1.0.0/16", "source address pool")
+		dst       = flag.String("dst", "10.200.0.0/16", "destination address pool")
+		alpha     = flag.Float64("alpha", 1.15, "flow length tail index")
+		maxFlow   = flag.Int("maxflow", 20000, "max packets per flow")
+		summarize = flag.String("summarize", "", "summarize an existing trace file and exit")
+	)
+	flag.Parse()
+
+	if *summarize != "" {
+		f, err := os.Open(*summarize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r := trace.NewReader(f)
+		fmt.Println(trace.Summarize(r))
+		if err := r.Err(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	bps, err := strconv.ParseFloat(*rate, 64)
+	if err != nil {
+		log.Fatalf("invalid -rate: %v", err)
+	}
+	cfg := trace.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Duration = *duration
+	cfg.TargetBps = bps
+	cfg.SrcPrefix = packet.MustParsePrefix(*src)
+	cfg.DstPrefix = packet.MustParsePrefix(*dst)
+	cfg.FlowLen.Alpha = *alpha
+	cfg.FlowLen.Max = *maxFlow
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	if *out == "" {
+		fmt.Println(trace.Summarize(trace.NewGenerator(cfg)))
+		return
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	gen := trace.NewGenerator(cfg)
+	switch *format {
+	case "binary":
+		w := trace.NewWriter(f)
+		for {
+			rec, ok := gen.Next()
+			if !ok {
+				break
+			}
+			if err := w.Write(rec); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d records to %s\n", w.Count(), *out)
+	case "pcap":
+		w := pcapio.NewWriter(f)
+		for {
+			rec, ok := gen.Next()
+			if !ok {
+				break
+			}
+			if err := w.Write(rec); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d packets to %s\n", w.Count(), *out)
+	default:
+		log.Fatalf("unknown format %q (binary | pcap)", *format)
+	}
+}

@@ -1,0 +1,48 @@
+// Package rlir is an implementation and experimental reproduction of
+// RLIR — Reference Latency Interpolation across Routers (Singh, Lee, Kumar,
+// Kompella; USENIX Hot-ICE 2011) — together with every substrate the paper
+// depends on: a deterministic discrete-event network simulator, k-ary
+// fat-tree topologies with ECMP routing, synthetic heavy-tailed traffic
+// generation, cross-traffic injection models, clock-synchronization models,
+// and the LDA and Multiflow baseline estimators.
+//
+// # What RLIR is
+//
+// RLI (SIGCOMM 2010) measures per-flow latency between two points of a
+// switch by injecting timestamped reference packets and linearly
+// interpolating the delays of the regular packets between them. RLIR
+// deploys RLI instances at only a subset of routers (e.g. ToR uplinks and
+// cores of a fat-tree) and measures multi-router segments, trading a
+// coarser localization granularity for a much smaller deployment. Partial
+// deployment raises two problems the paper solves and this library
+// implements:
+//
+//   - Traffic multiplexing: receivers see packets that only partially share
+//     the reference stream's path. Senders fan reference streams to every
+//     reachable receiver; receivers demultiplex regular packets by source
+//     prefix (upstream), ToS marks, or reverse-ECMP computation
+//     (downstream).
+//   - Cross traffic: a sender cannot see downstream bottleneck utilization,
+//     so adaptive injection misfires. The paper's static worst-case
+//     injection (1-and-n) is the recommended fallback, and the library
+//     reproduces the interference comparison between the two.
+//
+// # Layout
+//
+// This root package is the stable public API: thin, documented re-exports
+// of the implementation packages under internal/. Start with Quickstart in
+// the examples directory, or:
+//
+//	res := rlir.RunTandem(rlir.TandemConfig{
+//	    Scale:      rlir.DefaultScale(),
+//	    Scheme:     rlir.DefaultStatic(),
+//	    Model:      rlir.CrossUniform,
+//	    TargetUtil: 0.93,
+//	})
+//	fmt.Println(res.Summary)
+//
+// The experiment harnesses Fig4a, Fig4b, Fig4c, Fig5, RunScalars,
+// AblationDemux, AblationEstimators, AblationClocks and RunBaselines
+// regenerate every figure and table of the paper's evaluation; see
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+package rlir

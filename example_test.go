@@ -1,0 +1,83 @@
+package rlir_test
+
+import (
+	"fmt"
+	"time"
+
+	rlir "github.com/netmeasure/rlir"
+)
+
+// ExampleRunTandem measures per-flow latency across the paper's two-switch
+// scenario: regular traffic through an instrumented switch, unseen cross
+// traffic congesting the downstream bottleneck to 93%.
+func ExampleRunTandem() {
+	res := rlir.RunTandem(rlir.TandemConfig{
+		Scale:      rlir.SmallScale(),
+		Scheme:     rlir.DefaultStatic(), // 1-and-100 worst-case injection
+		Model:      rlir.CrossUniform,
+		TargetUtil: 0.93,
+	})
+	fmt.Printf("measured %d flows with %d reference packets\n",
+		res.Summary.Flows, res.Receiver.RefsSeen)
+	for _, fr := range res.Results[:1] {
+		fmt.Printf("flow %v: est %v vs true %v\n", fr.Key, fr.EstMean, fr.TrueMean)
+	}
+}
+
+// ExampleRunFatTree deploys RLIR on a k=4 fat-tree: upstream senders at
+// ToR uplinks, receivers at cores, downstream demultiplexing by reverse
+// ECMP computation.
+func ExampleRunFatTree() {
+	cfg := rlir.DefaultFatTreeConfig()
+	cfg.Strategy = rlir.DemuxReverseECMP
+	res := rlir.RunFatTree(cfg)
+	fmt.Printf("downstream median error %.3f, misattribution %.0f%%\n",
+		res.Downstream.MedianRelErr, res.Misattribution*100)
+}
+
+// ExampleRunLocalization injects a 300µs fault at an aggregation switch
+// and lets the per-segment measurements point at it.
+func ExampleRunLocalization() {
+	cfg := rlir.DefaultLocalizationConfig()
+	cfg.Site = rlir.AnomalyDstAgg
+	res := rlir.RunLocalization(cfg)
+	fmt.Println("localized:", res.Localized())
+	for _, a := range res.Anomalies {
+		fmt.Println(a)
+	}
+}
+
+// ExampleAdaptive shows the injection scheme the sender uses when it can
+// see its own link's utilization — and why it misfires across routers.
+func ExampleAdaptive() {
+	scheme := rlir.DefaultAdaptive()
+	// The sender's own link sits at 22%: maximum probe rate.
+	fmt.Println("gap at 22%:", scheme.Gap(0.22))
+	// The bottleneck it cannot see is at 93%; had it known, it would back
+	// off to:
+	fmt.Println("gap at 93%:", scheme.Gap(0.93))
+	// Output:
+	// gap at 22%: 10
+	// gap at 93%: 258
+}
+
+// ExamplePlacementTable prints the §3.1 deployment-cost table.
+func ExamplePlacementTable() {
+	rows, _ := rlir.PlacementTable([]int{4})
+	r := rows[0]
+	fmt.Printf("k=4: %d instances for one interface pair, %d for all ToR pairs, %d for full deployment\n",
+		r.PairOfInterfaces, r.AllToRPairs, r.FullDeployment)
+	// Output:
+	// k=4: 6 instances for one interface pair, 20 for all ToR pairs, 240 for full deployment
+}
+
+// ExampleNewTraceGenerator builds the synthetic CAIDA-stand-in workload.
+func ExampleNewTraceGenerator() {
+	cfg := rlir.DefaultTraceConfig()
+	cfg.Duration = 10 * time.Millisecond
+	gen := rlir.NewTraceGenerator(cfg)
+	rec, ok := gen.Next()
+	fmt.Println(ok, rec.Size >= 64)
+	// Output:
+	// true true
+}

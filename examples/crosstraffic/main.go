@@ -1,0 +1,50 @@
+// Cross-traffic study: the paper's §3.2/§4 question in miniature.
+//
+// An RLI sender adapts its reference-packet rate to the utilization of its
+// OWN link — but across routers, the bottleneck is downstream and invisible.
+// This example runs the same workload under the adaptive and static schemes
+// at two bottleneck utilizations and prints the accuracy/interference
+// tradeoff the paper's Figures 4(a) and 5 quantify: the blind adaptive
+// scheme injects ~10x more probes (better accuracy, more interference);
+// static 1-and-100 is the conservative worst-case choice.
+//
+//	go run ./examples/crosstraffic
+package main
+
+import (
+	"fmt"
+
+	rlir "github.com/netmeasure/rlir"
+)
+
+func main() {
+	scale := rlir.DefaultScale()
+
+	fmt.Println("scheme                    util   achieved  refs     medianErr  under10%  lossRate")
+	for _, util := range []float64{0.67, 0.93} {
+		for _, mode := range []string{"adaptive", "static"} {
+			cfg := rlir.TandemConfig{
+				Scale:      scale,
+				Model:      rlir.CrossUniform,
+				TargetUtil: util,
+			}
+			if mode == "adaptive" {
+				cfg.Scheme = rlir.DefaultAdaptive()
+				cfg.AdaptiveLive = true // driven by the sender-side meter, which sees ~22%
+			} else {
+				cfg.Scheme = rlir.DefaultStatic()
+			}
+			res := rlir.RunTandem(cfg)
+			fmt.Printf("%-25s %.2f   %.2f      %-8d %-10.4f %-9.1f %.6f\n",
+				cfg.Scheme.Name(), util, res.AchievedUtil,
+				res.Receiver.RefsSeen, res.Summary.MedianRelErr,
+				res.Summary.FracUnder10Pct*100, res.LossRate())
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("The adaptive scheme cannot see the bottleneck (its own link sits at ~22%,")
+	fmt.Println("pinning it at 1-and-10), so it buys accuracy with 10x the probe load —")
+	fmt.Println("the interference Figure 5 measures. The paper's recommendation for RLIR")
+	fmt.Println("is the static worst-case scheme: slightly worse accuracy, negligible loss.")
+}

@@ -1,0 +1,38 @@
+// Localization: the paper's headline use case (§1, Figure 1).
+//
+// A k=4 fat-tree carries flows from ToR T1 (pod 0) to ToR T7 (pod 3). RLIR
+// instruments only the ToR uplinks and the cores, so the T1->T7 path is
+// measured as per-core segments: T1->C(j,i) and C(j,i)->T7. We first
+// calibrate segment baselines on a healthy network, then inject a 300µs
+// processing fault at one aggregation switch of the destination pod and let
+// the localizer point at the inflated segments.
+//
+//	go run ./examples/localization
+package main
+
+import (
+	"fmt"
+
+	rlir "github.com/netmeasure/rlir"
+)
+
+func main() {
+	cfg := rlir.DefaultLocalizationConfig()
+	// Fault: destination pod's aggregation switch 0 slows down. Traffic
+	// through core group 0 (segments C(0,*)->T7) will inflate; group 1
+	// stays healthy.
+	cfg.Site = rlir.AnomalyDstAgg
+	cfg.AggIndex = 0
+
+	res := rlir.RunLocalization(cfg)
+	fmt.Print(res.Render())
+	fmt.Println()
+
+	if res.Localized() {
+		fmt.Println("RLIR localized the fault to the correct router group without")
+		fmt.Println("instrumenting the aggregation layer at all — the paper's")
+		fmt.Println("partial-deployment tradeoff: coarser granularity, far fewer upgrades.")
+	} else {
+		fmt.Println("localization failed — inspect the segment table above")
+	}
+}

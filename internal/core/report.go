@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/stats"
+)
+
+// FlowResult is one flow's estimated-vs-true latency statistics, the unit
+// the paper's accuracy CDFs are built from.
+type FlowResult struct {
+	Key packet.FlowKey
+	// N is the number of per-packet estimates for this flow.
+	N int64
+	// EstMean / TrueMean are the estimated and ground-truth mean delays.
+	EstMean, TrueMean time.Duration
+	// EstStd / TrueStd are the estimated and ground-truth per-flow standard
+	// deviations.
+	EstStd, TrueStd time.Duration
+	// RelErrMean is |EstMean-TrueMean|/TrueMean (Figure 4(a)'s metric).
+	RelErrMean float64
+	// RelErrStd is the same for standard deviations (Figure 4(b)).
+	RelErrStd float64
+}
+
+// Results extracts per-flow results from a receiver, keeping flows with at
+// least minPackets estimates (the paper evaluates all estimated flows;
+// thresholds > 1 are useful when studying dense flows separately). Results
+// are sorted by flow key for determinism.
+func (r *Receiver) Results(minPackets int64) []FlowResult {
+	out := make([]FlowResult, 0, len(r.flows))
+	for key, acc := range r.flows {
+		if acc.Est.N() < minPackets {
+			continue
+		}
+		fr := FlowResult{
+			Key:      key,
+			N:        acc.Est.N(),
+			EstMean:  time.Duration(acc.Est.Mean()),
+			TrueMean: time.Duration(acc.True.Mean()),
+			EstStd:   time.Duration(acc.Est.Std()),
+			TrueStd:  time.Duration(acc.True.Std()),
+		}
+		fr.RelErrMean = stats.RelErr(acc.Est.Mean(), acc.True.Mean())
+		fr.RelErrStd = stats.RelErr(acc.Est.Std(), acc.True.Std())
+		out = append(out, fr)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessKey(out[i].Key, out[j].Key) })
+	return out
+}
+
+func lessKey(a, b packet.FlowKey) bool {
+	switch {
+	case a.Src != b.Src:
+		return a.Src < b.Src
+	case a.Dst != b.Dst:
+		return a.Dst < b.Dst
+	case a.SrcPort != b.SrcPort:
+		return a.SrcPort < b.SrcPort
+	case a.DstPort != b.DstPort:
+		return a.DstPort < b.DstPort
+	default:
+		return a.Proto < b.Proto
+	}
+}
+
+// MeanErrCDF builds the CDF of per-flow mean relative errors.
+func MeanErrCDF(results []FlowResult) *stats.CDF {
+	xs := make([]float64, len(results))
+	for i, r := range results {
+		xs[i] = r.RelErrMean
+	}
+	return stats.NewCDF(xs)
+}
+
+// StdErrCDF builds the CDF of per-flow standard deviation relative errors,
+// over flows with at least two packets (a single sample has no deviation).
+func StdErrCDF(results []FlowResult) *stats.CDF {
+	xs := make([]float64, 0, len(results))
+	for _, r := range results {
+		if r.N >= 2 && r.TrueStd > 0 {
+			xs = append(xs, r.RelErrStd)
+		}
+	}
+	return stats.NewCDF(xs)
+}
+
+// Summary aggregates a result set the way the paper quotes scalars.
+type Summary struct {
+	Flows          int
+	Estimates      int64
+	MedianRelErr   float64
+	P90RelErr      float64
+	FracUnder10Pct float64
+	TrueMeanDelay  time.Duration // average of per-flow true means, packet-weighted
+}
+
+// Summarize computes a Summary over results.
+func Summarize(results []FlowResult) Summary {
+	if len(results) == 0 {
+		return Summary{}
+	}
+	cdf := MeanErrCDF(results)
+	var estimates, wsum int64
+	var trueWeighted float64
+	for _, r := range results {
+		estimates += r.N
+		trueWeighted += float64(r.TrueMean) * float64(r.N)
+		wsum += r.N
+	}
+	return Summary{
+		Flows:          len(results),
+		Estimates:      estimates,
+		MedianRelErr:   cdf.Median(),
+		P90RelErr:      cdf.Quantile(0.9),
+		FracUnder10Pct: cdf.FracBelow(0.10),
+		TrueMeanDelay:  time.Duration(trueWeighted / float64(wsum)),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("flows=%d estimates=%d medianRelErr=%.3f p90=%.3f under10%%=%.1f%% trueMean=%v",
+		s.Flows, s.Estimates, s.MedianRelErr, s.P90RelErr, s.FracUnder10Pct*100, s.TrueMeanDelay)
+}
+
+// FormatResults renders the first n rows of a result set as a table.
+func FormatResults(results []FlowResult, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-44s %6s %12s %12s %8s %8s\n", "flow", "pkts", "est-mean", "true-mean", "err", "errStd")
+	for i, r := range results {
+		if i >= n {
+			fmt.Fprintf(&b, "... %d more\n", len(results)-n)
+			break
+		}
+		fmt.Fprintf(&b, "%-44s %6d %12v %12v %7.2f%% %7.2f%%\n",
+			r.Key, r.N, r.EstMean, r.TrueMean, r.RelErrMean*100, r.RelErrStd*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,119 @@
+// Package core implements the paper's contribution: Reference Latency
+// Interpolation (RLI, SIGCOMM 2010) and its partial-deployment extension
+// across routers (RLIR).
+//
+// An RLI Sender attaches to a switch egress port, counts the regular packets
+// leaving it and periodically injects reference packets carrying a hardware
+// transmit timestamp. An RLI Receiver attaches downstream, recovers each
+// reference packet's one-way delay from its own synchronized clock, and
+// linearly interpolates between consecutive reference delays to estimate the
+// latency of every regular packet that arrived between them — exploiting
+// delay locality. Per-flow aggregation of those estimates yields flow-level
+// latency statistics.
+//
+// RLIR adds what partial deployment requires (§3): senders fan reference
+// streams to every receiver their traffic can reach, and receivers
+// demultiplex regular packets onto the right reference stream by source
+// prefix (upstream), ToS marks or reverse ECMP computation (downstream).
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// InjectionScheme decides how many regular packets pass between consecutive
+// reference packets ("1-and-n", §3.2): after every Gap(utilization) regular
+// packets, one reference packet is injected.
+type InjectionScheme interface {
+	// Gap returns n >= 1 given the sender's current estimated utilization
+	// of its own link in [0, 1].
+	Gap(utilization float64) int
+	Name() string
+}
+
+// Static is the paper's worst-case-utilization scheme: a fixed 1-and-N
+// injection regardless of observed load. The paper uses 1-and-100, chosen
+// for "the lowest possible rate required for reasonable accuracy" at the
+// worst-case bottleneck utilization.
+type Static struct {
+	N int
+}
+
+// DefaultStatic returns the paper's 1-and-100 configuration.
+func DefaultStatic() Static { return Static{N: 100} }
+
+// Gap implements InjectionScheme.
+func (s Static) Gap(float64) int {
+	if s.N < 1 {
+		panic(fmt.Sprintf("core: static scheme with N=%d", s.N))
+	}
+	return s.N
+}
+
+// Name implements InjectionScheme.
+func (s Static) Name() string { return fmt.Sprintf("static(1-and-%d)", s.N) }
+
+// Adaptive is RLI's utilization-driven scheme: the injection rate is a
+// decreasing function of the sender's own link utilization, varying between
+// 1-and-MinGap (lots of headroom) and 1-and-MaxGap (congested). The paper
+// configures 1-and-10 .. 1-and-300 and observes that a 22%-utilized sender
+// link pins it at 1-and-10 — precisely the cross-traffic blindness RLIR
+// must tolerate.
+type Adaptive struct {
+	// MinGap applies at or below LowUtil (most aggressive injection).
+	MinGap int
+	// MaxGap applies at or above HighUtil (most conservative).
+	MaxGap int
+	// LowUtil and HighUtil bound the adaptation band.
+	LowUtil  float64
+	HighUtil float64
+}
+
+// DefaultAdaptive returns the paper's configuration: gaps in [10, 300],
+// adapting between 50% and 95% utilization.
+func DefaultAdaptive() Adaptive {
+	return Adaptive{MinGap: 10, MaxGap: 300, LowUtil: 0.5, HighUtil: 0.95}
+}
+
+// Validate checks the parameters.
+func (a Adaptive) Validate() error {
+	if a.MinGap < 1 || a.MaxGap < a.MinGap {
+		return fmt.Errorf("core: adaptive gaps [%d,%d] invalid", a.MinGap, a.MaxGap)
+	}
+	if !(a.LowUtil >= 0 && a.LowUtil < a.HighUtil && a.HighUtil <= 1) {
+		return fmt.Errorf("core: adaptive band [%v,%v] invalid", a.LowUtil, a.HighUtil)
+	}
+	return nil
+}
+
+// Gap implements InjectionScheme: geometric interpolation of the gap
+// between MinGap and MaxGap across the adaptation band, so each increment
+// of utilization multiplies the gap by a constant factor (injection rate is
+// a smoothly decreasing function of utilization, as in [11]).
+func (a Adaptive) Gap(u float64) int {
+	if err := a.Validate(); err != nil {
+		panic(err)
+	}
+	switch {
+	case u <= a.LowUtil:
+		return a.MinGap
+	case u >= a.HighUtil:
+		return a.MaxGap
+	}
+	frac := (u - a.LowUtil) / (a.HighUtil - a.LowUtil)
+	g := float64(a.MinGap) * math.Pow(float64(a.MaxGap)/float64(a.MinGap), frac)
+	n := int(math.Round(g))
+	if n < a.MinGap {
+		n = a.MinGap
+	}
+	if n > a.MaxGap {
+		n = a.MaxGap
+	}
+	return n
+}
+
+// Name implements InjectionScheme.
+func (a Adaptive) Name() string {
+	return fmt.Sprintf("adaptive(1-and-%d..%d)", a.MinGap, a.MaxGap)
+}

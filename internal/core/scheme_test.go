@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStaticGapConstant(t *testing.T) {
+	s := Static{N: 100}
+	for _, u := range []float64{0, 0.22, 0.5, 0.93, 1} {
+		if got := s.Gap(u); got != 100 {
+			t.Fatalf("Gap(%v) = %d, want 100", u, got)
+		}
+	}
+	if DefaultStatic().N != 100 {
+		t.Fatal("paper default is 1-and-100")
+	}
+}
+
+func TestStaticGapPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Static{}.Gap(0.5)
+}
+
+func TestAdaptiveEndpoints(t *testing.T) {
+	a := DefaultAdaptive()
+	// The paper: 22% utilization "always triggers the highest injection
+	// rate (1-and-10) in the adaptive scheme".
+	if got := a.Gap(0.22); got != 10 {
+		t.Fatalf("Gap(0.22) = %d, want 10", got)
+	}
+	if got := a.Gap(0); got != 10 {
+		t.Fatalf("Gap(0) = %d, want 10", got)
+	}
+	if got := a.Gap(0.95); got != 300 {
+		t.Fatalf("Gap(0.95) = %d, want 300", got)
+	}
+	if got := a.Gap(1); got != 300 {
+		t.Fatalf("Gap(1) = %d, want 300", got)
+	}
+}
+
+func TestAdaptiveMonotoneNonDecreasing(t *testing.T) {
+	// Injection rate is "a decreasing function of link utilization", i.e.
+	// the gap never shrinks as utilization grows.
+	a := DefaultAdaptive()
+	prev := 0
+	for u := 0.0; u <= 1.0; u += 0.001 {
+		g := a.Gap(u)
+		if g < prev {
+			t.Fatalf("gap decreased: %d -> %d at u=%v", prev, g, u)
+		}
+		prev = g
+	}
+}
+
+func TestAdaptiveBoundsProperty(t *testing.T) {
+	a := DefaultAdaptive()
+	f := func(raw uint16) bool {
+		u := float64(raw) / 65535
+		g := a.Gap(u)
+		return g >= a.MinGap && g <= a.MaxGap
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveValidate(t *testing.T) {
+	bad := []Adaptive{
+		{MinGap: 0, MaxGap: 10, LowUtil: 0.1, HighUtil: 0.9},
+		{MinGap: 20, MaxGap: 10, LowUtil: 0.1, HighUtil: 0.9},
+		{MinGap: 1, MaxGap: 10, LowUtil: 0.9, HighUtil: 0.1},
+		{MinGap: 1, MaxGap: 10, LowUtil: -0.1, HighUtil: 0.9},
+		{MinGap: 1, MaxGap: 10, LowUtil: 0.1, HighUtil: 1.1},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	if err := DefaultAdaptive().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	if (Static{N: 100}).Name() == "" || DefaultAdaptive().Name() == "" {
+		t.Fatal("empty names")
+	}
+}
+
+func TestAdaptiveRatioVsStatic(t *testing.T) {
+	// The experimental setup's key ratio: at the sender's 22% utilization,
+	// adaptive injects 10x more reference packets than static 1-and-100.
+	a, s := DefaultAdaptive(), DefaultStatic()
+	if s.Gap(0.22)/a.Gap(0.22) != 10 {
+		t.Fatal("paper's 10x injection ratio broken")
+	}
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/eventsim"
+	"github.com/netmeasure/rlir/internal/netsim"
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/simtime"
+)
+
+// senderRig is a one-switch network with a sender attached to its only
+// egress port and a sink counting what arrives.
+type senderRig struct {
+	eng    *eventsim.Engine
+	nw     *netsim.Network
+	src    *netsim.Node
+	sink   *netsim.Node
+	sender *Sender
+	seen   []*packet.Packet
+}
+
+func newSenderRig(t *testing.T, cfg SenderConfig) *senderRig {
+	t.Helper()
+	rig := &senderRig{eng: eventsim.New()}
+	rig.nw = netsim.New(rig.eng)
+	rig.src = rig.nw.AddNode(netsim.NodeConfig{Name: "sw"})
+	rig.sink = rig.nw.AddNode(netsim.NodeConfig{Name: "sink"})
+	rig.nw.Connect(rig.src, rig.sink, netsim.LinkConfig{RateBps: 1e9})
+	rig.src.SetForward(func(n *netsim.Node, p *packet.Packet) int { return 0 })
+	rig.sink.OnDeliver(func(p *packet.Packet, _ simtime.Time) { rig.seen = append(rig.seen, p) })
+	var err error
+	rig.sender, err = AttachSender(rig.src.Port(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rig
+}
+
+func (rig *senderRig) injectRegulars(n int, gap time.Duration) {
+	for i := 0; i < n; i++ {
+		p := &packet.Packet{
+			ID: rig.nw.NewPacketID(), Kind: packet.Regular, Size: 1000,
+			Key: packet.FlowKey{Src: packet.MustParseAddr("10.1.0.1"), SrcPort: uint16(i + 1)},
+		}
+		rig.nw.Inject(rig.src, p, simtime.Time(int64(i)*int64(gap)))
+	}
+}
+
+func basicCfg() SenderConfig {
+	return SenderConfig{
+		ID:        1,
+		Addr:      packet.MustParseAddr("10.1.0.250"),
+		Receivers: []packet.Addr{packet.MustParseAddr("10.9.0.1")},
+		Scheme:    Static{N: 10},
+	}
+}
+
+func TestStaticInjectionRatio(t *testing.T) {
+	rig := newSenderRig(t, basicCfg())
+	rig.injectRegulars(100, 20*time.Microsecond)
+	rig.eng.Run()
+
+	var refs, regs int
+	for _, p := range rig.seen {
+		switch p.Kind {
+		case packet.Reference:
+			refs++
+		case packet.Regular:
+			regs++
+		}
+	}
+	if regs != 100 {
+		t.Fatalf("regulars delivered = %d", regs)
+	}
+	if refs != 10 {
+		t.Fatalf("references = %d, want 10 (1-and-10 over 100 packets)", refs)
+	}
+	c := rig.sender.Counters()
+	if c.Counted != 100 || c.Injected != 10 || c.Events != 10 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestReferenceTimestampIsTransmitStart(t *testing.T) {
+	rig := newSenderRig(t, basicCfg())
+	rig.injectRegulars(10, 50*time.Microsecond)
+	rig.eng.Run()
+
+	for _, p := range rig.seen {
+		if p.Kind != packet.Reference {
+			continue
+		}
+		// 64B at 1Gbps = 512ns wire time; delivery = timestamp + txtime.
+		// The sink saw it at SegmentStart + 512ns.
+		if p.Ref.Timestamp == 0 {
+			t.Fatal("reference not timestamped")
+		}
+		if p.SegmentStart != p.Ref.Timestamp {
+			t.Fatalf("segment start %v != timestamp %v (perfect clock)", p.SegmentStart, p.Ref.Timestamp)
+		}
+	}
+}
+
+func TestReferencePacketFields(t *testing.T) {
+	cfg := basicCfg()
+	cfg.RefSize = 128
+	rig := newSenderRig(t, cfg)
+	rig.injectRegulars(20, 20*time.Microsecond)
+	rig.eng.Run()
+
+	var seqs []uint32
+	for _, p := range rig.seen {
+		if p.Kind != packet.Reference {
+			continue
+		}
+		if p.Size != 128 {
+			t.Fatalf("ref size = %d", p.Size)
+		}
+		if p.Key.Src != cfg.Addr || p.Key.Dst != cfg.Receivers[0] {
+			t.Fatalf("ref key = %v", p.Key)
+		}
+		if p.Key.SrcPort != RLIPort || p.Key.DstPort != RLIPort || p.Key.Proto != packet.ProtoUDP {
+			t.Fatalf("ref ports = %v", p.Key)
+		}
+		if p.Ref.Sender != 1 {
+			t.Fatalf("ref sender = %d", p.Ref.Sender)
+		}
+		seqs = append(seqs, p.Ref.Seq)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[i-1]+1 {
+			t.Fatalf("sequence gap: %v", seqs)
+		}
+	}
+}
+
+func TestFanOutToMultipleReceivers(t *testing.T) {
+	cfg := basicCfg()
+	cfg.Receivers = []packet.Addr{
+		packet.MustParseAddr("10.9.0.1"),
+		packet.MustParseAddr("10.9.0.2"),
+		packet.MustParseAddr("10.9.0.3"),
+	}
+	rig := newSenderRig(t, cfg)
+	rig.injectRegulars(10, 20*time.Microsecond)
+	rig.eng.Run()
+
+	byDst := map[packet.Addr]int{}
+	for _, p := range rig.seen {
+		if p.Kind == packet.Reference {
+			byDst[p.Key.Dst]++
+		}
+	}
+	if len(byDst) != 3 {
+		t.Fatalf("fan-out reached %d receivers", len(byDst))
+	}
+	for dst, n := range byDst {
+		if n != 1 {
+			t.Fatalf("receiver %v got %d refs, want 1", dst, n)
+		}
+	}
+	if got := rig.sender.Counters().Injected; got != 3 {
+		t.Fatalf("Injected = %d", got)
+	}
+}
+
+func TestAdaptiveFollowsUtilization(t *testing.T) {
+	cfg := basicCfg()
+	cfg.Scheme = DefaultAdaptive()
+	util := FixedUtilization(0.22)
+	cfg.Util = &util
+	rig := newSenderRig(t, cfg)
+	if got := rig.sender.CurrentGap(); got != 10 {
+		t.Fatalf("gap at 22%% = %d, want 10", got)
+	}
+	util = 0.95
+	if got := rig.sender.CurrentGap(); got != 300 {
+		t.Fatalf("gap at 95%% = %d, want 300", got)
+	}
+}
+
+func TestNilUtilMeansAggressive(t *testing.T) {
+	cfg := basicCfg()
+	cfg.Scheme = DefaultAdaptive()
+	rig := newSenderRig(t, cfg)
+	if got := rig.sender.CurrentGap(); got != 10 {
+		t.Fatalf("gap with nil util = %d, want MinGap", got)
+	}
+}
+
+func TestReferencesDoNotTriggerReferences(t *testing.T) {
+	// With gap 1, every regular packet triggers a ref; the refs themselves
+	// must not count, or injection would cascade to infinity.
+	cfg := basicCfg()
+	cfg.Scheme = Static{N: 1}
+	rig := newSenderRig(t, cfg)
+	rig.injectRegulars(5, 100*time.Microsecond)
+	rig.eng.Run()
+
+	var refs int
+	for _, p := range rig.seen {
+		if p.Kind == packet.Reference {
+			refs++
+		}
+	}
+	if refs != 5 {
+		t.Fatalf("refs = %d, want exactly 5", refs)
+	}
+}
+
+func TestForeignReferencesTransitUncounted(t *testing.T) {
+	rig := newSenderRig(t, basicCfg())
+	foreign := &packet.Packet{
+		ID: 999, Kind: packet.Reference, Size: 64,
+		Ref: packet.RefPayload{Sender: 42, Seq: 1, Timestamp: 12345},
+	}
+	rig.nw.Inject(rig.src, foreign, simtime.Zero)
+	rig.eng.Run()
+	if got := rig.sender.Counters().Counted; got != 0 {
+		t.Fatalf("foreign ref advanced counter: %d", got)
+	}
+	if foreign.Ref.Timestamp != 12345 {
+		t.Fatal("foreign ref restamped")
+	}
+}
+
+func TestCountKindsFilter(t *testing.T) {
+	cfg := basicCfg()
+	cfg.Scheme = Static{N: 5}
+	cfg.CountKinds = []packet.Kind{packet.Regular}
+	rig := newSenderRig(t, cfg)
+	// Interleave cross packets: they transit but do not advance the gap.
+	for i := 0; i < 10; i++ {
+		reg := &packet.Packet{ID: uint64(1000 + i), Kind: packet.Regular, Size: 500}
+		cross := &packet.Packet{ID: uint64(2000 + i), Kind: packet.Cross, Size: 500}
+		at := simtime.Time(int64(i) * int64(40*time.Microsecond))
+		rig.nw.Inject(rig.src, reg, at)
+		rig.nw.Inject(rig.src, cross, at.Add(10*time.Microsecond))
+	}
+	rig.eng.Run()
+	c := rig.sender.Counters()
+	if c.Counted != 10 {
+		t.Fatalf("Counted = %d, want 10 regulars only", c.Counted)
+	}
+	if c.Events != 2 {
+		t.Fatalf("Events = %d, want 2 (10 regulars / gap 5)", c.Events)
+	}
+}
+
+func TestSenderValidation(t *testing.T) {
+	rig := newSenderRig(t, basicCfg()) // consume the valid config
+	_ = rig
+	eng := eventsim.New()
+	nw := netsim.New(eng)
+	a := nw.AddNode(netsim.NodeConfig{})
+	b := nw.AddNode(netsim.NodeConfig{})
+	nw.Connect(a, b, netsim.LinkConfig{RateBps: 1e9})
+	port := a.Port(0)
+
+	cases := []SenderConfig{
+		{},                      // no scheme
+		{Scheme: Static{N: 10}}, // no receivers
+		{Scheme: Static{N: 10}, Receivers: []packet.Addr{1}, RefSize: 20},   // tiny frame
+		{Scheme: Static{N: 10}, Receivers: []packet.Addr{1}, RefSize: 9999}, // oversize
+		{Scheme: Static{N: 10}, Receivers: []packet.Addr{1}, CountKinds: []packet.Kind{packet.Reference}},
+	}
+	for i, cfg := range cases {
+		if _, err := AttachSender(port, cfg); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestSenderGroundTruthStamping(t *testing.T) {
+	rig := newSenderRig(t, basicCfg())
+	// Inject strictly after t=0 so an unset (zero) stamp is unambiguous.
+	for i := 0; i < 3; i++ {
+		p := &packet.Packet{ID: rig.nw.NewPacketID(), Kind: packet.Regular, Size: 1000}
+		rig.nw.Inject(rig.src, p, simtime.FromDuration(time.Duration(i+1)*50*time.Microsecond))
+	}
+	rig.eng.Run()
+	if len(rig.seen) != 3 {
+		t.Fatalf("delivered %d", len(rig.seen))
+	}
+	for _, p := range rig.seen {
+		if p.Kind == packet.Regular && p.SegmentStart == 0 {
+			t.Fatalf("regular packet %d not stamped", p.ID)
+		}
+	}
+}

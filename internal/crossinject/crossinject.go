@@ -1,0 +1,167 @@
+// Package crossinject implements the paper's cross-traffic injector
+// (§4.1, Figure 3).
+//
+// Cross traffic does not pass the RLI sender's switch; it merges at the
+// downstream (bottleneck) switch and raises that link's utilization to a
+// level the sender cannot observe. The injector thins or gates a cross
+// trace with one of the paper's two selection models:
+//
+//   - Uniform ("random"): each packet is kept independently with probability
+//     p, producing persistent congestion.
+//   - Bursty: traffic is admitted only during on-periods of a fixed
+//     duration, producing alternating congestion episodes at the same
+//     average load.
+package crossinject
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/simtime"
+	"github.com/netmeasure/rlir/internal/trace"
+)
+
+// Model selects which cross-traffic packets are admitted.
+type Model interface {
+	// Admit reports whether the packet released at instant at passes.
+	Admit(at simtime.Time) bool
+	Name() string
+}
+
+// Uniform admits each packet independently with probability P — the paper's
+// "random" model.
+type Uniform struct {
+	P    float64
+	rng  *rand.Rand
+	seed int64
+}
+
+// NewUniform builds a uniform model with keep probability p.
+func NewUniform(p float64, seed int64) *Uniform {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("crossinject: probability %v outside [0,1]", p))
+	}
+	return &Uniform{P: p, rng: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Admit implements Model.
+func (u *Uniform) Admit(simtime.Time) bool { return u.rng.Float64() < u.P }
+
+// Name implements Model.
+func (u *Uniform) Name() string { return fmt.Sprintf("uniform(p=%.3f)", u.P) }
+
+// Bursty admits packets only during on-periods: the first OnDuration of
+// every Period. Within an on-period, packets are additionally kept with
+// probability P (the paper sets an injection duration and a selection
+// probability; both knobs together set the average utilization).
+type Bursty struct {
+	OnDuration time.Duration
+	Period     time.Duration
+	P          float64
+	rng        *rand.Rand
+}
+
+// NewBursty builds a bursty model. OnDuration must not exceed Period.
+func NewBursty(on, period time.Duration, p float64, seed int64) *Bursty {
+	if on <= 0 || period <= 0 || on > period {
+		panic(fmt.Sprintf("crossinject: invalid burst timing on=%v period=%v", on, period))
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("crossinject: probability %v outside [0,1]", p))
+	}
+	return &Bursty{OnDuration: on, Period: period, P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Admit implements Model.
+func (b *Bursty) Admit(at simtime.Time) bool {
+	phase := time.Duration(int64(at) % int64(b.Period))
+	if phase >= b.OnDuration {
+		return false
+	}
+	return b.rng.Float64() < b.P
+}
+
+// Name implements Model.
+func (b *Bursty) Name() string {
+	return fmt.Sprintf("bursty(on=%v/%v,p=%.3f)", b.OnDuration, b.Period, b.P)
+}
+
+// Source filters a cross-traffic trace through a model. It is itself a
+// trace.Source.
+type Source struct {
+	src   trace.Source
+	model Model
+
+	offered  uint64
+	admitted uint64
+}
+
+// NewSource wraps src with the model.
+func NewSource(src trace.Source, model Model) *Source {
+	return &Source{src: src, model: model}
+}
+
+// Next implements trace.Source.
+func (s *Source) Next() (trace.Rec, bool) {
+	for {
+		r, ok := s.src.Next()
+		if !ok {
+			return trace.Rec{}, false
+		}
+		s.offered++
+		if s.model.Admit(r.At) {
+			s.admitted++
+			return r, true
+		}
+	}
+}
+
+// Offered returns how many packets the underlying trace presented.
+func (s *Source) Offered() uint64 { return s.offered }
+
+// Admitted returns how many packets passed the model.
+func (s *Source) Admitted() uint64 { return s.admitted }
+
+// KeepProbabilityFor computes the uniform keep probability that raises a
+// bottleneck link to the target utilization, given the link rate, the
+// regular traffic's offered rate and the full cross trace's offered rate —
+// the calibration the paper performs by "controlling the number of cross
+// traffic packets". The result is clamped to [0, 1].
+func KeepProbabilityFor(targetUtil, linkBps, regularBps, crossBps float64) float64 {
+	if targetUtil < 0 || linkBps <= 0 || crossBps <= 0 {
+		panic("crossinject: invalid calibration inputs")
+	}
+	p := (targetUtil*linkBps - regularBps) / crossBps
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// BurstyParamsFor computes (keep probability within bursts) for a bursty
+// model with the given duty cycle so the average utilization matches the
+// uniform calibration: within an on-period the instantaneous admitted rate
+// is scaled up by 1/duty to compensate for the off time. May exceed what the
+// cross trace can supply, in which case it is clamped and the achieved
+// utilization falls short — exactly as a real bursty source would saturate.
+func BurstyParamsFor(targetUtil, linkBps, regularBps, crossBps float64, on, period time.Duration) float64 {
+	duty := float64(on) / float64(period)
+	if duty <= 0 || duty > 1 {
+		panic("crossinject: invalid duty cycle")
+	}
+	return clamp01(KeepProbabilityFor(targetUtil, linkBps, regularBps, crossBps) / duty)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,160 @@
+package crossinject
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/simtime"
+	"github.com/netmeasure/rlir/internal/trace"
+)
+
+// flatTrace yields n packets evenly spaced over dur.
+func flatTrace(n int, dur time.Duration) trace.Source {
+	recs := make([]trace.Rec, n)
+	for i := range recs {
+		recs[i] = trace.Rec{
+			At:   simtime.Time(int64(dur) * int64(i) / int64(n)),
+			Size: 1000,
+		}
+	}
+	return trace.NewSliceSource(recs)
+}
+
+func TestUniformKeepFraction(t *testing.T) {
+	const n = 100000
+	s := NewSource(flatTrace(n, time.Second), NewUniform(0.3, 7))
+	kept := len(trace.Collect(s, 0))
+	if frac := float64(kept) / n; math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("kept fraction = %v, want ~0.3", frac)
+	}
+	if s.Offered() != n || s.Admitted() != uint64(kept) {
+		t.Fatalf("counters offered=%d admitted=%d kept=%d", s.Offered(), s.Admitted(), kept)
+	}
+}
+
+func TestUniformEdgeProbabilities(t *testing.T) {
+	if got := len(trace.Collect(NewSource(flatTrace(1000, time.Second), NewUniform(0, 1)), 0)); got != 0 {
+		t.Fatalf("p=0 kept %d", got)
+	}
+	if got := len(trace.Collect(NewSource(flatTrace(1000, time.Second), NewUniform(1, 1)), 0)); got != 1000 {
+		t.Fatalf("p=1 kept %d", got)
+	}
+}
+
+func TestUniformDeterministicBySeed(t *testing.T) {
+	a := trace.Collect(NewSource(flatTrace(5000, time.Second), NewUniform(0.5, 42)), 0)
+	b := trace.Collect(NewSource(flatTrace(5000, time.Second), NewUniform(0.5, 42)), 0)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different selections")
+		}
+	}
+}
+
+func TestBurstyGatesByPhase(t *testing.T) {
+	// 10ms on per 100ms period, p=1: only the first tenth of each period
+	// passes.
+	m := NewBursty(10*time.Millisecond, 100*time.Millisecond, 1, 1)
+	s := NewSource(flatTrace(100000, time.Second), m)
+	kept := trace.Collect(s, 0)
+	frac := float64(len(kept)) / 100000
+	if math.Abs(frac-0.1) > 0.01 {
+		t.Fatalf("kept fraction = %v, want ~0.1", frac)
+	}
+	for _, r := range kept {
+		phase := time.Duration(int64(r.At) % int64(100*time.Millisecond))
+		if phase >= 10*time.Millisecond {
+			t.Fatalf("packet admitted at off-phase %v", phase)
+		}
+	}
+}
+
+func TestBurstyProducesBurstsNotThinning(t *testing.T) {
+	// At equal average load, bursty admission keeps consecutive packets
+	// together: the admitted inter-arrival distribution must contain long
+	// gaps (off periods), which uniform thinning at the same rate does not.
+	on, period := 5*time.Millisecond, 50*time.Millisecond
+	bursty := trace.Collect(NewSource(flatTrace(100000, time.Second), NewBursty(on, period, 1, 1)), 0)
+	uniform := trace.Collect(NewSource(flatTrace(100000, time.Second), NewUniform(0.1, 1)), 0)
+
+	maxGap := func(recs []trace.Rec) time.Duration {
+		var m time.Duration
+		for i := 1; i < len(recs); i++ {
+			if g := recs[i].At.Sub(recs[i-1].At); g > m {
+				m = g
+			}
+		}
+		return m
+	}
+	if bg, ug := maxGap(bursty), maxGap(uniform); bg < 10*ug {
+		t.Fatalf("bursty max gap %v not much larger than uniform %v", bg, ug)
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewUniform(-0.1, 1) },
+		func() { NewUniform(1.1, 1) },
+		func() { NewBursty(0, time.Second, 1, 1) },
+		func() { NewBursty(2*time.Second, time.Second, 1, 1) },
+		func() { NewBursty(time.Second, time.Second, -1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestKeepProbabilityFor(t *testing.T) {
+	// Target 93% of 1 Gbps with 220 Mbps regular and 2 Gbps cross offered:
+	// p = (0.93e9 - 0.22e9) / 2e9 = 0.355.
+	got := KeepProbabilityFor(0.93, 1e9, 220e6, 2e9)
+	if math.Abs(got-0.355) > 1e-9 {
+		t.Fatalf("p = %v, want 0.355", got)
+	}
+	// Regular traffic alone exceeds the target: clamp to 0.
+	if got := KeepProbabilityFor(0.1, 1e9, 220e6, 2e9); got != 0 {
+		t.Fatalf("p = %v, want 0", got)
+	}
+	// Cross trace too small to reach target: clamp to 1.
+	if got := KeepProbabilityFor(0.99, 1e9, 220e6, 100e6); got != 1 {
+		t.Fatalf("p = %v, want 1", got)
+	}
+}
+
+func TestBurstyParamsFor(t *testing.T) {
+	// Duty cycle 0.2 scales the in-burst keep probability 5x.
+	uni := KeepProbabilityFor(0.67, 1e9, 220e6, 4e9)
+	burst := BurstyParamsFor(0.67, 1e9, 220e6, 4e9, 10*time.Millisecond, 50*time.Millisecond)
+	if math.Abs(burst-5*uni) > 1e-9 {
+		t.Fatalf("bursty p = %v, want %v", burst, 5*uni)
+	}
+	if got := BurstyParamsFor(0.99, 1e9, 0, 1e9, time.Millisecond, 100*time.Millisecond); got != 1 {
+		t.Fatalf("unachievable target should clamp to 1, got %v", got)
+	}
+}
+
+func TestCalibrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KeepProbabilityFor(0.5, 0, 1, 1)
+}
+
+func TestSourceEmptyUnderlying(t *testing.T) {
+	s := NewSource(trace.NewSliceSource(nil), NewUniform(1, 1))
+	if _, ok := s.Next(); ok {
+		t.Fatal("empty underlying trace should yield nothing")
+	}
+}

@@ -1,0 +1,188 @@
+package ecmp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/netmeasure/rlir/internal/packet"
+)
+
+func randomKey(rng *rand.Rand) packet.FlowKey {
+	return packet.FlowKey{
+		Src:     packet.Addr(rng.Uint32()),
+		Dst:     packet.Addr(rng.Uint32()),
+		SrcPort: uint16(rng.Intn(65536)),
+		DstPort: uint16(rng.Intn(65536)),
+		Proto:   packet.ProtoTCP,
+	}
+}
+
+func allKinds() []Kind { return []Kind{KindCRC, KindFNV, KindXOR} }
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, kind := range allKinds() {
+		h := New(kind, 0x1234)
+		for i := 0; i < 100; i++ {
+			k := randomKey(rng)
+			if h.Hash(k) != h.Hash(k) {
+				t.Fatalf("%s: hash not deterministic", h.Name())
+			}
+		}
+	}
+}
+
+func TestSeedsDecorrelate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, kind := range allKinds() {
+		a, b := New(kind, 1), New(kind, 2)
+		same := 0
+		const trials = 1000
+		for i := 0; i < trials; i++ {
+			k := randomKey(rng)
+			if Select(a, k, 2) == Select(b, k, 2) {
+				same++
+			}
+		}
+		// Two independent fair coins agree ~50%; flag >70% as correlated.
+		if same > trials*7/10 {
+			t.Errorf("%v: seeds correlated, %d/%d identical 2-way choices", kind, same, trials)
+		}
+	}
+}
+
+func TestSelectUniformity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, kind := range allKinds() {
+		h := New(kind, 7)
+		const n = 8
+		counts := make([]int, n)
+		const trials = 80000
+		for i := 0; i < trials; i++ {
+			counts[Select(h, randomKey(rng), n)]++
+		}
+		want := float64(trials) / n
+		for i, c := range counts {
+			if math.Abs(float64(c)-want)/want > 0.05 {
+				t.Errorf("%v: bucket %d has %d of %d (want ~%.0f ±5%%)", kind, i, c, trials, want)
+			}
+		}
+	}
+}
+
+func TestSelectBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	h := New(KindCRC, 0)
+	for n := 1; n <= 16; n++ {
+		for i := 0; i < 200; i++ {
+			got := Select(h, randomKey(rng), n)
+			if got < 0 || got >= n {
+				t.Fatalf("Select out of range: %d with n=%d", got, n)
+			}
+		}
+	}
+}
+
+func TestSelectSingleNextHop(t *testing.T) {
+	h := New(KindXOR, 0)
+	if Select(h, packet.FlowKey{}, 1) != 0 {
+		t.Fatal("n=1 must always choose 0")
+	}
+}
+
+func TestSelectPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Select(New(KindCRC, 0), packet.FlowKey{}, 0)
+}
+
+func TestHashSensitivityToTupleFields(t *testing.T) {
+	// Flipping any single tuple field should change the hash for the vast
+	// majority of keys — otherwise reverse-ECMP misclassifies flows.
+	rng := rand.New(rand.NewSource(5))
+	for _, kind := range allKinds() {
+		h := New(kind, 9)
+		changed := 0
+		const trials = 1000
+		for i := 0; i < trials; i++ {
+			k := randomKey(rng)
+			k2 := k
+			switch i % 4 {
+			case 0:
+				k2.Src++
+			case 1:
+				k2.Dst++
+			case 2:
+				k2.SrcPort++
+			case 3:
+				k2.DstPort++
+			}
+			if h.Hash(k) != h.Hash(k2) {
+				changed++
+			}
+		}
+		if changed < trials*95/100 {
+			t.Errorf("%v: only %d/%d single-field flips changed the hash", kind, changed, trials)
+		}
+	}
+}
+
+func TestNewPanicsOnUnknownKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Kind(250), 0)
+}
+
+func TestKindString(t *testing.T) {
+	for _, kind := range append(allKinds(), Kind(99)) {
+		if kind.String() == "" {
+			t.Error("empty Kind.String")
+		}
+	}
+	for _, kind := range allKinds() {
+		if New(kind, 3).Name() == "" {
+			t.Error("empty Hasher.Name")
+		}
+	}
+}
+
+func TestHashDeterministicProperty(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, seed uint32) bool {
+		k := packet.FlowKey{Src: packet.Addr(src), Dst: packet.Addr(dst), SrcPort: sp, DstPort: dp, Proto: packet.ProtoUDP}
+		for _, kind := range allKinds() {
+			h := New(kind, seed)
+			if h.Hash(k) != h.Hash(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	keys := make([]packet.FlowKey, 1024)
+	for i := range keys {
+		keys[i] = randomKey(rng)
+	}
+	for _, kind := range allKinds() {
+		h := New(kind, 11)
+		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.Hash(keys[i&1023])
+			}
+		})
+	}
+}

@@ -1,0 +1,66 @@
+package ecmp
+
+import (
+	"fmt"
+
+	"github.com/netmeasure/rlir/internal/lpm"
+	"github.com/netmeasure/rlir/internal/packet"
+)
+
+// Choice describes one switch's ECMP decision point: the hasher it uses and
+// the ordered list of identifiers (e.g. core switch node IDs) its uplinks
+// lead to. The forward decision for key k is Uplinks[Select(Hasher, k, len)].
+type Choice struct {
+	Hasher  Hasher
+	Uplinks []int32
+}
+
+// Forward returns the identifier the switch would forward key k toward.
+func (c Choice) Forward(k packet.FlowKey) int32 {
+	return c.Uplinks[Select(c.Hasher, k, len(c.Uplinks))]
+}
+
+// ReverseResolver implements the paper's "reverse ECMP computation" (§3.1):
+// given a regular packet, determine which intermediate (core) switch it
+// passed through, by re-running the hash function of the upstream switch
+// that made the ECMP choice for it.
+//
+// The resolver is configured with a prefix table mapping a packet's source
+// prefix to the Choice of the branching switch in the source's pod — exactly
+// the information the paper says the receiver obtains from topology knowledge
+// plus vendor-revealed hash functions.
+type ReverseResolver struct {
+	byOrigin *lpm.Table[Choice]
+}
+
+// NewReverseResolver returns an empty resolver.
+func NewReverseResolver() *ReverseResolver {
+	return &ReverseResolver{byOrigin: lpm.New[Choice]()}
+}
+
+// AddOrigin registers that packets whose source address falls in prefix make
+// their ECMP choice at a switch behaving like c. Later registrations with a
+// longer prefix take precedence, mirroring routing specificity.
+func (r *ReverseResolver) AddOrigin(prefix packet.Prefix, c Choice) error {
+	if c.Hasher == nil {
+		return fmt.Errorf("ecmp: origin %v registered with nil hasher", prefix)
+	}
+	if len(c.Uplinks) == 0 {
+		return fmt.Errorf("ecmp: origin %v registered with no uplinks", prefix)
+	}
+	r.byOrigin.Insert(prefix, c)
+	return nil
+}
+
+// Resolve returns the identifier of the intermediate switch that key k
+// traversed, or false if the source prefix is unknown.
+func (r *ReverseResolver) Resolve(k packet.FlowKey) (int32, bool) {
+	c, ok := r.byOrigin.Lookup(k.Src)
+	if !ok {
+		return 0, false
+	}
+	return c.Forward(k), true
+}
+
+// Origins returns the number of registered origin prefixes.
+func (r *ReverseResolver) Origins() int { return r.byOrigin.Len() }

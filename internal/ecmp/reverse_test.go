@@ -1,0 +1,93 @@
+package ecmp
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/netmeasure/rlir/internal/packet"
+)
+
+func TestReverseResolverMatchesForward(t *testing.T) {
+	// The defining property: for any key, Resolve returns exactly what the
+	// registered branching switch's Forward computes.
+	rng := rand.New(rand.NewSource(10))
+	r := NewReverseResolver()
+	choiceA := Choice{Hasher: New(KindCRC, 100), Uplinks: []int32{20, 21}}
+	choiceB := Choice{Hasher: New(KindFNV, 200), Uplinks: []int32{20, 21}}
+	if err := r.AddOrigin(packet.MustParsePrefix("10.1.0.0/16"), choiceA); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddOrigin(packet.MustParsePrefix("10.2.0.0/16"), choiceB); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 2000; i++ {
+		k := randomKey(rng)
+		pod := uint32(1 + rng.Intn(2))
+		k.Src = packet.Addr(10<<24 | pod<<16 | rng.Uint32()&0xFFFF)
+		want := choiceA
+		if pod == 2 {
+			want = choiceB
+		}
+		got, ok := r.Resolve(k)
+		if !ok {
+			t.Fatalf("Resolve(%v) missed", k)
+		}
+		if got != want.Forward(k) {
+			t.Fatalf("Resolve(%v) = %d, forward = %d", k, got, want.Forward(k))
+		}
+	}
+}
+
+func TestReverseResolverUnknownOrigin(t *testing.T) {
+	r := NewReverseResolver()
+	r.AddOrigin(packet.MustParsePrefix("10.1.0.0/16"), Choice{Hasher: New(KindXOR, 1), Uplinks: []int32{5}})
+	k := packet.FlowKey{Src: packet.MustParseAddr("192.168.1.1")}
+	if _, ok := r.Resolve(k); ok {
+		t.Fatal("unknown origin should not resolve")
+	}
+}
+
+func TestReverseResolverLongestPrefixWins(t *testing.T) {
+	r := NewReverseResolver()
+	broad := Choice{Hasher: New(KindXOR, 1), Uplinks: []int32{1}}
+	narrow := Choice{Hasher: New(KindXOR, 2), Uplinks: []int32{2}}
+	r.AddOrigin(packet.MustParsePrefix("10.0.0.0/8"), broad)
+	r.AddOrigin(packet.MustParsePrefix("10.1.0.0/16"), narrow)
+	k := packet.FlowKey{Src: packet.MustParseAddr("10.1.2.3")}
+	got, ok := r.Resolve(k)
+	if !ok || got != 2 {
+		t.Fatalf("Resolve = %d/%v, want the /16's uplink 2", got, ok)
+	}
+	k.Src = packet.MustParseAddr("10.9.9.9")
+	got, ok = r.Resolve(k)
+	if !ok || got != 1 {
+		t.Fatalf("Resolve = %d/%v, want the /8's uplink 1", got, ok)
+	}
+}
+
+func TestAddOriginValidation(t *testing.T) {
+	r := NewReverseResolver()
+	if err := r.AddOrigin(packet.MustParsePrefix("10.0.0.0/8"), Choice{}); err == nil {
+		t.Fatal("nil hasher should be rejected")
+	}
+	if err := r.AddOrigin(packet.MustParsePrefix("10.0.0.0/8"), Choice{Hasher: New(KindCRC, 0)}); err == nil {
+		t.Fatal("empty uplinks should be rejected")
+	}
+	if r.Origins() != 0 {
+		t.Fatalf("Origins = %d after rejected adds", r.Origins())
+	}
+}
+
+func TestChoiceForwardCoversAllUplinks(t *testing.T) {
+	// With a uniform hasher and many keys, every uplink should be chosen.
+	rng := rand.New(rand.NewSource(11))
+	c := Choice{Hasher: New(KindFNV, 31), Uplinks: []int32{100, 101, 102, 103}}
+	seen := map[int32]bool{}
+	for i := 0; i < 10000; i++ {
+		seen[c.Forward(randomKey(rng))] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("forwarding reached %d of 4 uplinks", len(seen))
+	}
+}

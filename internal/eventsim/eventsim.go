@@ -1,0 +1,149 @@
+// Package eventsim implements a deterministic discrete-event simulation
+// engine.
+//
+// Events are closures scheduled at nanosecond-resolution virtual instants
+// (simtime.Time). The engine pops events in (time, scheduling order): two
+// events scheduled for the same instant run in the order they were scheduled,
+// which makes simulations bit-for-bit reproducible across runs with the same
+// seed.
+//
+// The engine is single-goroutine by design: network simulation at packet
+// granularity is dominated by the event heap and cache behaviour, not by
+// parallelism, and a single timeline avoids cross-goroutine nondeterminism.
+package eventsim
+
+import (
+	"container/heap"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/simtime"
+)
+
+// Handler is a scheduled action. It runs with the engine clock set to the
+// instant it was scheduled for.
+type Handler func()
+
+type event struct {
+	at  simtime.Time
+	seq uint64 // FIFO tie-break among events at the same instant
+	fn  Handler
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() simtime.Time { return h[0].at }
+
+// Engine is a discrete-event scheduler. The zero value is not usable; create
+// one with New.
+type Engine struct {
+	now       simtime.Time
+	seq       uint64
+	events    eventHeap
+	processed uint64
+	stopped   bool
+}
+
+// New returns an engine with its clock at the simulation epoch.
+func New() *Engine {
+	e := &Engine{}
+	e.events = make(eventHeap, 0, 1024)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() simtime.Time { return e.now }
+
+// Pending returns the number of events waiting to run.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Processed returns the total number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// At schedules fn to run at instant t. Scheduling in the past (t earlier than
+// Now) panics: it would silently corrupt causality in a network simulation.
+func (e *Engine) At(t simtime.Time, fn Handler) {
+	if t < e.now {
+		panic("eventsim: scheduling event in the past (" + t.String() + " < " + e.now.String() + ")")
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current instant. Negative d panics.
+func (e *Engine) After(d time.Duration, fn Handler) {
+	e.At(e.now.Add(d), fn)
+}
+
+// Stop makes the currently executing Run or RunUntil call return after the
+// current event finishes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called. It returns
+// the number of events executed by this call.
+func (e *Engine) Run() uint64 {
+	return e.RunUntil(simtime.Never)
+}
+
+// RunUntil executes events with timestamps <= deadline, advancing the clock
+// as it goes. When it returns, the clock rests at the later of its previous
+// value and the deadline (or at the last executed event when the deadline is
+// simtime.Never). It returns the number of events executed by this call.
+func (e *Engine) RunUntil(deadline simtime.Time) uint64 {
+	e.stopped = false
+	var n uint64
+	for len(e.events) > 0 && !e.stopped {
+		if e.events.peek() > deadline {
+			break
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		ev.fn()
+		n++
+	}
+	e.processed += n
+	if deadline != simtime.Never && deadline > e.now && !e.stopped {
+		e.now = deadline
+	}
+	return n
+}
+
+// Step executes exactly one event if any is pending and reports whether it
+// did so.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	ev.fn()
+	e.processed++
+	return true
+}
+
+// Ticker invokes fn every period, starting at start, until fn returns false.
+// It is a convenience for periodic processes such as utilization sampling and
+// clock resynchronization.
+func (e *Engine) Ticker(start simtime.Time, period time.Duration, fn func(now simtime.Time) bool) {
+	if period <= 0 {
+		panic("eventsim: non-positive ticker period")
+	}
+	var tick Handler
+	tick = func() {
+		if !fn(e.now) {
+			return
+		}
+		e.After(period, tick)
+	}
+	e.At(start, tick)
+}

@@ -1,0 +1,231 @@
+package eventsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/simtime"
+)
+
+func TestRunExecutesInTimeOrder(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(simtime.FromSeconds(3), func() { got = append(got, 3) })
+	e.At(simtime.FromSeconds(1), func() { got = append(got, 1) })
+	e.At(simtime.FromSeconds(2), func() { got = append(got, 2) })
+	if n := e.Run(); n != 3 {
+		t.Fatalf("Run = %d events, want 3", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if got[i] != v {
+			t.Fatalf("order = %v, want [1 2 3]", got)
+		}
+	}
+}
+
+func TestFIFOAmongEqualTimestamps(t *testing.T) {
+	e := New()
+	var got []int
+	at := simtime.FromSeconds(1)
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(at, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 100; i++ {
+		if got[i] != i {
+			t.Fatalf("events at equal instants ran out of scheduling order at %d: %v...", i, got[:i+1])
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := New()
+	var sawAt simtime.Time
+	e.After(5*time.Millisecond, func() { sawAt = e.Now() })
+	e.Run()
+	if sawAt != simtime.FromDuration(5*time.Millisecond) {
+		t.Fatalf("handler saw clock %v, want 5ms", sawAt)
+	}
+	if e.Now() != sawAt {
+		t.Fatalf("final clock %v, want %v", e.Now(), sawAt)
+	}
+}
+
+func TestSchedulingInsideHandler(t *testing.T) {
+	e := New()
+	var hits int
+	var chain Handler
+	chain = func() {
+		hits++
+		if hits < 10 {
+			e.After(time.Microsecond, chain)
+		}
+	}
+	e.At(simtime.Zero, chain)
+	e.Run()
+	if hits != 10 {
+		t.Fatalf("hits = %d, want 10", hits)
+	}
+	if want := simtime.FromDuration(9 * time.Microsecond); e.Now() != want {
+		t.Fatalf("clock = %v, want %v", e.Now(), want)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var hits int
+	for i := 1; i <= 10; i++ {
+		e.At(simtime.FromSeconds(float64(i)), func() { hits++ })
+	}
+	n := e.RunUntil(simtime.FromSeconds(5))
+	if n != 5 || hits != 5 {
+		t.Fatalf("RunUntil executed %d (hits %d), want 5", n, hits)
+	}
+	if e.Now() != simtime.FromSeconds(5) {
+		t.Fatalf("clock = %v, want 5s", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", e.Pending())
+	}
+	// Resume to completion.
+	e.Run()
+	if hits != 10 {
+		t.Fatalf("hits after resume = %d, want 10", hits)
+	}
+}
+
+func TestRunUntilAdvancesClockToDeadlineWhenIdle(t *testing.T) {
+	e := New()
+	e.RunUntil(simtime.FromSeconds(2))
+	if e.Now() != simtime.FromSeconds(2) {
+		t.Fatalf("clock = %v, want 2s", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	var hits int
+	for i := 0; i < 10; i++ {
+		e.After(time.Duration(i)*time.Millisecond, func() {
+			hits++
+			if hits == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if hits != 3 {
+		t.Fatalf("hits = %d, want 3 after Stop", hits)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.At(simtime.FromSeconds(1), func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(simtime.Zero, func() {})
+	})
+	e.Run()
+}
+
+func TestStep(t *testing.T) {
+	e := New()
+	var hits int
+	e.After(time.Second, func() { hits++ })
+	e.After(2*time.Second, func() { hits++ })
+	if !e.Step() || hits != 1 {
+		t.Fatalf("first Step: hits = %d, want 1", hits)
+	}
+	if !e.Step() || hits != 2 {
+		t.Fatalf("second Step: hits = %d, want 2", hits)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue should report false")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := New()
+	var ticks []simtime.Time
+	e.Ticker(simtime.FromSeconds(1), time.Second, func(now simtime.Time) bool {
+		ticks = append(ticks, now)
+		return len(ticks) < 4
+	})
+	e.Run()
+	if len(ticks) != 4 {
+		t.Fatalf("ticks = %d, want 4", len(ticks))
+	}
+	for i, tk := range ticks {
+		if want := simtime.FromSeconds(float64(i + 1)); tk != want {
+			t.Fatalf("tick %d at %v, want %v", i, tk, want)
+		}
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := New()
+	for i := 0; i < 5; i++ {
+		e.After(time.Duration(i), func() {})
+	}
+	e.Run()
+	if e.Processed() != 5 {
+		t.Fatalf("Processed = %d, want 5", e.Processed())
+	}
+}
+
+// TestDeterminismUnderRandomLoad schedules a pseudo-random workload twice and
+// requires identical execution traces: the engine is the foundation of every
+// reproducibility claim in this repository.
+func TestDeterminismUnderRandomLoad(t *testing.T) {
+	run := func(seed int64) []simtime.Time {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		var trace []simtime.Time
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			trace = append(trace, e.Now())
+			if depth > 6 {
+				return
+			}
+			for i := 0; i < rng.Intn(3); i++ {
+				d := time.Duration(rng.Intn(1000)) * time.Nanosecond
+				e.After(d, func() { spawn(depth + 1) })
+			}
+		}
+		for i := 0; i < 50; i++ {
+			e.At(simtime.Time(rng.Int63n(1_000_000)), func() { spawn(0) })
+		}
+		e.Run()
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Duration(i%1000)*time.Nanosecond, func() {})
+		if e.Pending() > 1024 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteCSV writes each series of the figure as "<id>_<label>.csv" under
+// dir, two columns (relative error, cumulative fraction), ready for
+// gnuplot/matplotlib. It returns the files written.
+func (f Figure) WriteCSV(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, s := range f.Series {
+		name := fmt.Sprintf("%s_%s.csv", f.ID, slug(s.Label))
+		path := filepath.Join(dir, name)
+		var b strings.Builder
+		b.WriteString("rel_err,cum_frac\n")
+		for _, p := range s.CDF.Points(512) {
+			fmt.Fprintf(&b, "%g,%g\n", p.X, p.Y)
+		}
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			return files, err
+		}
+		files = append(files, path)
+	}
+	return files, nil
+}
+
+// WriteCSV writes Figure 5 as one CSV: utilization, base loss and the two
+// interference columns.
+func (r Fig5Result) WriteCSV(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "fig5_interference.csv")
+	var b strings.Builder
+	b.WriteString("target_util,achieved_util,base_loss,adaptive_diff,static_diff\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%g,%g,%g,%g,%g\n",
+			p.TargetUtil, p.AchievedUtil, p.BaseLoss, p.AdaptiveDiff, p.StaticDiff)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// slug makes a label filesystem-safe.
+func slug(s string) string {
+	repl := strings.NewReplacer(
+		" ", "", ",", "_", "(", "", ")", "", "%", "pct", "/", "-", "..", "-")
+	return repl.Replace(s)
+}

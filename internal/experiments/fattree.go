@@ -1,0 +1,363 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/core"
+	"github.com/netmeasure/rlir/internal/eventsim"
+	"github.com/netmeasure/rlir/internal/netsim"
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/topo"
+	"github.com/netmeasure/rlir/internal/trace"
+)
+
+// DemuxStrategy names the downstream demultiplexing options of §3.1.
+type DemuxStrategy uint8
+
+const (
+	// DemuxNone associates every packet with one arbitrary reference
+	// stream — the paper's "estimates can be totally wrong" baseline.
+	DemuxNone DemuxStrategy = iota
+	// DemuxMark uses ToS packet marking at cores.
+	DemuxMark
+	// DemuxReverseECMP replays upstream hash functions from topology
+	// knowledge.
+	DemuxReverseECMP
+	// DemuxOracle uses simulator ground truth (upper bound).
+	DemuxOracle
+)
+
+func (d DemuxStrategy) String() string {
+	switch d {
+	case DemuxNone:
+		return "none"
+	case DemuxMark:
+		return "marking"
+	case DemuxReverseECMP:
+		return "reverse-ecmp"
+	case DemuxOracle:
+		return "oracle"
+	default:
+		return fmt.Sprintf("strategy(%d)", uint8(d))
+	}
+}
+
+// FatTreeConfig is one RLIR deployment run on a k-ary fat-tree: traffic
+// from every other pod converges on one ToR (T7 in the paper's Figure 1),
+// with RLI instances at source ToR uplinks (upstream senders), cores
+// (receivers for the ToR->core segment, senders for core->ToR), and the
+// destination ToR (downstream receiver using the strategy under test).
+type FatTreeConfig struct {
+	K          int
+	LinkBps    float64
+	QueueBytes int
+	Duration   time.Duration
+	Seed       int64
+	Scheme     core.InjectionScheme
+	Strategy   DemuxStrategy
+	// DestPod / DestToR locate the monitored ToR (default pod K-1, ToR 0).
+	DestPod, DestToR int
+	// LoadFrac is the offered load as a fraction of the destination hosts'
+	// aggregate link capacity.
+	LoadFrac float64
+	// CoreSkew differentiates the physical paths: the link from core (j,i)
+	// toward the destination pod gets (j*K/2+i)*CoreSkew extra propagation
+	// delay (cable length / hop asymmetry). Nonzero skew makes the paths'
+	// latencies genuinely different, which is precisely when demultiplexing
+	// matters: a packet attributed to the wrong reference stream inherits
+	// the wrong path's baseline (§3.1, "the delay of a reference packet
+	// that traverses one path may have no correlation with the delay of a
+	// packet that traverses a different path").
+	CoreSkew time.Duration
+}
+
+// DefaultFatTreeConfig returns a k=4 run at moderate load.
+func DefaultFatTreeConfig() FatTreeConfig {
+	return FatTreeConfig{
+		K: 4, LinkBps: 1e9, QueueBytes: 256 << 10,
+		Duration: 300 * time.Millisecond, Seed: 1,
+		Scheme: core.Static{N: 50}, Strategy: DemuxReverseECMP,
+		DestPod: 3, LoadFrac: 0.55,
+		CoreSkew: 150 * time.Microsecond,
+	}
+}
+
+// FatTreeResult reports one run.
+type FatTreeResult struct {
+	Config FatTreeConfig
+	// Downstream is the per-flow accuracy at the destination ToR (the
+	// segment core->ToR measured with the strategy under test).
+	Downstream core.Summary
+	Results    []core.FlowResult
+	// Misattribution is the fraction of classified packets whose stream
+	// assignment disagrees with ground truth.
+	Misattribution float64
+	// Upstream aggregates the core-resident receivers (prefix demux).
+	Upstream core.Summary
+	// Packets injected.
+	Injected int
+}
+
+// countingDemux wraps a strategy with a ground-truth comparison.
+type countingDemux struct {
+	inner  core.Demux
+	oracle core.Demux
+	agree  uint64
+	total  uint64
+}
+
+func (c *countingDemux) Classify(p *packet.Packet) (core.SenderID, bool) {
+	id, ok := c.inner.Classify(p)
+	if ok {
+		if truth, tok := c.oracle.Classify(p); tok {
+			c.total++
+			if truth == id {
+				c.agree++
+			}
+		}
+	}
+	return id, ok
+}
+
+func (c *countingDemux) Name() string { return "counting(" + c.inner.Name() + ")" }
+
+func (c *countingDemux) misattribution() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return 1 - float64(c.agree)/float64(c.total)
+}
+
+// upstreamSenderID identifies the sender at ToR(p,e) uplink j.
+func upstreamSenderID(h, p, e, j int) core.SenderID {
+	return core.SenderID(1000 + ((p*h+e)*h + j))
+}
+
+// downstreamSenderID identifies the sender at core (j,i).
+func downstreamSenderID(h, j, i int) core.SenderID {
+	return core.SenderID(2000 + j*h + i)
+}
+
+// RunFatTree executes one fat-tree RLIR deployment.
+func RunFatTree(cfg FatTreeConfig) FatTreeResult {
+	if cfg.Scheme == nil {
+		cfg.Scheme = core.Static{N: 50}
+	}
+	eng := eventsim.New()
+	nw := netsim.New(eng)
+	tcfg := topo.DefaultConfig()
+	tcfg.K = cfg.K
+	tcfg.LinkBps = cfg.LinkBps
+	tcfg.QueueBytes = cfg.QueueBytes
+	tcfg.MarkAtCores = cfg.Strategy == DemuxMark
+	ft, err := topo.Build(tcfg, nw)
+	if err != nil {
+		panic(err)
+	}
+	// Ground truth path tracing: needed by the oracle and the
+	// misattribution audit.
+	nw.SetTracePaths(true)
+
+	h := ft.Half()
+	q, e0 := cfg.DestPod, cfg.DestToR
+
+	// Physical path differentiation (see CoreSkew).
+	if cfg.CoreSkew > 0 {
+		for j := 0; j < h; j++ {
+			for i := 0; i < h; i++ {
+				port := ft.CoreDownPort(j, i, q)
+				port.SetPropagation(port.Propagation() + time.Duration(j*h+i)*cfg.CoreSkew)
+			}
+		}
+	}
+
+	// --- Upstream instruments: senders at every source ToR uplink,
+	// receivers at every core (prefix demux, the paper's upstream case).
+	for p := 0; p < cfg.K; p++ {
+		if p == q {
+			continue
+		}
+		for e := 0; e < h; e++ {
+			for j := 0; j < h; j++ {
+				dsts := make([]packet.Addr, h)
+				for i := 0; i < h; i++ {
+					dsts[i] = ft.CoreAddr(j, i)
+				}
+				_, err := core.AttachSender(ft.ToRUplink(p, e, j), core.SenderConfig{
+					ID:        upstreamSenderID(h, p, e, j),
+					Addr:      ft.ToRAddr(p, e),
+					Receivers: dsts,
+					Scheme:    cfg.Scheme,
+				})
+				if err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	var coreReceivers []*core.Receiver
+	for j := 0; j < h; j++ {
+		for i := 0; i < h; i++ {
+			j, i := j, i
+			pd := core.NewPrefixDemux()
+			for p := 0; p < cfg.K; p++ {
+				if p == q {
+					continue
+				}
+				for e := 0; e < h; e++ {
+					// Packets reaching core (j,i) from ToR (p,e) crossed
+					// that ToR's uplink j by construction of core groups.
+					pd.Add(ft.ToRSubnet(p, e), upstreamSenderID(h, p, e, j))
+				}
+			}
+			addr := ft.CoreAddr(j, i)
+			rx, err := core.AttachReceiverIngress(ft.Cores[j][i], core.ReceiverConfig{
+				Demux:     pd,
+				Accept:    func(p *packet.Packet) bool { return p.Kind == packet.Regular },
+				AcceptRef: func(p *packet.Packet) bool { return p.Key.Dst == addr },
+			})
+			if err != nil {
+				panic(err)
+			}
+			coreReceivers = append(coreReceivers, rx)
+		}
+	}
+
+	// --- Downstream instruments: a sender at each core's port toward the
+	// destination pod; one receiver spanning the destination ToR's host
+	// ports, demultiplexing with the strategy under test.
+	refDst := ft.HostAddr(q, e0, 0)
+	for j := 0; j < h; j++ {
+		for i := 0; i < h; i++ {
+			_, err := core.AttachSender(ft.CoreDownPort(j, i, q), core.SenderConfig{
+				ID:        downstreamSenderID(h, j, i),
+				Addr:      ft.CoreAddr(j, i),
+				Receivers: []packet.Addr{refDst},
+				Scheme:    cfg.Scheme,
+			})
+			if err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	oracle := core.NewOracleDemux()
+	for j := 0; j < h; j++ {
+		for i := 0; i < h; i++ {
+			oracle.Add(ft.Cores[j][i].ID(), downstreamSenderID(h, j, i))
+		}
+	}
+	var strategy core.Demux
+	switch cfg.Strategy {
+	case DemuxNone:
+		strategy = core.SingleDemux{ID: downstreamSenderID(h, 0, 0)}
+	case DemuxMark:
+		md := core.NewMarkDemux()
+		for j := 0; j < h; j++ {
+			for i := 0; i < h; i++ {
+				md.Add(ft.CoreMark(j, i), downstreamSenderID(h, j, i))
+			}
+		}
+		strategy = md
+	case DemuxReverseECMP:
+		strategy = core.FuncDemux{
+			Label: "reverse-ecmp",
+			F: func(p *packet.Packet) (core.SenderID, bool) {
+				j, i, err := ft.ResolveCore(p.Key)
+				if err != nil {
+					return 0, false
+				}
+				return downstreamSenderID(h, j, i), true
+			},
+		}
+	case DemuxOracle:
+		strategy = oracle
+	default:
+		panic(fmt.Sprintf("experiments: unknown strategy %v", cfg.Strategy))
+	}
+	counting := &countingDemux{inner: strategy, oracle: oracle}
+
+	downRx, err := core.NewReceiver(core.ReceiverConfig{
+		Demux:  counting,
+		Accept: func(p *packet.Packet) bool { return p.Kind == packet.Regular },
+	})
+	if err != nil {
+		panic(err)
+	}
+	for hh := 0; hh < h; hh++ {
+		ft.ToRHostPort(q, e0, hh).OnTxStart(downRx.Observe)
+	}
+
+	// --- Workload: flows from every other pod's hosts to the destination
+	// ToR's hosts, remapped from the synthetic generator onto valid hosts.
+	gcfg := trace.DefaultConfig()
+	gcfg.Seed = cfg.Seed
+	gcfg.Duration = cfg.Duration
+	gcfg.TargetBps = cfg.LoadFrac * float64(h) * cfg.LinkBps
+	capFlowLen(&gcfg)
+	gen := trace.NewGenerator(gcfg)
+	injected := 0
+	for {
+		rec, ok := gen.Next()
+		if !ok {
+			break
+		}
+		hash := rec.Key.FastHash()
+		p := int(hash % uint64(cfg.K-1))
+		if p >= q {
+			p++ // skip the destination pod
+		}
+		se := int(hash >> 8 % uint64(h))
+		sh := int(hash >> 16 % uint64(h))
+		dh := int(hash >> 24 % uint64(h))
+		key := rec.Key
+		key.Src = ft.HostAddr(p, se, sh)
+		key.Dst = ft.HostAddr(q, e0, dh)
+		pk := &packet.Packet{ID: nw.NewPacketID(), Key: key, Size: rec.Size, Kind: packet.Regular}
+		nw.Inject(ft.Hosts[p][se][sh], pk, rec.At)
+		injected++
+	}
+	eng.Run()
+
+	res := FatTreeResult{Config: cfg, Injected: injected}
+	res.Results = downRx.Results(1)
+	res.Downstream = core.Summarize(res.Results)
+	res.Misattribution = counting.misattribution()
+	var upResults []core.FlowResult
+	for _, rx := range coreReceivers {
+		upResults = append(upResults, rx.Results(1)...)
+	}
+	res.Upstream = core.Summarize(upResults)
+	return res
+}
+
+// AblationDemux runs every strategy on the identical workload (A1 in
+// DESIGN.md): it shows prefix/mark/reverse-ECMP matching the oracle and the
+// no-demux baseline degrading, the paper's "totally wrong" claim.
+func AblationDemux(cfg FatTreeConfig) []FatTreeResult {
+	strategies := []DemuxStrategy{DemuxOracle, DemuxReverseECMP, DemuxMark, DemuxNone}
+	out := make([]FatTreeResult, 0, len(strategies))
+	for _, s := range strategies {
+		c := cfg
+		c.Strategy = s
+		out = append(out, RunFatTree(c))
+	}
+	return out
+}
+
+// RenderAblationDemux formats A1 as a table.
+func RenderAblationDemux(results []FatTreeResult) string {
+	var b strings.Builder
+	b.WriteString("== A1: downstream demultiplexing strategies (k-ary fat-tree) ==\n")
+	fmt.Fprintf(&b, "%-14s %-8s %-14s %-14s %-12s %-12s\n",
+		"strategy", "flows", "medianRelErr", "under10%", "misattrib", "upstreamMed")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-14s %-8d %-14.4f %-14.1f %-12.4f %-12.4f\n",
+			r.Config.Strategy, r.Downstream.Flows, r.Downstream.MedianRelErr,
+			r.Downstream.FracUnder10Pct*100, r.Misattribution, r.Upstream.MedianRelErr)
+	}
+	b.WriteString("note: paper §3.1 — without demux, estimates at multiplexed receivers 'can be totally wrong'\n")
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func smallLoc() LocalizationConfig {
+	cfg := DefaultLocalizationConfig()
+	cfg.Duration = 120 * time.Millisecond
+	return cfg
+}
+
+func TestLocalizationDstAggFault(t *testing.T) {
+	cfg := smallLoc()
+	cfg.Site = AnomalyDstAgg
+	cfg.AggIndex = 0
+	res := RunLocalization(cfg)
+
+	if len(res.Baseline) != 8 || len(res.Faulty) != 8 {
+		t.Fatalf("segments = %d/%d, want 8 (4 up + 4 down)", len(res.Baseline), len(res.Faulty))
+	}
+	if len(res.Anomalies) == 0 {
+		t.Fatal("fault not detected")
+	}
+	if !res.Localized() {
+		t.Fatalf("mislocalized: flagged %v, expected %v", res.Anomalies, res.ExpectedSegments)
+	}
+	// The flagged segments must be downstream segments of group 0.
+	for _, a := range res.Anomalies {
+		if !strings.HasPrefix(a.Segment, "C(0,") {
+			t.Fatalf("flagged wrong segment %q", a.Segment)
+		}
+	}
+	if res.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestLocalizationSrcAggFault(t *testing.T) {
+	cfg := smallLoc()
+	cfg.Site = AnomalySrcAgg
+	cfg.AggIndex = 1
+	res := RunLocalization(cfg)
+	if !res.Localized() {
+		t.Fatalf("mislocalized: flagged %v, expected %v", res.Anomalies, res.ExpectedSegments)
+	}
+	for _, a := range res.Anomalies {
+		if !strings.HasPrefix(a.Segment, "T1->C(1,") {
+			t.Fatalf("flagged wrong segment %q", a.Segment)
+		}
+	}
+}
+
+func TestLocalizationHealthyNetworkQuiet(t *testing.T) {
+	cfg := smallLoc()
+	cfg.Site = AnomalyNone
+	res := RunLocalization(cfg)
+	if len(res.Anomalies) != 0 {
+		t.Fatalf("false positives on a healthy network: %v", res.Anomalies)
+	}
+	if !res.Localized() {
+		t.Fatal("healthy network should report localized=true (no expectations, no flags)")
+	}
+}
+
+func TestAnomalySiteString(t *testing.T) {
+	for _, s := range []AnomalySite{AnomalyNone, AnomalySrcAgg, AnomalyDstAgg, AnomalySite(9)} {
+		if s.String() == "" {
+			t.Fatal("empty site name")
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package lda
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/simtime"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Banks: 0, Rows: 8, SampleBase: 2},
+		{Banks: 1, Rows: 0, SampleBase: 2},
+		{Banks: 1, Rows: 8, SampleBase: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestZeroLossExactAverage(t *testing.T) {
+	// With no loss, the estimate equals the exact average delay of the
+	// packets the first (unsampled) bank captured — which is all of them.
+	cfg := DefaultConfig()
+	s, r := New(cfg), New(cfg)
+	rng := rand.New(rand.NewSource(1))
+
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sent := simtime.Time(int64(i) * 1000)
+		d := time.Duration(rng.Intn(100)) * time.Microsecond
+		sum += d
+		s.Record(uint64(i), sent)
+		r.Record(uint64(i), sent.Add(d))
+	}
+	est, err := Extract(s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := sum / n
+	if est.UsablePackets == 0 {
+		t.Fatal("no usable packets")
+	}
+	if est.LossEstimate != 0 {
+		t.Fatalf("loss = %v, want 0", est.LossEstimate)
+	}
+	// Bank 0 is unsampled, so all packets land in usable buckets: the
+	// estimate over bank 0 alone is exact; banks 1+ resample the same
+	// packets, keeping the weighted estimate within sampling noise.
+	if diff := math.Abs(float64(est.MeanDelay - exact)); diff > float64(2*time.Microsecond) {
+		t.Fatalf("estimate %v vs exact %v", est.MeanDelay, exact)
+	}
+}
+
+func TestLossInvalidatesOnlyTouchedBuckets(t *testing.T) {
+	cfg := Config{Banks: 2, Rows: 32, SampleBase: 8, Seed: 9}
+	s, r := New(cfg), New(cfg)
+	rng := rand.New(rand.NewSource(2))
+
+	const n = 10000
+	lost := 0
+	for i := 0; i < n; i++ {
+		sent := simtime.Time(int64(i) * 1000)
+		s.Record(uint64(i), sent)
+		if rng.Float64() < 0.02 { // 2% loss
+			lost++
+			continue
+		}
+		r.Record(uint64(i), sent.Add(50*time.Microsecond))
+	}
+	est, err := Extract(s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.UsableBuckets == 0 {
+		t.Fatal("all buckets unusable at 2% loss: banks not doing their job")
+	}
+	if est.UsableBuckets == est.TotalBuckets {
+		t.Fatal("loss should invalidate some buckets")
+	}
+	// Usable buckets saw no loss, so the mean over them is exact.
+	if est.MeanDelay != 50*time.Microsecond {
+		t.Fatalf("mean = %v, want exactly 50µs", est.MeanDelay)
+	}
+	if est.LossEstimate <= 0 {
+		t.Fatal("loss estimate should be positive")
+	}
+	if math.Abs(est.LossEstimate-float64(lost)/n) > 0.02 {
+		t.Fatalf("loss estimate %.4f far from true %.4f", est.LossEstimate, float64(lost)/n)
+	}
+}
+
+func TestHighLossStillRecoversFromSampledBanks(t *testing.T) {
+	// At 30% loss the dense bank is useless; sampled banks must keep a few
+	// usable buckets (that is LDA's entire point).
+	cfg := Config{Banks: 4, Rows: 64, SampleBase: 16, Seed: 4}
+	s, r := New(cfg), New(cfg)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200000; i++ {
+		sent := simtime.Time(int64(i) * 500)
+		s.Record(uint64(i), sent)
+		if rng.Float64() < 0.30 {
+			continue
+		}
+		r.Record(uint64(i), sent.Add(80*time.Microsecond))
+	}
+	est, err := Extract(s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.UsablePackets == 0 {
+		t.Fatal("no usable packets at 30% loss")
+	}
+	if est.MeanDelay != 80*time.Microsecond {
+		t.Fatalf("mean = %v, want exactly 80µs", est.MeanDelay)
+	}
+}
+
+func TestMismatchedConfigsRejected(t *testing.T) {
+	a := New(Config{Banks: 2, Rows: 8, SampleBase: 2, Seed: 1})
+	b := New(Config{Banks: 2, Rows: 8, SampleBase: 2, Seed: 2})
+	if _, err := Extract(a, b); err == nil {
+		t.Fatal("different seeds should be rejected")
+	}
+}
+
+func TestEmptyExtract(t *testing.T) {
+	cfg := DefaultConfig()
+	est, err := Extract(New(cfg), New(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MeanDelay != 0 || est.UsablePackets != 0 || est.LossEstimate != 0 {
+		t.Fatalf("empty estimate = %+v", est)
+	}
+	if est.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestDeterministicSampling(t *testing.T) {
+	cfg := DefaultConfig()
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 1000; i++ {
+		a.Record(uint64(i), simtime.Time(i))
+		b.Record(uint64(i), simtime.Time(i))
+	}
+	if a.Seen() != b.Seen() {
+		t.Fatal("seen counts differ")
+	}
+	est, err := Extract(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical streams at identical instants: zero mean, zero loss, all
+	// non-empty buckets usable.
+	if est.MeanDelay != 0 || est.LossEstimate != 0 {
+		t.Fatalf("est = %+v", est)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	l := New(DefaultConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Record(uint64(i), simtime.Time(i))
+	}
+}

@@ -1,0 +1,157 @@
+// Package lpm implements a longest-prefix-match table over IPv4 prefixes as
+// a binary trie.
+//
+// RLIR receivers use LPM twice (paper §3.1): upstream, to identify which ToR
+// a regular packet originated from ("upstream RLI receivers need to perform
+// simple IP prefix matching"); downstream, to separate upstream senders from
+// core-facing ones before applying marking or reverse-ECMP resolution.
+// Switches also use it as their forwarding table.
+package lpm
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/netmeasure/rlir/internal/packet"
+)
+
+// Table maps IPv4 prefixes to values of type V with longest-prefix-match
+// lookup. The zero value... is not usable; create one with New.
+type Table[V any] struct {
+	root *node[V]
+	size int
+}
+
+type node[V any] struct {
+	child [2]*node[V]
+	val   V
+	set   bool
+}
+
+// New returns an empty table.
+func New[V any]() *Table[V] {
+	return &Table[V]{root: &node[V]{}}
+}
+
+// Len returns the number of installed prefixes.
+func (t *Table[V]) Len() int { return t.size }
+
+func bit(a packet.Addr, i int) int {
+	return int(uint32(a)>>(31-uint(i))) & 1
+}
+
+// Insert installs or replaces the value for prefix p. It reports whether the
+// prefix was newly added (false means an existing entry was replaced).
+func (t *Table[V]) Insert(p packet.Prefix, v V) bool {
+	if p.Len < 0 || p.Len > 32 {
+		panic(fmt.Sprintf("lpm: invalid prefix length %d", p.Len))
+	}
+	n := t.root
+	for i := 0; i < p.Len; i++ {
+		b := bit(p.Addr, i)
+		if n.child[b] == nil {
+			n.child[b] = &node[V]{}
+		}
+		n = n.child[b]
+	}
+	added := !n.set
+	n.val, n.set = v, true
+	if added {
+		t.size++
+	}
+	return added
+}
+
+// Lookup returns the value of the longest installed prefix containing a.
+func (t *Table[V]) Lookup(a packet.Addr) (V, bool) {
+	var (
+		best  V
+		found bool
+	)
+	n := t.root
+	for i := 0; ; i++ {
+		if n.set {
+			best, found = n.val, true
+		}
+		if i == 32 {
+			break
+		}
+		n = n.child[bit(a, i)]
+		if n == nil {
+			break
+		}
+	}
+	return best, found
+}
+
+// LookupPrefix returns the value installed for exactly p, if any.
+func (t *Table[V]) LookupPrefix(p packet.Prefix) (V, bool) {
+	n := t.root
+	for i := 0; i < p.Len; i++ {
+		n = n.child[bit(p.Addr, i)]
+		if n == nil {
+			var zero V
+			return zero, false
+		}
+	}
+	if !n.set {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Remove deletes the entry for exactly p and reports whether it existed.
+// Interior nodes are not pruned; tables in this codebase are built once and
+// queried millions of times, so reclaiming a handful of nodes is not worth
+// the code.
+func (t *Table[V]) Remove(p packet.Prefix) bool {
+	n := t.root
+	for i := 0; i < p.Len; i++ {
+		n = n.child[bit(p.Addr, i)]
+		if n == nil {
+			return false
+		}
+	}
+	if !n.set {
+		return false
+	}
+	var zero V
+	n.val, n.set = zero, false
+	t.size--
+	return true
+}
+
+// Walk visits every installed (prefix, value) pair in lexicographic bit
+// order. Returning false from fn stops the walk.
+func (t *Table[V]) Walk(fn func(p packet.Prefix, v V) bool) {
+	t.walk(t.root, 0, 0, fn)
+}
+
+func (t *Table[V]) walk(n *node[V], addr uint32, depth int, fn func(p packet.Prefix, v V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.set {
+		if !fn(packet.Prefix{Addr: packet.Addr(addr), Len: depth}, n.val) {
+			return false
+		}
+	}
+	if depth == 32 {
+		return true
+	}
+	if !t.walk(n.child[0], addr, depth+1, fn) {
+		return false
+	}
+	return t.walk(n.child[1], addr|1<<(31-uint(depth)), depth+1, fn)
+}
+
+// String lists the table contents, one prefix per line.
+func (t *Table[V]) String() string {
+	var b strings.Builder
+	t.Walk(func(p packet.Prefix, v V) bool {
+		fmt.Fprintf(&b, "%s -> %v\n", p, v)
+		return true
+	})
+	return b.String()
+}

@@ -1,0 +1,222 @@
+package lpm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/netmeasure/rlir/internal/packet"
+)
+
+func pfx(s string) packet.Prefix { return packet.MustParsePrefix(s) }
+func addr(s string) packet.Addr  { return packet.MustParseAddr(s) }
+
+func TestLookupLongestMatch(t *testing.T) {
+	tb := New[string]()
+	tb.Insert(pfx("0.0.0.0/0"), "default")
+	tb.Insert(pfx("10.0.0.0/8"), "ten")
+	tb.Insert(pfx("10.1.0.0/16"), "ten-one")
+	tb.Insert(pfx("10.1.2.0/24"), "ten-one-two")
+
+	cases := []struct {
+		a    string
+		want string
+	}{
+		{"10.1.2.3", "ten-one-two"},
+		{"10.1.3.3", "ten-one"},
+		{"10.2.0.1", "ten"},
+		{"192.168.0.1", "default"},
+	}
+	for _, c := range cases {
+		got, ok := tb.Lookup(addr(c.a))
+		if !ok || got != c.want {
+			t.Errorf("Lookup(%s) = %q/%v, want %q", c.a, got, ok, c.want)
+		}
+	}
+}
+
+func TestLookupMissWithoutDefault(t *testing.T) {
+	tb := New[int]()
+	tb.Insert(pfx("10.0.0.0/8"), 1)
+	if _, ok := tb.Lookup(addr("11.0.0.1")); ok {
+		t.Fatal("lookup outside installed prefixes should miss")
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	tb := New[int]()
+	if !tb.Insert(pfx("10.0.0.0/8"), 1) {
+		t.Fatal("first insert should report added")
+	}
+	if tb.Insert(pfx("10.0.0.0/8"), 2) {
+		t.Fatal("second insert should report replaced")
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tb.Len())
+	}
+	got, _ := tb.Lookup(addr("10.9.9.9"))
+	if got != 2 {
+		t.Fatalf("value = %d, want replacement 2", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tb := New[int]()
+	tb.Insert(pfx("10.0.0.0/8"), 1)
+	tb.Insert(pfx("10.1.0.0/16"), 2)
+	if !tb.Remove(pfx("10.1.0.0/16")) {
+		t.Fatal("remove existing should report true")
+	}
+	if tb.Remove(pfx("10.1.0.0/16")) {
+		t.Fatal("remove twice should report false")
+	}
+	if tb.Remove(pfx("172.16.0.0/12")) {
+		t.Fatal("remove absent should report false")
+	}
+	got, ok := tb.Lookup(addr("10.1.2.3"))
+	if !ok || got != 1 {
+		t.Fatalf("after remove, Lookup = %d/%v, want 1", got, ok)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestLookupPrefixExact(t *testing.T) {
+	tb := New[int]()
+	tb.Insert(pfx("10.1.0.0/16"), 5)
+	if v, ok := tb.LookupPrefix(pfx("10.1.0.0/16")); !ok || v != 5 {
+		t.Fatalf("exact lookup = %d/%v", v, ok)
+	}
+	if _, ok := tb.LookupPrefix(pfx("10.1.0.0/17")); ok {
+		t.Fatal("longer prefix should miss exact lookup")
+	}
+	if _, ok := tb.LookupPrefix(pfx("10.0.0.0/8")); ok {
+		t.Fatal("shorter prefix should miss exact lookup")
+	}
+}
+
+func TestZeroLengthPrefixIsDefaultRoute(t *testing.T) {
+	tb := New[string]()
+	tb.Insert(packet.Prefix{Len: 0}, "everything")
+	for _, a := range []string{"0.0.0.0", "255.255.255.255", "10.1.2.3"} {
+		if got, ok := tb.Lookup(addr(a)); !ok || got != "everything" {
+			t.Fatalf("Lookup(%s) = %q/%v", a, got, ok)
+		}
+	}
+}
+
+func TestHostRoute(t *testing.T) {
+	tb := New[int]()
+	tb.Insert(pfx("10.1.2.3/32"), 9)
+	if v, ok := tb.Lookup(addr("10.1.2.3")); !ok || v != 9 {
+		t.Fatal("host route should match exactly")
+	}
+	if _, ok := tb.Lookup(addr("10.1.2.2")); ok {
+		t.Fatal("host route should not match neighbours")
+	}
+}
+
+func TestWalkOrderAndCompleteness(t *testing.T) {
+	tb := New[int]()
+	entries := []string{"10.0.0.0/8", "10.1.0.0/16", "192.168.0.0/24", "0.0.0.0/0"}
+	for i, s := range entries {
+		tb.Insert(pfx(s), i)
+	}
+	var seen []packet.Prefix
+	tb.Walk(func(p packet.Prefix, v int) bool {
+		seen = append(seen, p)
+		return true
+	})
+	if len(seen) != len(entries) {
+		t.Fatalf("walk visited %d entries, want %d", len(seen), len(entries))
+	}
+	// Early termination.
+	count := 0
+	tb.Walk(func(p packet.Prefix, v int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early-stop walk visited %d", count)
+	}
+}
+
+// TestAgainstBruteForce cross-checks LPM against a linear scan over random
+// prefix sets: the table must always return the longest covering prefix.
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		tb := New[int]()
+		var prefixes []packet.Prefix
+		for i := 0; i < 100; i++ {
+			p := packet.Prefix{Addr: packet.Addr(rng.Uint32()), Len: rng.Intn(33)}
+			p = p.Canonical()
+			if _, dup := tb.LookupPrefix(p); dup {
+				continue
+			}
+			tb.Insert(p, len(prefixes))
+			prefixes = append(prefixes, p)
+		}
+		for probe := 0; probe < 500; probe++ {
+			a := packet.Addr(rng.Uint32())
+			bestIdx, bestLen, found := -1, -1, false
+			for i, p := range prefixes {
+				if p.Contains(a) && p.Len > bestLen {
+					bestIdx, bestLen, found = i, p.Len, true
+				}
+			}
+			got, ok := tb.Lookup(a)
+			if ok != found {
+				t.Fatalf("Lookup(%v) found=%v, brute=%v", a, ok, found)
+			}
+			if found && got != bestIdx {
+				// Equal-length duplicates are impossible (dedup above), so
+				// indices must agree.
+				t.Fatalf("Lookup(%v) = prefix %d (%v), brute force %d (%v)",
+					a, got, prefixes[got], bestIdx, prefixes[bestIdx])
+			}
+		}
+	}
+}
+
+func TestInsertLookupProperty(t *testing.T) {
+	// Any inserted canonical prefix must be found by addresses inside it
+	// unless a longer prefix shadows them — with a single entry there is no
+	// shadowing.
+	f := func(a uint32, l uint8) bool {
+		p := packet.Prefix{Addr: packet.Addr(a), Len: int(l % 33)}.Canonical()
+		tb := New[bool]()
+		tb.Insert(p, true)
+		v, ok := tb.Lookup(p.Addr)
+		return ok && v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	tb := New[int]()
+	tb.Insert(pfx("10.0.0.0/8"), 1)
+	if tb.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tb := New[int]()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		tb.Insert(packet.Prefix{Addr: packet.Addr(rng.Uint32()), Len: 8 + rng.Intn(25)}.Canonical(), i)
+	}
+	probes := make([]packet.Addr, 1024)
+	for i := range probes {
+		probes[i] = packet.Addr(rng.Uint32())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(probes[i&1023])
+	}
+}

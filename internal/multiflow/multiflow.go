@@ -1,0 +1,69 @@
+// Package multiflow implements the Multiflow estimator of Lee et al.
+// (INFOCOM 2010, the paper's reference [12]): per-flow latency from only
+// the two timestamps NetFlow already keeps.
+//
+// Given a flow's record at an upstream and a downstream measurement point,
+// the delay estimate is the average of the first-packet delay and the
+// last-packet delay:
+//
+//	est = ((first_down - first_up) + (last_down - last_up)) / 2
+//
+// It is the "crude" per-flow baseline RLI improves on: two samples per flow
+// regardless of flow length, no visibility inside the flow.
+package multiflow
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/netflow"
+	"github.com/netmeasure/rlir/internal/packet"
+)
+
+// FlowEstimate is one flow's two-sample delay estimate.
+type FlowEstimate struct {
+	Key packet.FlowKey
+	// Mean is the Multiflow delay estimate.
+	Mean time.Duration
+	// FirstDelay and LastDelay are the two underlying samples.
+	FirstDelay time.Duration
+	LastDelay  time.Duration
+	// Packets is the downstream packet count (for weighting).
+	Packets uint64
+	// Mismatched marks flows whose packet counts differ between the
+	// points: loss or reordering crossed the flow, so the first/last
+	// pairing may not correspond to the same packets.
+	Mismatched bool
+}
+
+// Estimate pairs upstream and downstream records by flow key. Flows seen at
+// only one point are skipped; flows with differing packet counts are
+// flagged Mismatched but still estimated, as the original estimator does.
+func Estimate(up, down []netflow.Record) []FlowEstimate {
+	byKey := make(map[packet.FlowKey]netflow.Record, len(up))
+	for _, r := range up {
+		byKey[r.Key] = r
+	}
+	out := make([]FlowEstimate, 0, len(down))
+	for _, d := range down {
+		u, ok := byKey[d.Key]
+		if !ok {
+			continue
+		}
+		first := d.First.Sub(u.First)
+		last := d.Last.Sub(u.Last)
+		out = append(out, FlowEstimate{
+			Key:        d.Key,
+			Mean:       (first + last) / 2,
+			FirstDelay: first,
+			LastDelay:  last,
+			Packets:    d.Packets,
+			Mismatched: d.Packets != u.Packets,
+		})
+	}
+	return out
+}
+
+func (f FlowEstimate) String() string {
+	return fmt.Sprintf("multiflow{%s mean=%v first=%v last=%v}", f.Key, f.Mean, f.FirstDelay, f.LastDelay)
+}

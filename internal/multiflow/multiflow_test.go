@@ -1,0 +1,96 @@
+package multiflow
+
+import (
+	"testing"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/netflow"
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/simtime"
+)
+
+var key = packet.FlowKey{Src: packet.AddrFrom4(10, 1, 0, 1), Dst: packet.AddrFrom4(10, 2, 0, 1), SrcPort: 5, DstPort: 80, Proto: packet.ProtoTCP}
+
+func at(us int) simtime.Time { return simtime.FromDuration(time.Duration(us) * time.Microsecond) }
+
+func rec(k packet.FlowKey, first, last simtime.Time, pkts uint64) netflow.Record {
+	return netflow.Record{Key: k, First: first, Last: last, Packets: pkts}
+}
+
+func TestTwoSampleAverage(t *testing.T) {
+	up := []netflow.Record{rec(key, at(0), at(100), 10)}
+	down := []netflow.Record{rec(key, at(40), at(160), 10)}
+	got := Estimate(up, down)
+	if len(got) != 1 {
+		t.Fatalf("estimates = %d", len(got))
+	}
+	e := got[0]
+	if e.FirstDelay != 40*time.Microsecond || e.LastDelay != 60*time.Microsecond {
+		t.Fatalf("samples = %v/%v", e.FirstDelay, e.LastDelay)
+	}
+	if e.Mean != 50*time.Microsecond {
+		t.Fatalf("mean = %v, want 50µs", e.Mean)
+	}
+	if e.Mismatched {
+		t.Fatal("equal counts flagged mismatched")
+	}
+	if e.Packets != 10 {
+		t.Fatalf("packets = %d", e.Packets)
+	}
+}
+
+func TestUnpairedFlowsSkipped(t *testing.T) {
+	other := key
+	other.SrcPort = 99
+	up := []netflow.Record{rec(key, at(0), at(10), 1)}
+	down := []netflow.Record{rec(other, at(5), at(15), 1)}
+	if got := Estimate(up, down); len(got) != 0 {
+		t.Fatalf("unpaired flows estimated: %v", got)
+	}
+}
+
+func TestMismatchFlagged(t *testing.T) {
+	up := []netflow.Record{rec(key, at(0), at(100), 12)}
+	down := []netflow.Record{rec(key, at(40), at(150), 10)} // 2 lost
+	got := Estimate(up, down)
+	if len(got) != 1 || !got[0].Mismatched {
+		t.Fatalf("loss not flagged: %+v", got)
+	}
+}
+
+func TestSinglePacketFlow(t *testing.T) {
+	// First == Last on both sides: both samples are the same packet and the
+	// estimate is its exact delay.
+	up := []netflow.Record{rec(key, at(10), at(10), 1)}
+	down := []netflow.Record{rec(key, at(35), at(35), 1)}
+	got := Estimate(up, down)
+	if got[0].Mean != 25*time.Microsecond {
+		t.Fatalf("mean = %v, want 25µs", got[0].Mean)
+	}
+}
+
+func TestManyFlows(t *testing.T) {
+	var up, down []netflow.Record
+	for i := 0; i < 100; i++ {
+		k := key
+		k.SrcPort = uint16(i + 1)
+		up = append(up, rec(k, at(i*10), at(i*10+500), 5))
+		down = append(down, rec(k, at(i*10+20), at(i*10+520), 5))
+	}
+	got := Estimate(up, down)
+	if len(got) != 100 {
+		t.Fatalf("estimates = %d", len(got))
+	}
+	for _, e := range got {
+		if e.Mean != 20*time.Microsecond {
+			t.Fatalf("mean = %v, want 20µs", e.Mean)
+		}
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	e := FlowEstimate{Key: key, Mean: time.Microsecond}
+	if e.String() == "" {
+		t.Fatal("empty String")
+	}
+}

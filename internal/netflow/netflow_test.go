@@ -1,0 +1,157 @@
+package netflow
+
+import (
+	"testing"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/simtime"
+)
+
+var k1 = packet.FlowKey{Src: packet.AddrFrom4(10, 0, 0, 1), Dst: packet.AddrFrom4(10, 0, 0, 2), SrcPort: 1, DstPort: 2, Proto: packet.ProtoTCP}
+var k2 = packet.FlowKey{Src: packet.AddrFrom4(10, 0, 0, 3), Dst: packet.AddrFrom4(10, 0, 0, 4), SrcPort: 3, DstPort: 4, Proto: packet.ProtoUDP}
+
+func at(ms int) simtime.Time { return simtime.FromDuration(time.Duration(ms) * time.Millisecond) }
+
+func TestObserveAccumulates(t *testing.T) {
+	m := NewMeter(Config{})
+	m.Observe(k1, 100, at(1))
+	m.Observe(k1, 200, at(5))
+	m.Observe(k2, 50, at(3))
+
+	r, ok := m.Lookup(k1)
+	if !ok {
+		t.Fatal("k1 missing")
+	}
+	if r.Packets != 2 || r.Bytes != 300 {
+		t.Fatalf("record = %+v", r)
+	}
+	if r.First != at(1) || r.Last != at(5) {
+		t.Fatalf("timestamps = [%v,%v]", r.First, r.Last)
+	}
+	if r.Duration() != 4*time.Millisecond {
+		t.Fatalf("Duration = %v", r.Duration())
+	}
+	if m.Active() != 2 || m.Seen() != 3 {
+		t.Fatalf("active=%d seen=%d", m.Active(), m.Seen())
+	}
+}
+
+func TestSinglePacketFlowTimestampsEqual(t *testing.T) {
+	m := NewMeter(Config{})
+	m.Observe(k1, 64, at(7))
+	r, _ := m.Lookup(k1)
+	if r.First != r.Last || r.Duration() != 0 {
+		t.Fatalf("single-packet record = %+v", r)
+	}
+}
+
+func TestIdleTimeout(t *testing.T) {
+	var exported []Record
+	m := NewMeter(Config{
+		IdleTimeout: 10 * time.Millisecond,
+		Export:      func(r Record) { exported = append(exported, r) },
+	})
+	m.Observe(k1, 100, at(0))
+	m.Observe(k2, 100, at(8))
+
+	if n := m.Sweep(at(9)); n != 0 {
+		t.Fatalf("premature expiry of %d", n)
+	}
+	if n := m.Sweep(at(12)); n != 1 {
+		t.Fatalf("expired %d, want 1 (k1 idle)", n)
+	}
+	if len(exported) != 1 || exported[0].Key != k1 {
+		t.Fatalf("exported = %+v", exported)
+	}
+	if _, ok := m.Lookup(k1); ok {
+		t.Fatal("k1 should be gone")
+	}
+	if _, ok := m.Lookup(k2); !ok {
+		t.Fatal("k2 should remain")
+	}
+}
+
+func TestActiveTimeout(t *testing.T) {
+	var exported []Record
+	m := NewMeter(Config{
+		ActiveTimeout: 20 * time.Millisecond,
+		Export:        func(r Record) { exported = append(exported, r) },
+	})
+	// Flow stays busy, never idle, but exceeds active lifetime.
+	for ms := 0; ms < 30; ms++ {
+		m.Observe(k1, 10, at(ms))
+		m.Sweep(at(ms))
+	}
+	if len(exported) == 0 {
+		t.Fatal("active timeout never fired")
+	}
+	// The flow re-opens after expiry; total packets across records plus the
+	// open record must equal 30.
+	var total uint64
+	for _, r := range exported {
+		total += r.Packets
+	}
+	if r, ok := m.Lookup(k1); ok {
+		total += r.Packets
+	}
+	if total != 30 {
+		t.Fatalf("packets accounted = %d, want 30", total)
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	var exported []Record
+	m := NewMeter(Config{Export: func(r Record) { exported = append(exported, r) }})
+	m.Observe(k1, 1500, at(1))
+	m.Observe(k2, 1500, at(2))
+	if n := m.FlushAll(); n != 2 {
+		t.Fatalf("flushed %d", n)
+	}
+	if m.Active() != 0 || len(exported) != 2 {
+		t.Fatalf("active=%d exported=%d", m.Active(), len(exported))
+	}
+	if m.Expired() != 2 {
+		t.Fatalf("Expired = %d", m.Expired())
+	}
+}
+
+func TestZeroTimeoutsNeverExpire(t *testing.T) {
+	m := NewMeter(Config{})
+	m.Observe(k1, 100, at(0))
+	if n := m.Sweep(at(1_000_000)); n != 0 {
+		t.Fatalf("zero timeouts expired %d flows", n)
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	m := NewMeter(Config{})
+	m.Observe(k1, 100, at(1))
+	snap := m.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot = %d records", len(snap))
+	}
+	snap[0].Packets = 999
+	r, _ := m.Lookup(k1)
+	if r.Packets != 1 {
+		t.Fatal("snapshot aliases live record")
+	}
+}
+
+func TestNilExportSafe(t *testing.T) {
+	m := NewMeter(Config{IdleTimeout: time.Millisecond})
+	m.Observe(k1, 100, at(0))
+	m.Sweep(at(10)) // must not panic with nil Export
+	if m.Active() != 0 {
+		t.Fatal("flow not expired")
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	m := NewMeter(Config{})
+	m.Observe(k1, 100, at(1))
+	r, _ := m.Lookup(k1)
+	if r.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,106 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/eventsim"
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/simtime"
+)
+
+func TestSetProcDelayChangesLatency(t *testing.T) {
+	link := LinkConfig{RateBps: 1e9}
+	eng, nw, src, sw, dst := buildLine(t, link, link)
+
+	var arrivals []simtime.Time
+	dst.OnDeliver(func(p *packet.Packet, now simtime.Time) { arrivals = append(arrivals, now) })
+
+	nw.Inject(src, mkpkt(1, 1000), simtime.Zero)
+	// Inject the anomaly mid-run via an event so determinism holds.
+	eng.At(simtime.FromDuration(time.Millisecond), func() {
+		sw.SetProcDelay(sw.ProcDelay() + 300*time.Microsecond)
+	})
+	nw.Inject(src, mkpkt(2, 1000), simtime.FromDuration(2*time.Millisecond))
+	eng.Run()
+
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %d", len(arrivals))
+	}
+	// Second packet pays exactly 300µs more end-to-end.
+	base := arrivals[0].Sub(simtime.Zero)
+	slow := arrivals[1].Sub(simtime.FromDuration(2 * time.Millisecond))
+	if slow-base != 300*time.Microsecond {
+		t.Fatalf("anomaly delta = %v, want 300µs", slow-base)
+	}
+}
+
+func TestSetProcDelayRejectsNegative(t *testing.T) {
+	link := LinkConfig{RateBps: 1e9}
+	_, _, _, sw, _ := buildLine(t, link, link)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sw.SetProcDelay(-time.Nanosecond)
+}
+
+func TestSetPropagationChangesLatency(t *testing.T) {
+	link := LinkConfig{RateBps: 1e9}
+	eng, nw, src, sw, dst := buildLine(t, link, link)
+
+	sw.Port(0).SetPropagation(450 * time.Microsecond)
+	if got := sw.Port(0).Propagation(); got != 450*time.Microsecond {
+		t.Fatalf("Propagation = %v", got)
+	}
+
+	var at simtime.Time
+	dst.OnDeliver(func(p *packet.Packet, now simtime.Time) { at = now })
+	nw.Inject(src, mkpkt(1, 1000), simtime.Zero)
+	eng.Run()
+
+	// tx(8µs) + tx(8µs) + prop(450µs) = 466µs.
+	if want := simtime.FromDuration(466 * time.Microsecond); at != want {
+		t.Fatalf("arrival = %v, want %v", at, want)
+	}
+}
+
+func TestSetPropagationRejectsNegative(t *testing.T) {
+	link := LinkConfig{RateBps: 1e9}
+	_, _, _, sw, _ := buildLine(t, link, link)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sw.Port(0).SetPropagation(-time.Microsecond)
+}
+
+func TestNodeNetworkAccessor(t *testing.T) {
+	eng := eventsim.New()
+	nw := New(eng)
+	n := nw.AddNode(NodeConfig{})
+	if n.Network() != nw {
+		t.Fatal("Network accessor broken")
+	}
+	if nw.Node(n.ID()) != n {
+		t.Fatal("Node lookup broken")
+	}
+	if nw.Nodes() != 1 {
+		t.Fatalf("Nodes = %d", nw.Nodes())
+	}
+}
+
+func TestNewPacketIDUnique(t *testing.T) {
+	eng := eventsim.New()
+	nw := New(eng)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := nw.NewPacketID()
+		if seen[id] {
+			t.Fatalf("duplicate packet ID %d", id)
+		}
+		seen[id] = true
+	}
+}

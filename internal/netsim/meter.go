@@ -1,0 +1,73 @@
+package netsim
+
+import (
+	"time"
+
+	"github.com/netmeasure/rlir/internal/simtime"
+)
+
+// UtilMeter estimates the utilization of a port's link with a periodically
+// sampled exponentially weighted moving average — the "estimated link
+// utilization at the interface" an RLI sender adapts its injection rate to
+// (paper §1, §3.2). Crucially, it sees only the bytes leaving its own port:
+// it is structurally blind to cross traffic joining at downstream queues,
+// which is exactly the failure mode the paper studies.
+type UtilMeter struct {
+	port   *Port
+	alpha  float64
+	period time.Duration
+
+	lastBytes uint64
+	lastAt    simtime.Time
+	ewma      float64
+	samples   uint64
+}
+
+// NewUtilMeter creates a meter over port with the given sampling period and
+// EWMA smoothing factor alpha in (0, 1]; alpha = 1 keeps only the latest
+// window.
+func NewUtilMeter(port *Port, period time.Duration, alpha float64) *UtilMeter {
+	if period <= 0 {
+		panic("netsim: UtilMeter requires a positive period")
+	}
+	if alpha <= 0 || alpha > 1 {
+		panic("netsim: UtilMeter alpha must be in (0,1]")
+	}
+	return &UtilMeter{port: port, alpha: alpha, period: period}
+}
+
+// Start begins sampling on the network's engine at the next period boundary.
+func (m *UtilMeter) Start() {
+	eng := m.port.node.net.eng
+	m.lastBytes = m.port.ctr.TxBytes
+	m.lastAt = eng.Now()
+	eng.Ticker(eng.Now().Add(m.period), m.period, func(now simtime.Time) bool {
+		m.sample(now)
+		return true
+	})
+}
+
+func (m *UtilMeter) sample(now simtime.Time) {
+	cur := m.port.ctr.TxBytes
+	inst := simtime.Rate(int64(cur-m.lastBytes), m.lastAt, now) / m.port.cfg.RateBps
+	if inst > 1 {
+		inst = 1
+	}
+	if m.samples == 0 {
+		m.ewma = inst
+	} else {
+		m.ewma = m.alpha*inst + (1-m.alpha)*m.ewma
+	}
+	m.lastBytes = cur
+	m.lastAt = now
+	m.samples++
+}
+
+// Utilization returns the current EWMA estimate in [0, 1]. Before the first
+// sample it returns 0, which makes a freshly started adaptive sender begin
+// at its most aggressive rate — matching the paper's observation that low
+// estimated utilization triggers the highest injection rate.
+func (m *UtilMeter) Utilization() float64 { return m.ewma }
+
+// Samples returns how many sampling periods have elapsed.
+func (m *UtilMeter) Samples() uint64 { return m.samples }

@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/eventsim"
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/simtime"
+)
+
+func TestUtilMeterTracksOfferedLoad(t *testing.T) {
+	// Offer a steady 50% load (one 1250-byte packet every 20µs on a 1 Gbps
+	// link = 10µs busy per 20µs) and check the EWMA converges near 0.5.
+	eng := eventsim.New()
+	nw := New(eng)
+	src := nw.AddNode(NodeConfig{Name: "src"})
+	dst := nw.AddNode(NodeConfig{Name: "dst"})
+	nw.Connect(src, dst, LinkConfig{RateBps: 1e9})
+	src.SetForward(func(n *Node, p *packet.Packet) int { return 0 })
+
+	m := NewUtilMeter(src.Port(0), 100*time.Microsecond, 0.3)
+	m.Start()
+
+	for i := 0; i < 1000; i++ {
+		at := simtime.FromDuration(time.Duration(i) * 20 * time.Microsecond)
+		nw.Inject(src, &packet.Packet{ID: uint64(i + 1), Size: 1250}, at)
+	}
+	eng.RunUntil(simtime.FromDuration(20 * time.Millisecond))
+
+	if got := m.Utilization(); math.Abs(got-0.5) > 0.05 {
+		t.Fatalf("utilization = %v, want ~0.5", got)
+	}
+	if m.Samples() == 0 {
+		t.Fatal("meter took no samples")
+	}
+}
+
+func TestUtilMeterIdleLink(t *testing.T) {
+	eng := eventsim.New()
+	nw := New(eng)
+	a := nw.AddNode(NodeConfig{})
+	b := nw.AddNode(NodeConfig{})
+	nw.Connect(a, b, LinkConfig{RateBps: 1e9})
+	m := NewUtilMeter(a.Port(0), time.Millisecond, 0.5)
+	m.Start()
+	eng.RunUntil(simtime.FromDuration(10 * time.Millisecond))
+	if got := m.Utilization(); got != 0 {
+		t.Fatalf("idle utilization = %v", got)
+	}
+}
+
+func TestUtilMeterBeforeFirstSample(t *testing.T) {
+	eng := eventsim.New()
+	nw := New(eng)
+	a := nw.AddNode(NodeConfig{})
+	b := nw.AddNode(NodeConfig{})
+	nw.Connect(a, b, LinkConfig{RateBps: 1e9})
+	m := NewUtilMeter(a.Port(0), time.Second, 0.5)
+	m.Start()
+	if m.Utilization() != 0 {
+		t.Fatal("pre-sample utilization should be 0 (most aggressive adaptive rate)")
+	}
+}
+
+func TestUtilMeterCappedAtOne(t *testing.T) {
+	// Saturate the link; utilization must never exceed 1.
+	eng := eventsim.New()
+	nw := New(eng)
+	src := nw.AddNode(NodeConfig{})
+	dst := nw.AddNode(NodeConfig{})
+	nw.Connect(src, dst, LinkConfig{RateBps: 1e6})
+	src.SetForward(func(n *Node, p *packet.Packet) int { return 0 })
+	for i := 0; i < 2000; i++ {
+		nw.Inject(src, &packet.Packet{ID: uint64(i + 1), Size: 1500}, simtime.Zero)
+	}
+	// Each 1500-byte packet takes 12ms at 1 Mbps, so the sampling window
+	// must span several serializations for the byte counter to be smooth.
+	m := NewUtilMeter(src.Port(0), 50*time.Millisecond, 1.0)
+	m.Start()
+	eng.RunUntil(simtime.FromDuration(500 * time.Millisecond))
+	if got := m.Utilization(); got > 1.0 || got < 0.9 {
+		t.Fatalf("saturated utilization = %v, want ~1.0", got)
+	}
+}
+
+func TestUtilMeterValidation(t *testing.T) {
+	eng := eventsim.New()
+	nw := New(eng)
+	a := nw.AddNode(NodeConfig{})
+	b := nw.AddNode(NodeConfig{})
+	nw.Connect(a, b, LinkConfig{RateBps: 1e9})
+	for _, fn := range []func(){
+		func() { NewUtilMeter(a.Port(0), 0, 0.5) },
+		func() { NewUtilMeter(a.Port(0), time.Second, 0) },
+		func() { NewUtilMeter(a.Port(0), time.Second, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,403 @@
+// Package netsim is a store-and-forward packet network simulator built on
+// the discrete-event engine.
+//
+// It models what the paper's in-house trace-driven simulator models (§4.1,
+// Figure 3): packets experience per-switch processing delay, FIFO drop-tail
+// output queueing bounded in bytes, wire serialization at the link rate, and
+// link propagation. Measurement instruments attach through taps — callbacks
+// at transmit-start (egress hardware timestamping semantics), at node
+// ingress, at local delivery, and at drop — and may inject packets into
+// ports, which is how RLI senders emit reference packets.
+//
+// The simulator is deliberately single-threaded and allocation-lean: in a
+// latency study the simulator must never perturb the quantity under
+// measurement, so all instrument effects (added load from reference packets)
+// are explicit packets, never hidden costs.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/eventsim"
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/simtime"
+)
+
+// NodeID identifies a node within one Network. IDs are dense and start at 0.
+type NodeID int32
+
+// TapFunc observes a packet at an instrumentation point. Taps run
+// synchronously inside the event that triggered them; the packet pointer is
+// live simulation state, so taps must not retain it past the call unless
+// they copy what they need.
+type TapFunc func(p *packet.Packet, now simtime.Time)
+
+// ForwardFunc chooses the output port index for a packet arriving at a node,
+// or a negative value to deliver the packet locally (the node is the
+// packet's destination). It runs after the node's processing delay.
+type ForwardFunc func(n *Node, p *packet.Packet) int
+
+// Network is a collection of nodes, ports and links sharing one event
+// engine. Create with New.
+type Network struct {
+	eng        *eventsim.Engine
+	nodes      []*Node
+	tracePaths bool
+	nextPktID  uint64
+}
+
+// New returns an empty network on the given engine.
+func New(eng *eventsim.Engine) *Network {
+	return &Network{eng: eng}
+}
+
+// Engine returns the event engine the network runs on.
+func (nw *Network) Engine() *eventsim.Engine { return nw.eng }
+
+// SetTracePaths enables ground-truth path recording: every node appends its
+// ID to Packet.Hops on ingress. Used by validation tests and the oracle
+// demultiplexer only.
+func (nw *Network) SetTracePaths(on bool) { nw.tracePaths = on }
+
+// NewPacketID returns a fresh unique packet ID.
+func (nw *Network) NewPacketID() uint64 {
+	nw.nextPktID++
+	return nw.nextPktID
+}
+
+// NodeConfig configures a node.
+type NodeConfig struct {
+	// Name is a human-readable label used in errors and dumps.
+	Name string
+	// ProcDelay is the fixed per-packet processing (lookup) delay applied
+	// between ingress and the forwarding decision.
+	ProcDelay time.Duration
+}
+
+// AddNode creates a node. Nodes forward nothing until SetForward is called;
+// until then every packet is delivered locally (sink behaviour).
+func (nw *Network) AddNode(cfg NodeConfig) *Node {
+	n := &Node{
+		net:  nw,
+		id:   NodeID(len(nw.nodes)),
+		name: cfg.Name,
+		proc: cfg.ProcDelay,
+		forward: func(*Node, *packet.Packet) int {
+			return -1
+		},
+	}
+	if n.name == "" {
+		n.name = fmt.Sprintf("node%d", n.id)
+	}
+	nw.nodes = append(nw.nodes, n)
+	return n
+}
+
+// Node returns the node with the given ID.
+func (nw *Network) Node(id NodeID) *Node {
+	return nw.nodes[id]
+}
+
+// Nodes returns the number of nodes.
+func (nw *Network) Nodes() int { return len(nw.nodes) }
+
+// Inject schedules p to arrive at node n's ingress at instant at. It is how
+// workloads enter the network.
+func (nw *Network) Inject(n *Node, p *packet.Packet, at simtime.Time) {
+	nw.eng.At(at, func() { n.receive(p) })
+}
+
+// LinkConfig configures a unidirectional link and the output queue feeding
+// it.
+type LinkConfig struct {
+	// RateBps is the line rate in bits per second. Required.
+	RateBps float64
+	// Propagation is the one-way propagation delay.
+	Propagation time.Duration
+	// QueueBytes bounds the output queue in bytes, excluding the packet in
+	// transmission. Zero means unbounded (no drops).
+	QueueBytes int
+}
+
+// Connect attaches a new output port on from, linked to to's ingress, and
+// returns the port. Links are unidirectional; call twice for a duplex pair.
+func (nw *Network) Connect(from, to *Node, cfg LinkConfig) *Port {
+	if cfg.RateBps <= 0 {
+		panic(fmt.Sprintf("netsim: link %s->%s has non-positive rate", from.name, to.name))
+	}
+	p := &Port{
+		node:  from,
+		index: len(from.ports),
+		dst:   to,
+		cfg:   cfg,
+	}
+	from.ports = append(from.ports, p)
+	return p
+}
+
+// Node is a switch, router or host.
+type Node struct {
+	net     *Network
+	id      NodeID
+	name    string
+	proc    time.Duration
+	ports   []*Port
+	forward ForwardFunc
+
+	onReceive []TapFunc
+	onDeliver []TapFunc
+
+	// Counters.
+	received  uint64
+	delivered uint64
+}
+
+// ID returns the node's dense identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// Network returns the network the node belongs to.
+func (n *Node) Network() *Network { return n.net }
+
+// Name returns the node's label.
+func (n *Node) Name() string { return n.name }
+
+// Ports returns the node's output ports in creation order.
+func (n *Node) Ports() []*Port { return n.ports }
+
+// Port returns output port i.
+func (n *Node) Port(i int) *Port { return n.ports[i] }
+
+// SetForward installs the forwarding function.
+func (n *Node) SetForward(f ForwardFunc) { n.forward = f }
+
+// ProcDelay returns the node's per-packet processing delay.
+func (n *Node) ProcDelay() time.Duration { return n.proc }
+
+// SetProcDelay changes the node's per-packet processing delay. Experiments
+// use it to inject latency anomalies into a running topology.
+func (n *Node) SetProcDelay(d time.Duration) {
+	if d < 0 {
+		panic("netsim: negative processing delay")
+	}
+	n.proc = d
+}
+
+// OnReceive registers a tap run at packet ingress, before processing delay.
+// Receiver instruments placed "at" a router attach here.
+func (n *Node) OnReceive(t TapFunc) { n.onReceive = append(n.onReceive, t) }
+
+// OnDeliver registers a tap run when a packet terminates at this node.
+func (n *Node) OnDeliver(t TapFunc) { n.onDeliver = append(n.onDeliver, t) }
+
+// Received returns the count of packets that entered this node.
+func (n *Node) Received() uint64 { return n.received }
+
+// Delivered returns the count of packets locally delivered at this node.
+func (n *Node) Delivered() uint64 { return n.delivered }
+
+// receive handles packet ingress.
+func (n *Node) receive(p *packet.Packet) {
+	now := n.net.eng.Now()
+	n.received++
+	if n.net.tracePaths {
+		p.RecordHop(int32(n.id))
+	}
+	for _, t := range n.onReceive {
+		t(p, now)
+	}
+	if n.proc > 0 {
+		n.net.eng.After(n.proc, func() { n.dispatch(p) })
+		return
+	}
+	n.dispatch(p)
+}
+
+// dispatch applies the forwarding decision after processing delay.
+func (n *Node) dispatch(p *packet.Packet) {
+	out := n.forward(n, p)
+	if out < 0 {
+		n.deliver(p)
+		return
+	}
+	if out >= len(n.ports) {
+		panic(fmt.Sprintf("netsim: %s forwarded %v to nonexistent port %d", n.name, p, out))
+	}
+	n.ports[out].Enqueue(p)
+}
+
+func (n *Node) deliver(p *packet.Packet) {
+	now := n.net.eng.Now()
+	n.delivered++
+	for _, t := range n.onDeliver {
+		t(p, now)
+	}
+}
+
+// PortCounters are the cumulative statistics of one port.
+type PortCounters struct {
+	Enqueued   uint64
+	TxPackets  uint64
+	TxBytes    uint64
+	Drops      uint64
+	DropBytes  uint64
+	QueueBytes int // instantaneous backlog, excluding packet in service
+	QueueLen   int
+}
+
+// Port is an output port: a FIFO drop-tail queue draining onto a
+// unidirectional link.
+type Port struct {
+	node  *Node
+	index int
+	dst   *Node
+	cfg   LinkConfig
+
+	queue  fifo
+	qBytes int
+	busy   bool
+
+	onTxStart []TapFunc
+	onDrop    []TapFunc
+
+	ctr PortCounters
+}
+
+// Node returns the owning node.
+func (pt *Port) Node() *Node { return pt.node }
+
+// Index returns the port's index on its node.
+func (pt *Port) Index() int { return pt.index }
+
+// Dst returns the node at the far end of the link.
+func (pt *Port) Dst() *Node { return pt.dst }
+
+// Rate returns the configured line rate in bits per second.
+func (pt *Port) Rate() float64 { return pt.cfg.RateBps }
+
+// Propagation returns the link's one-way propagation delay.
+func (pt *Port) Propagation() time.Duration { return pt.cfg.Propagation }
+
+// SetPropagation changes the link's propagation delay. Experiments use it
+// to model heterogeneous path lengths.
+func (pt *Port) SetPropagation(d time.Duration) {
+	if d < 0 {
+		panic("netsim: negative propagation delay")
+	}
+	pt.cfg.Propagation = d
+}
+
+// Counters returns a snapshot of the port's statistics.
+func (pt *Port) Counters() PortCounters {
+	c := pt.ctr
+	c.QueueBytes = pt.qBytes
+	c.QueueLen = pt.queue.len()
+	return c
+}
+
+// OnTxStart registers a tap run at the instant a packet begins transmission
+// on the wire — the point where egress hardware timestamping happens, and
+// where both RLI sender and receiver instruments attach.
+func (pt *Port) OnTxStart(t TapFunc) { pt.onTxStart = append(pt.onTxStart, t) }
+
+// OnDrop registers a tap run when the queue rejects a packet.
+func (pt *Port) OnDrop(t TapFunc) { pt.onDrop = append(pt.onDrop, t) }
+
+// Enqueue places p in the output queue, dropping it if the byte bound would
+// be exceeded. Instruments may call this to inject packets (reference
+// packets enter the network here).
+func (pt *Port) Enqueue(p *packet.Packet) {
+	if p.Size <= 0 {
+		panic(fmt.Sprintf("netsim: enqueue of zero-size packet %v", p))
+	}
+	if pt.cfg.QueueBytes > 0 && pt.qBytes+p.Size > pt.cfg.QueueBytes {
+		pt.ctr.Drops++
+		pt.ctr.DropBytes += uint64(p.Size)
+		now := pt.node.net.eng.Now()
+		for _, t := range pt.onDrop {
+			t(p, now)
+		}
+		return
+	}
+	pt.queue.push(p)
+	pt.qBytes += p.Size
+	pt.ctr.Enqueued++
+	if !pt.busy {
+		pt.startTx()
+	}
+}
+
+// startTx begins transmitting the head-of-line packet.
+func (pt *Port) startTx() {
+	p := pt.queue.pop()
+	pt.qBytes -= p.Size
+	pt.busy = true
+	eng := pt.node.net.eng
+	now := eng.Now()
+	for _, t := range pt.onTxStart {
+		t(p, now)
+	}
+	txDur := simtime.TxTime(p.Size, pt.cfg.RateBps)
+	pt.ctr.TxPackets++
+	pt.ctr.TxBytes += uint64(p.Size)
+	eng.After(txDur, func() {
+		// Wire transfer complete: hand off to propagation, then serve the
+		// next queued packet.
+		dst := pt.dst
+		if pt.cfg.Propagation > 0 {
+			eng.After(pt.cfg.Propagation, func() { dst.receive(p) })
+		} else {
+			dst.receive(p)
+		}
+		if pt.queue.len() > 0 {
+			pt.startTx()
+		} else {
+			pt.busy = false
+		}
+	})
+}
+
+// fifo is a ring-buffer packet queue sized on demand.
+type fifo struct {
+	buf        []*packet.Packet
+	head, tail int
+	n          int
+}
+
+func (f *fifo) len() int { return f.n }
+
+func (f *fifo) push(p *packet.Packet) {
+	if f.n == len(f.buf) {
+		f.grow()
+	}
+	f.buf[f.tail] = p
+	f.tail = (f.tail + 1) % len(f.buf)
+	f.n++
+}
+
+func (f *fifo) pop() *packet.Packet {
+	if f.n == 0 {
+		panic("netsim: pop from empty queue")
+	}
+	p := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
+	return p
+}
+
+func (f *fifo) grow() {
+	next := make([]*packet.Packet, max(16, 2*len(f.buf)))
+	for i := 0; i < f.n; i++ {
+		next[i] = f.buf[(f.head+i)%len(f.buf)]
+	}
+	f.buf = next
+	f.head, f.tail = 0, f.n%len(next)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

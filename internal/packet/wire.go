@@ -1,0 +1,77 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/netmeasure/rlir/internal/simtime"
+)
+
+// Reference-packet wire format. A deployment would carry this as the UDP
+// payload of a packet addressed to the receiver instance:
+//
+//	offset size field
+//	0      2    magic 0x524C ("RL")
+//	2      1    version (1)
+//	3      1    flags (reserved, 0)
+//	4      4    sender ID (big endian)
+//	8      4    sequence number (big endian)
+//	12     8    transmit timestamp, ns (big endian, two's complement)
+//
+// RefWireSize is the encoded size in bytes.
+const RefWireSize = 20
+
+const (
+	refMagic   = 0x524C
+	refVersion = 1
+)
+
+// Errors returned by UnmarshalRef.
+var (
+	ErrShortPayload = errors.New("packet: reference payload too short")
+	ErrBadMagic     = errors.New("packet: reference payload has wrong magic")
+	ErrBadVersion   = errors.New("packet: unsupported reference payload version")
+)
+
+// MarshalRef encodes r into dst, which must be at least RefWireSize bytes,
+// and returns the number of bytes written. It does not allocate.
+func MarshalRef(dst []byte, r RefPayload) (int, error) {
+	if len(dst) < RefWireSize {
+		return 0, fmt.Errorf("packet: marshal buffer %d < %d bytes", len(dst), RefWireSize)
+	}
+	binary.BigEndian.PutUint16(dst[0:2], refMagic)
+	dst[2] = refVersion
+	dst[3] = 0
+	binary.BigEndian.PutUint32(dst[4:8], r.Sender)
+	binary.BigEndian.PutUint32(dst[8:12], r.Seq)
+	binary.BigEndian.PutUint64(dst[12:20], uint64(int64(r.Timestamp)))
+	return RefWireSize, nil
+}
+
+// AppendRef appends the encoding of r to dst and returns the extended slice.
+func AppendRef(dst []byte, r RefPayload) []byte {
+	var buf [RefWireSize]byte
+	if _, err := MarshalRef(buf[:], r); err != nil {
+		panic(err) // unreachable: buffer is sized correctly
+	}
+	return append(dst, buf[:]...)
+}
+
+// UnmarshalRef decodes a reference payload from src.
+func UnmarshalRef(src []byte) (RefPayload, error) {
+	if len(src) < RefWireSize {
+		return RefPayload{}, ErrShortPayload
+	}
+	if binary.BigEndian.Uint16(src[0:2]) != refMagic {
+		return RefPayload{}, ErrBadMagic
+	}
+	if src[2] != refVersion {
+		return RefPayload{}, ErrBadVersion
+	}
+	return RefPayload{
+		Sender:    binary.BigEndian.Uint32(src[4:8]),
+		Seq:       binary.BigEndian.Uint32(src[8:12]),
+		Timestamp: simtime.Time(int64(binary.BigEndian.Uint64(src[12:20]))),
+	}, nil
+}

@@ -1,0 +1,105 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/netmeasure/rlir/internal/simtime"
+)
+
+func TestRefRoundTrip(t *testing.T) {
+	in := RefPayload{Sender: 0xDEADBEEF, Seq: 42, Timestamp: simtime.FromSeconds(1.5)}
+	var buf [RefWireSize]byte
+	n, err := MarshalRef(buf[:], in)
+	if err != nil || n != RefWireSize {
+		t.Fatalf("MarshalRef: n=%d err=%v", n, err)
+	}
+	out, err := UnmarshalRef(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestRefRoundTripProperty(t *testing.T) {
+	f := func(sender, seq uint32, ts int64) bool {
+		in := RefPayload{Sender: sender, Seq: seq, Timestamp: simtime.Time(ts)}
+		buf := AppendRef(nil, in)
+		out, err := UnmarshalRef(buf)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalRefShortBuffer(t *testing.T) {
+	var buf [RefWireSize - 1]byte
+	if _, err := MarshalRef(buf[:], RefPayload{}); err == nil {
+		t.Fatal("expected error for short buffer")
+	}
+}
+
+func TestUnmarshalRefErrors(t *testing.T) {
+	good := AppendRef(nil, RefPayload{Sender: 1, Seq: 2, Timestamp: 3})
+
+	if _, err := UnmarshalRef(good[:RefWireSize-1]); err != ErrShortPayload {
+		t.Errorf("short payload: err = %v", err)
+	}
+
+	bad := append([]byte(nil), good...)
+	bad[0] = 0xFF
+	if _, err := UnmarshalRef(bad); err != ErrBadMagic {
+		t.Errorf("bad magic: err = %v", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[2] = 99
+	if _, err := UnmarshalRef(bad); err != ErrBadVersion {
+		t.Errorf("bad version: err = %v", err)
+	}
+}
+
+func TestAppendRefAppends(t *testing.T) {
+	prefix := []byte{1, 2, 3}
+	out := AppendRef(prefix, RefPayload{})
+	if len(out) != 3+RefWireSize {
+		t.Fatalf("len = %d", len(out))
+	}
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatal("prefix clobbered")
+	}
+}
+
+func TestMarshalNegativeTimestamp(t *testing.T) {
+	// Timestamps are signed; a pre-epoch instant (clock offset experiments)
+	// must survive the round trip.
+	in := RefPayload{Timestamp: simtime.Time(-12345)}
+	out, err := UnmarshalRef(AppendRef(nil, in))
+	if err != nil || out.Timestamp != in.Timestamp {
+		t.Fatalf("got %v err %v", out.Timestamp, err)
+	}
+}
+
+func BenchmarkMarshalRef(b *testing.B) {
+	var buf [RefWireSize]byte
+	r := RefPayload{Sender: 7, Seq: 9, Timestamp: 12345}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MarshalRef(buf[:], r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalRef(b *testing.B) {
+	buf := AppendRef(nil, RefPayload{Sender: 7, Seq: 9, Timestamp: 12345})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnmarshalRef(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

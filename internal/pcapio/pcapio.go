@@ -1,0 +1,274 @@
+// Package pcapio reads and writes classic libpcap capture files (stdlib
+// only) so synthetic traces can be inspected with tcpdump/Wireshark and
+// externally captured workloads can be replayed through the simulator.
+//
+// Only what the trace pipeline needs is implemented: nanosecond-resolution
+// classic pcap (magic 0xa1b23c4d), LINKTYPE_ETHERNET, and minimal
+// Ethernet/IPv4/TCP|UDP framing carrying the 5-tuple. Payload bytes are
+// zero-filled padding: the simulator cares about timing, sizes and flow
+// identity, not application bytes.
+package pcapio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/simtime"
+	"github.com/netmeasure/rlir/internal/trace"
+)
+
+const (
+	magicNanos   = 0xA1B23C4D
+	versionMajor = 2
+	versionMinor = 4
+	linkEthernet = 1
+	// snapLen is the capture length we declare; headers we synthesize are
+	// far smaller.
+	snapLen = 262144
+
+	ethHeaderLen  = 14
+	ipv4HeaderLen = 20
+	tcpHeaderLen  = 20
+	udpHeaderLen  = 8
+)
+
+// ErrBadMagic reports a non-pcap or unsupported-variant file.
+var ErrBadMagic = errors.New("pcapio: not a nanosecond classic pcap file")
+
+// ErrBadLinkType reports a pcap whose link layer we cannot parse.
+var ErrBadLinkType = errors.New("pcapio: unsupported link type")
+
+// Writer emits trace records as a pcap stream.
+type Writer struct {
+	w     io.Writer
+	began bool
+	n     uint64
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+func (pw *Writer) writeHeader() error {
+	var h [24]byte
+	binary.LittleEndian.PutUint32(h[0:4], magicNanos)
+	binary.LittleEndian.PutUint16(h[4:6], versionMajor)
+	binary.LittleEndian.PutUint16(h[6:8], versionMinor)
+	// thiszone, sigfigs zero.
+	binary.LittleEndian.PutUint32(h[16:20], snapLen)
+	binary.LittleEndian.PutUint32(h[20:24], linkEthernet)
+	_, err := pw.w.Write(h[:])
+	return err
+}
+
+// headerLen returns the bytes of synthesized framing for a record.
+func headerLen(proto packet.Proto) int {
+	switch proto {
+	case packet.ProtoUDP:
+		return ethHeaderLen + ipv4HeaderLen + udpHeaderLen
+	default:
+		return ethHeaderLen + ipv4HeaderLen + tcpHeaderLen
+	}
+}
+
+// Write appends one record as a pcap packet. The captured frame is exactly
+// rec.Size bytes (padded with zeros past the synthesized headers); if
+// rec.Size is smaller than the headers, the frame is truncated to rec.Size
+// bytes but the original length still reports rec.Size.
+func (pw *Writer) Write(rec trace.Rec) error {
+	if !pw.began {
+		if err := pw.writeHeader(); err != nil {
+			return err
+		}
+		pw.began = true
+	}
+	frame := buildFrame(rec)
+	capLen := len(frame)
+
+	var ph [16]byte
+	ns := int64(rec.At)
+	binary.LittleEndian.PutUint32(ph[0:4], uint32(ns/1e9))
+	binary.LittleEndian.PutUint32(ph[4:8], uint32(ns%1e9))
+	binary.LittleEndian.PutUint32(ph[8:12], uint32(capLen))
+	binary.LittleEndian.PutUint32(ph[12:16], uint32(rec.Size))
+	if _, err := pw.w.Write(ph[:]); err != nil {
+		return err
+	}
+	if _, err := pw.w.Write(frame); err != nil {
+		return err
+	}
+	pw.n++
+	return nil
+}
+
+// Count returns packets written.
+func (pw *Writer) Count() uint64 { return pw.n }
+
+// buildFrame synthesizes Ethernet+IPv4+L4 framing carrying rec's 5-tuple,
+// padded or truncated to rec.Size bytes.
+func buildFrame(rec trace.Rec) []byte {
+	hl := headerLen(rec.Key.Proto)
+	size := rec.Size
+	buf := make([]byte, max(hl, size))
+
+	// Ethernet: synthetic locally administered MACs derived from the IPs.
+	copy(buf[0:6], macFor(rec.Key.Dst))
+	copy(buf[6:12], macFor(rec.Key.Src))
+	binary.BigEndian.PutUint16(buf[12:14], 0x0800)
+
+	// IPv4.
+	ip := buf[ethHeaderLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	ipTotal := size - ethHeaderLen
+	if ipTotal < ipv4HeaderLen {
+		ipTotal = len(buf) - ethHeaderLen
+	}
+	binary.BigEndian.PutUint16(ip[2:4], uint16(ipTotal))
+	ip[8] = 64 // TTL
+	ip[9] = byte(rec.Key.Proto)
+	binary.BigEndian.PutUint32(ip[12:16], uint32(rec.Key.Src))
+	binary.BigEndian.PutUint32(ip[16:20], uint32(rec.Key.Dst))
+	binary.BigEndian.PutUint16(ip[10:12], ipv4Checksum(ip[:ipv4HeaderLen]))
+
+	// L4.
+	l4 := ip[ipv4HeaderLen:]
+	binary.BigEndian.PutUint16(l4[0:2], rec.Key.SrcPort)
+	binary.BigEndian.PutUint16(l4[2:4], rec.Key.DstPort)
+	if rec.Key.Proto == packet.ProtoUDP {
+		binary.BigEndian.PutUint16(l4[4:6], uint16(ipTotal-ipv4HeaderLen))
+	} else {
+		l4[12] = 0x50 // data offset 5 words
+	}
+	return buf[:max(hl, min(size, len(buf)))]
+}
+
+func macFor(a packet.Addr) []byte {
+	return []byte{0x02, 0x00, byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)}
+}
+
+func ipv4Checksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Reader parses a pcap stream produced by Writer (or any nanosecond classic
+// pcap of Ethernet/IPv4 traffic) back into trace records.
+type Reader struct {
+	r     io.Reader
+	began bool
+	err   error
+	n     uint64
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next implements trace.Source.
+func (pr *Reader) Next() (trace.Rec, bool) {
+	if pr.err != nil {
+		return trace.Rec{}, false
+	}
+	if !pr.began {
+		var h [24]byte
+		if _, err := io.ReadFull(pr.r, h[:]); err != nil {
+			pr.err = ErrBadMagic
+			return trace.Rec{}, false
+		}
+		if binary.LittleEndian.Uint32(h[0:4]) != magicNanos {
+			pr.err = ErrBadMagic
+			return trace.Rec{}, false
+		}
+		if binary.LittleEndian.Uint32(h[20:24]) != linkEthernet {
+			pr.err = ErrBadLinkType
+			return trace.Rec{}, false
+		}
+		pr.began = true
+	}
+	var ph [16]byte
+	if _, err := io.ReadFull(pr.r, ph[:]); err != nil {
+		if err != io.EOF {
+			pr.err = fmt.Errorf("pcapio: truncated packet header: %w", err)
+		}
+		return trace.Rec{}, false
+	}
+	sec := binary.LittleEndian.Uint32(ph[0:4])
+	nsec := binary.LittleEndian.Uint32(ph[4:8])
+	capLen := binary.LittleEndian.Uint32(ph[8:12])
+	origLen := binary.LittleEndian.Uint32(ph[12:16])
+	if capLen > snapLen {
+		pr.err = fmt.Errorf("pcapio: capture length %d exceeds snaplen", capLen)
+		return trace.Rec{}, false
+	}
+	frame := make([]byte, capLen)
+	if _, err := io.ReadFull(pr.r, frame); err != nil {
+		pr.err = fmt.Errorf("pcapio: truncated frame: %w", err)
+		return trace.Rec{}, false
+	}
+	key, err := parseFrame(frame)
+	if err != nil {
+		pr.err = err
+		return trace.Rec{}, false
+	}
+	pr.n++
+	return trace.Rec{
+		At:   simtime.Time(int64(sec)*1e9 + int64(nsec)),
+		Key:  key,
+		Size: int(origLen),
+	}, true
+}
+
+// parseFrame extracts the 5-tuple from an Ethernet/IPv4/TCP|UDP frame.
+func parseFrame(frame []byte) (packet.FlowKey, error) {
+	var key packet.FlowKey
+	if len(frame) < ethHeaderLen+ipv4HeaderLen {
+		return key, fmt.Errorf("pcapio: frame too short for IPv4 (%d bytes)", len(frame))
+	}
+	if et := binary.BigEndian.Uint16(frame[12:14]); et != 0x0800 {
+		return key, fmt.Errorf("pcapio: non-IPv4 ethertype %#04x", et)
+	}
+	ip := frame[ethHeaderLen:]
+	ihl := int(ip[0]&0x0F) * 4
+	if ip[0]>>4 != 4 || ihl < ipv4HeaderLen || len(ip) < ihl {
+		return key, fmt.Errorf("pcapio: malformed IPv4 header")
+	}
+	key.Proto = packet.Proto(ip[9])
+	key.Src = packet.Addr(binary.BigEndian.Uint32(ip[12:16]))
+	key.Dst = packet.Addr(binary.BigEndian.Uint32(ip[16:20]))
+	l4 := ip[ihl:]
+	if len(l4) >= 4 {
+		key.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+		key.DstPort = binary.BigEndian.Uint16(l4[2:4])
+	}
+	return key, nil
+}
+
+// Err returns the first error encountered, nil on clean EOF.
+func (pr *Reader) Err() error { return pr.err }
+
+// Count returns packets read.
+func (pr *Reader) Count() uint64 { return pr.n }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,196 @@
+package pcapio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/simtime"
+	"github.com/netmeasure/rlir/internal/trace"
+)
+
+func recs() []trace.Rec {
+	tcp := packet.FlowKey{Src: packet.MustParseAddr("10.1.0.5"), Dst: packet.MustParseAddr("10.2.0.9"), SrcPort: 443, DstPort: 51000, Proto: packet.ProtoTCP}
+	udp := packet.FlowKey{Src: packet.MustParseAddr("172.16.1.1"), Dst: packet.MustParseAddr("10.2.0.1"), SrcPort: 53, DstPort: 9999, Proto: packet.ProtoUDP}
+	return []trace.Rec{
+		{At: simtime.FromDuration(time.Microsecond), Key: tcp, Size: 1500},
+		{At: simtime.FromDuration(2 * time.Microsecond), Key: udp, Size: 64},
+		{At: simtime.FromSeconds(1.5), Key: tcp, Size: 576},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+
+	r := NewReader(&buf)
+	got := trace.Collect(r, 0)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	want := recs()
+	if len(got) != len(want) {
+		t.Fatalf("read %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGlobalHeaderFields(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(recs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	h := buf.Bytes()[:24]
+	if binary.LittleEndian.Uint32(h[0:4]) != 0xA1B23C4D {
+		t.Fatal("wrong magic")
+	}
+	if binary.LittleEndian.Uint16(h[4:6]) != 2 || binary.LittleEndian.Uint16(h[6:8]) != 4 {
+		t.Fatal("wrong version")
+	}
+	if binary.LittleEndian.Uint32(h[20:24]) != 1 {
+		t.Fatal("wrong link type")
+	}
+}
+
+func TestTimestampSplitAcrossSecond(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	at := simtime.Time(3*1e9 + 999_999_999) // 3.999999999s
+	if err := w.Write(trace.Rec{At: at, Key: recs()[0].Key, Size: 100}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	got, ok := r.Next()
+	if !ok || got.At != at {
+		t.Fatalf("At = %v, want %v (ok=%v)", got.At, at, ok)
+	}
+}
+
+func TestIPv4ChecksumValid(t *testing.T) {
+	frame := buildFrame(recs()[0])
+	ip := frame[ethHeaderLen : ethHeaderLen+ipv4HeaderLen]
+	// Recompute over the header with the stored checksum in place; a valid
+	// header sums to 0xFFFF.
+	var sum uint32
+	for i := 0; i+1 < len(ip); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(ip[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	if uint16(sum) != 0xFFFF {
+		t.Fatalf("checksum invalid: folded sum %#04x", uint16(sum))
+	}
+}
+
+func TestSmallPacketStillCarriesTuple(t *testing.T) {
+	// A 64-byte UDP frame has room for all headers (14+20+8 = 42).
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	rec := recs()[1]
+	if err := w.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	got, ok := r.Next()
+	if !ok || got.Key != rec.Key || got.Size != 64 {
+		t.Fatalf("got %+v ok=%v", got, ok)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("this is not a pcap file at all....")))
+	if _, ok := r.Next(); ok {
+		t.Fatal("garbage decoded")
+	}
+	if r.Err() != ErrBadMagic {
+		t.Fatalf("Err = %v", r.Err())
+	}
+}
+
+func TestReaderRejectsMicrosecondPcap(t *testing.T) {
+	var h [24]byte
+	binary.LittleEndian.PutUint32(h[0:4], 0xA1B2C3D4) // microsecond magic
+	r := NewReader(bytes.NewReader(h[:]))
+	if _, ok := r.Next(); ok || r.Err() != ErrBadMagic {
+		t.Fatalf("ok=%v err=%v", ok, r.Err())
+	}
+}
+
+func TestReaderRejectsWrongLinkType(t *testing.T) {
+	var h [24]byte
+	binary.LittleEndian.PutUint32(h[0:4], magicNanos)
+	binary.LittleEndian.PutUint32(h[20:24], 101) // RAW
+	r := NewReader(bytes.NewReader(h[:]))
+	if _, ok := r.Next(); ok || r.Err() != ErrBadLinkType {
+		t.Fatalf("ok=%v err=%v", ok, r.Err())
+	}
+}
+
+func TestReaderTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(recs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-10]
+	r := NewReader(bytes.NewReader(data))
+	if _, ok := r.Next(); ok {
+		t.Fatal("truncated frame decoded")
+	}
+	if r.Err() == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestEmptyStreamCleanEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w // header written lazily; empty stream = no header
+	r := NewReader(&buf)
+	if _, ok := r.Next(); ok {
+		t.Fatal("empty stream decoded")
+	}
+}
+
+func TestGeneratedTraceThroughPcap(t *testing.T) {
+	cfg := trace.DefaultConfig()
+	cfg.Duration = 10 * time.Millisecond
+	orig := trace.Collect(trace.NewGenerator(cfg), 0)
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range orig {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	back := trace.Collect(r, 0)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip %d != %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Fatalf("record %d: %+v != %+v", i, back[i], orig[i])
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Package simtime defines the virtual time base shared by the simulator and
+// the measurement instruments.
+//
+// Simulated time is an int64 count of nanoseconds since the start of the
+// simulation. Durations are the standard library's time.Duration, which is
+// also an int64 nanosecond count, so arithmetic between the two is exact and
+// allocation-free.
+package simtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an instant in simulated time, in nanoseconds since simulation
+// start. The zero value is the simulation epoch.
+type Time int64
+
+// Common instants.
+const (
+	// Zero is the simulation epoch.
+	Zero Time = 0
+	// Never is a sentinel placed after every representable instant. It is
+	// useful as an "unset deadline" marker.
+	Never Time = 1<<63 - 1
+)
+
+// FromDuration returns the instant d after the simulation epoch.
+func FromDuration(d time.Duration) Time { return Time(d) }
+
+// FromSeconds returns the instant s seconds after the simulation epoch.
+func FromSeconds(s float64) Time { return Time(s * float64(time.Second)) }
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds returns t as a floating-point number of seconds since the epoch.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// Duration returns t as a duration since the epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String formats t as a duration since the epoch, e.g. "1.5ms".
+func (t Time) String() string {
+	if t == Never {
+		return "never"
+	}
+	return time.Duration(t).String()
+}
+
+// Rate converts a byte count transferred over the interval [from, to] into
+// bits per second. It returns 0 if the interval is empty.
+func Rate(bytes int64, from, to Time) float64 {
+	if to <= from {
+		return 0
+	}
+	return float64(bytes*8) / to.Sub(from).Seconds()
+}
+
+// TxTime returns the wire serialization time of a frame of the given size at
+// the given link rate in bits per second. It panics if rateBps is not
+// positive, since a zero-rate link cannot transmit.
+func TxTime(sizeBytes int, rateBps float64) time.Duration {
+	if rateBps <= 0 {
+		panic(fmt.Sprintf("simtime: non-positive link rate %v", rateBps))
+	}
+	return time.Duration(float64(sizeBytes*8) / rateBps * float64(time.Second))
+}

@@ -1,0 +1,106 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAddSub(t *testing.T) {
+	t0 := FromSeconds(1.5)
+	t1 := t0.Add(250 * time.Microsecond)
+	if got, want := t1.Sub(t0), 250*time.Microsecond; got != want {
+		t.Fatalf("Sub = %v, want %v", got, want)
+	}
+	if !t0.Before(t1) || !t1.After(t0) {
+		t.Fatalf("ordering broken: t0=%v t1=%v", t0, t1)
+	}
+}
+
+func TestFromDuration(t *testing.T) {
+	if got := FromDuration(3 * time.Millisecond); got != Time(3_000_000) {
+		t.Fatalf("FromDuration = %d, want 3000000", got)
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	for _, s := range []float64{0, 1e-9, 0.001, 1, 59.999, 3600} {
+		got := FromSeconds(s).Seconds()
+		if math.Abs(got-s) > 1e-9*math.Max(1, s) {
+			t.Errorf("FromSeconds(%v).Seconds() = %v", s, got)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromSeconds(0.0005).String(); got != "500µs" {
+		t.Errorf("String = %q, want 500µs", got)
+	}
+	if got := Never.String(); got != "never" {
+		t.Errorf("Never.String() = %q", got)
+	}
+}
+
+func TestRate(t *testing.T) {
+	// 1250 bytes over 1 ms = 10 Mbit/s.
+	from := Zero
+	to := from.Add(time.Millisecond)
+	if got := Rate(1250, from, to); math.Abs(got-10e6) > 1 {
+		t.Fatalf("Rate = %v, want 10e6", got)
+	}
+	if got := Rate(100, to, from); got != 0 {
+		t.Fatalf("Rate over empty interval = %v, want 0", got)
+	}
+	if got := Rate(100, to, to); got != 0 {
+		t.Fatalf("Rate over zero interval = %v, want 0", got)
+	}
+}
+
+func TestTxTime(t *testing.T) {
+	// 1500 bytes at 1 Gbit/s = 12 µs.
+	got := TxTime(1500, 1e9)
+	if got != 12*time.Microsecond {
+		t.Fatalf("TxTime = %v, want 12µs", got)
+	}
+	// 64 bytes at 10 Gbit/s = 51.2 ns.
+	got = TxTime(64, 10e9)
+	if got < 51*time.Nanosecond || got > 52*time.Nanosecond {
+		t.Fatalf("TxTime = %v, want ~51.2ns", got)
+	}
+}
+
+func TestTxTimePanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero rate")
+		}
+	}()
+	TxTime(100, 0)
+}
+
+func TestAddSubProperty(t *testing.T) {
+	// t.Add(d).Sub(t) == d for all representable inputs that do not overflow.
+	f := func(base int64, delta int32) bool {
+		t0 := Time(base % (1 << 40))
+		d := time.Duration(delta)
+		return t0.Add(d).Sub(t0) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateTxTimeInverse(t *testing.T) {
+	// Transmitting n bytes for TxTime(n, r) yields utilization ~= r.
+	f := func(size uint16, rateMbps uint8) bool {
+		n := int(size)%1500 + 64
+		r := (float64(rateMbps) + 1) * 1e6
+		d := TxTime(n, r)
+		got := Rate(int64(n), Zero, Zero.Add(d))
+		return math.Abs(got-r)/r < 0.01
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

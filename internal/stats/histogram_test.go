@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("zero-value histogram not empty")
+	}
+	for _, d := range []time.Duration{100, 200, 400, 800} {
+		h.Record(d * time.Nanosecond)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 375*time.Nanosecond {
+		t.Fatalf("Mean = %v, want 375ns", h.Mean())
+	}
+	if h.Min() != 100 || h.Max() != 800 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-5 * time.Second)
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative duration not clamped: min=%v max=%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	// Quantile returns a bucket upper edge: it must never be below the true
+	// quantile and never above 2x (next power of two) or the observed max.
+	rng := rand.New(rand.NewSource(11))
+	var h Histogram
+	var all []time.Duration
+	for i := 0; i < 10000; i++ {
+		d := time.Duration(rng.Int63n(int64(10 * time.Millisecond)))
+		h.Record(d)
+		all = append(all, d)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1} {
+		got := h.Quantile(q)
+		// Exact nearest-rank for comparison.
+		xs := append([]time.Duration(nil), all...)
+		sortDurations(xs)
+		rank := int(q*float64(len(xs))+0.9999) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		exact := xs[rank]
+		if got < exact {
+			t.Fatalf("q=%v: bucketed %v < exact %v", q, got, exact)
+		}
+		if got > 2*exact+2 && got > h.Max() {
+			t.Fatalf("q=%v: bucketed %v way above exact %v", q, got, exact)
+		}
+	}
+}
+
+func sortDurations(xs []time.Duration) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestHistogramMergeProperty(t *testing.T) {
+	f := func(a, b []uint32) bool {
+		var ha, hb, hall Histogram
+		for _, v := range a {
+			d := time.Duration(v)
+			ha.Record(d)
+			hall.Record(d)
+		}
+		for _, v := range b {
+			d := time.Duration(v)
+			hb.Record(d)
+			hall.Record(d)
+		}
+		ha.Merge(&hb)
+		return ha.Count() == hall.Count() && ha.Mean() == hall.Mean() &&
+			ha.Min() == hall.Min() && ha.Max() == hall.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramStringSmokes(t *testing.T) {
+	var h Histogram
+	h.Record(time.Microsecond)
+	h.Record(3 * time.Microsecond)
+	if len(h.String()) == 0 {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {1023, 9}, {1024, 10},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/simtime"
+)
+
+// Binary trace format:
+//
+//	header: 8 bytes magic "RLIRTRC1"
+//	record: 25 bytes each, big endian —
+//	        int64 timestamp ns, uint32 src, uint32 dst,
+//	        uint16 sport, uint16 dport, uint8 proto, uint16 size
+//
+// The format is fixed-width for mmap-friendliness and trivial random access:
+// record i lives at offset 8 + 25*i.
+
+var traceMagic = [8]byte{'R', 'L', 'I', 'R', 'T', 'R', 'C', '1'}
+
+// RecordSize is the encoded size of one record.
+const RecordSize = 25
+
+// ErrBadHeader indicates a missing or foreign file magic.
+var ErrBadHeader = errors.New("trace: bad file header")
+
+// Writer encodes records to a stream.
+type Writer struct {
+	w     *bufio.Writer
+	n     uint64
+	began bool
+	last  simtime.Time
+}
+
+// NewWriter wraps w. The header is written lazily on the first record (or
+// Flush), so constructing a Writer cannot fail.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (tw *Writer) begin() error {
+	if tw.began {
+		return nil
+	}
+	tw.began = true
+	_, err := tw.w.Write(traceMagic[:])
+	return err
+}
+
+// Write appends one record. Records must be fed in non-decreasing time
+// order; violations return an error rather than silently producing a trace
+// no consumer can replay.
+func (tw *Writer) Write(r Rec) error {
+	if err := tw.begin(); err != nil {
+		return err
+	}
+	if tw.n > 0 && r.At < tw.last {
+		return fmt.Errorf("trace: write out of order: %v after %v", r.At, tw.last)
+	}
+	if r.Size < 0 || r.Size > 0xFFFF {
+		return fmt.Errorf("trace: record size %d out of range", r.Size)
+	}
+	tw.last = r.At
+	var buf [RecordSize]byte
+	binary.BigEndian.PutUint64(buf[0:8], uint64(int64(r.At)))
+	binary.BigEndian.PutUint32(buf[8:12], uint32(r.Key.Src))
+	binary.BigEndian.PutUint32(buf[12:16], uint32(r.Key.Dst))
+	binary.BigEndian.PutUint16(buf[16:18], r.Key.SrcPort)
+	binary.BigEndian.PutUint16(buf[18:20], r.Key.DstPort)
+	buf[20] = byte(r.Key.Proto)
+	binary.BigEndian.PutUint16(buf[21:23], uint16(r.Size))
+	buf[23], buf[24] = 0, 0 // reserved
+	if _, err := tw.w.Write(buf[:]); err != nil {
+		return err
+	}
+	tw.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (tw *Writer) Count() uint64 { return tw.n }
+
+// Flush writes any buffered data (and the header of an empty trace).
+func (tw *Writer) Flush() error {
+	if err := tw.begin(); err != nil {
+		return err
+	}
+	return tw.w.Flush()
+}
+
+// Reader decodes a trace stream. It is a Source whose Next panics on I/O
+// errors only via Err; check Err after draining.
+type Reader struct {
+	r      *bufio.Reader
+	err    error
+	header bool
+	n      uint64
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next implements Source. It returns false at EOF or on error; distinguish
+// with Err.
+func (tr *Reader) Next() (Rec, bool) {
+	if tr.err != nil {
+		return Rec{}, false
+	}
+	if !tr.header {
+		var m [8]byte
+		if _, err := io.ReadFull(tr.r, m[:]); err != nil {
+			if err == io.EOF {
+				tr.err = ErrBadHeader
+			} else {
+				tr.err = err
+			}
+			return Rec{}, false
+		}
+		if m != traceMagic {
+			tr.err = ErrBadHeader
+			return Rec{}, false
+		}
+		tr.header = true
+	}
+	var buf [RecordSize]byte
+	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
+		if err != io.EOF {
+			if err == io.ErrUnexpectedEOF {
+				tr.err = fmt.Errorf("trace: truncated record at index %d", tr.n)
+			} else {
+				tr.err = err
+			}
+		}
+		return Rec{}, false
+	}
+	tr.n++
+	return Rec{
+		At: simtime.Time(int64(binary.BigEndian.Uint64(buf[0:8]))),
+		Key: packet.FlowKey{
+			Src:     packet.Addr(binary.BigEndian.Uint32(buf[8:12])),
+			Dst:     packet.Addr(binary.BigEndian.Uint32(buf[12:16])),
+			SrcPort: binary.BigEndian.Uint16(buf[16:18]),
+			DstPort: binary.BigEndian.Uint16(buf[18:20]),
+			Proto:   packet.Proto(buf[20]),
+		},
+		Size: int(binary.BigEndian.Uint16(buf[21:23])),
+	}, true
+}
+
+// Err returns the first error encountered, or nil at clean EOF.
+func (tr *Reader) Err() error { return tr.err }
+
+// Count returns the number of records read so far.
+func (tr *Reader) Count() uint64 { return tr.n }

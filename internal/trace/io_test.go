@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/simtime"
+)
+
+func sampleRecs() []Rec {
+	k1 := packet.FlowKey{Src: packet.MustParseAddr("10.1.0.5"), Dst: packet.MustParseAddr("10.2.0.9"), SrcPort: 1234, DstPort: 80, Proto: packet.ProtoTCP}
+	k2 := packet.FlowKey{Src: packet.MustParseAddr("172.16.3.3"), Dst: packet.MustParseAddr("10.2.0.1"), SrcPort: 999, DstPort: 53, Proto: packet.ProtoUDP}
+	return []Rec{
+		{At: simtime.Zero, Key: k1, Size: 64},
+		{At: simtime.FromDuration(3 * time.Microsecond), Key: k2, Size: 1500},
+		{At: simtime.FromDuration(3 * time.Microsecond), Key: k1, Size: 576}, // equal timestamps allowed
+		{At: simtime.FromSeconds(59.9), Key: k1, Size: 1518},
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range sampleRecs() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 4 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if want := 8 + 4*RecordSize; buf.Len() != want {
+		t.Fatalf("encoded size = %d, want %d", buf.Len(), want)
+	}
+
+	r := NewReader(&buf)
+	got := Collect(r, 0)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	want := sampleRecs()
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWriterRejectsOutOfOrder(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Rec{At: simtime.FromSeconds(1), Size: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Rec{At: simtime.FromSeconds(0.5), Size: 100}); err == nil {
+		t.Fatal("expected out-of-order error")
+	}
+}
+
+func TestWriterRejectsHugeSize(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Rec{Size: 70000}); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("NOTATRACEFILE...")))
+	if _, ok := r.Next(); ok {
+		t.Fatal("should not read records")
+	}
+	if r.Err() != ErrBadHeader {
+		t.Fatalf("Err = %v", r.Err())
+	}
+}
+
+func TestReaderEmptyInput(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	if _, ok := r.Next(); ok {
+		t.Fatal("should not read records")
+	}
+	if r.Err() != ErrBadHeader {
+		t.Fatalf("Err = %v", r.Err())
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Rec{At: 1, Size: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-3]
+	r := NewReader(bytes.NewReader(data))
+	if _, ok := r.Next(); ok {
+		t.Fatal("truncated record should not decode")
+	}
+	if r.Err() == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestEmptyTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if _, ok := r.Next(); ok {
+		t.Fatal("empty trace should yield no records")
+	}
+	if r.Err() != nil {
+		t.Fatalf("clean EOF expected, got %v", r.Err())
+	}
+}
+
+func TestGeneratedTraceRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 30 * time.Millisecond
+	orig := Collect(NewGenerator(cfg), 0)
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range orig {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd := NewReader(&buf)
+	back := Collect(rd, 0)
+	if rd.Err() != nil {
+		t.Fatal(rd.Err())
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip %d != %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func BenchmarkWriter(b *testing.B) {
+	recs := sampleRecs()
+	b.ReportAllocs()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < b.N; i++ {
+		r := recs[i%len(recs)]
+		r.At = simtime.Time(i) * 1000
+		if err := w.Write(r); err != nil {
+			b.Fatal(err)
+		}
+		if buf.Len() > 1<<20 {
+			buf.Reset()
+		}
+	}
+}

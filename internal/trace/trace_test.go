@@ -1,0 +1,267 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/packet"
+)
+
+func TestSizeMixValidate(t *testing.T) {
+	if err := DefaultSizeMix().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []SizeMix{
+		{},
+		{{Size: 10, Weight: 1}},    // below MinSize
+		{{Size: 9000, Weight: 1}},  // above MaxSize
+		{{Size: 1500, Weight: 0}},  // zero weight
+		{{Size: 1500, Weight: -1}}, // negative weight
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSizeMixMean(t *testing.T) {
+	m := SizeMix{{100, 1}, {300, 1}}
+	if got := m.Mean(); got != 200 {
+		t.Fatalf("Mean = %v, want 200", got)
+	}
+}
+
+func TestSizeMixSampleBoundsAndProportions(t *testing.T) {
+	m := SizeMix{{64, 0.25}, {1500, 0.75}}
+	counts := map[int]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		u := (float64(i) + 0.5) / n // deterministic uniform sweep
+		counts[m.sample(u)]++
+	}
+	if len(counts) != 2 {
+		t.Fatalf("sampled sizes = %v", counts)
+	}
+	if frac := float64(counts[64]) / n; math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("64B fraction = %v, want 0.25", frac)
+	}
+}
+
+func TestFlowLenDistValidate(t *testing.T) {
+	if err := DefaultFlowLenDist().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (FlowLenDist{Alpha: 0, Max: 10}).Validate(); err == nil {
+		t.Error("alpha 0 should fail")
+	}
+	if err := (FlowLenDist{Alpha: 1.2, Max: 0}).Validate(); err == nil {
+		t.Error("max 0 should fail")
+	}
+}
+
+func TestFlowLenQuantileBounds(t *testing.T) {
+	d := FlowLenDist{Alpha: 1.2, Max: 1000}
+	for _, u := range []float64{0, 0.001, 0.5, 0.999, 0.999999} {
+		n := d.quantile(u)
+		if n < 1 || n > d.Max {
+			t.Fatalf("quantile(%v) = %d outside [1,%d]", u, n, d.Max)
+		}
+	}
+	// Heavy tail: the median must be small, far below the mean.
+	if med := d.quantile(0.5); med > 3 {
+		t.Fatalf("median flow length = %d, expected mice-dominated", med)
+	}
+}
+
+func TestFlowLenMeanMatchesEmpirical(t *testing.T) {
+	d := FlowLenDist{Alpha: 1.3, Max: 500}
+	const n = 400000
+	var sum float64
+	for i := 0; i < n; i++ {
+		u := (float64(i) + 0.5) / n
+		sum += float64(d.quantile(u))
+	}
+	emp := sum / n
+	if rel := math.Abs(d.Mean()-emp) / emp; rel > 0.02 {
+		t.Fatalf("Mean() = %v, empirical %v (rel %v)", d.Mean(), emp, rel)
+	}
+}
+
+func TestRebase(t *testing.T) {
+	rec := Rec{Key: packet.FlowKey{
+		Src: packet.MustParseAddr("10.1.2.3"),
+		Dst: packet.MustParseAddr("10.200.9.9"),
+	}}
+	got := Rebase(rec,
+		packet.MustParsePrefix("172.16.0.0/16"),
+		packet.MustParsePrefix("172.17.0.0/16"))
+	if got.Key.Src != packet.MustParseAddr("172.16.2.3") {
+		t.Fatalf("src = %v", got.Key.Src)
+	}
+	if got.Key.Dst != packet.MustParseAddr("172.17.9.9") {
+		t.Fatalf("dst = %v", got.Key.Dst)
+	}
+	// Original untouched (value semantics).
+	if rec.Key.Src != packet.MustParseAddr("10.1.2.3") {
+		t.Fatal("Rebase mutated its input")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.TargetBps = 0 },
+		func(c *Config) { c.MeanGap = 0 },
+		func(c *Config) { c.Sizes = nil },
+		func(c *Config) { c.FlowLen.Max = 0 },
+	}
+	for i, mut := range mutations {
+		c := DefaultConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d: expected error", i)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 50 * time.Millisecond
+	a := Collect(NewGenerator(cfg), 0)
+	b := Collect(NewGenerator(cfg), 0)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("records diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	cfg.Seed = 2
+	c := Collect(NewGenerator(cfg), 0)
+	if len(c) == len(a) {
+		same := true
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGeneratorTimeOrderedAndBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 100 * time.Millisecond
+	recs := Collect(NewGenerator(cfg), 0) // Collect panics on regression
+	if len(recs) == 0 {
+		t.Fatal("empty trace")
+	}
+	for _, r := range recs {
+		if r.At.Duration() >= cfg.Duration {
+			t.Fatalf("record at %v past duration %v", r.At, cfg.Duration)
+		}
+		if r.Size < packet.MinSize || r.Size > packet.MaxSize {
+			t.Fatalf("record size %d out of range", r.Size)
+		}
+		if !cfg.SrcPrefix.Contains(r.Key.Src) {
+			t.Fatalf("src %v outside %v", r.Key.Src, cfg.SrcPrefix)
+		}
+		if !cfg.DstPrefix.Contains(r.Key.Dst) {
+			t.Fatalf("dst %v outside %v", r.Key.Dst, cfg.DstPrefix)
+		}
+	}
+}
+
+func TestGeneratorHitsTargetRate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = time.Second
+	cfg.TargetBps = 100e6
+	// Heavy tails need the stationary warm-up to deliver the target; a
+	// moderate length cap keeps the warm-up affordable in a unit test.
+	cfg.FlowLen.Max = 2000
+	cfg.Warmup = cfg.StationaryWarmup()
+	s := Summarize(NewGenerator(cfg))
+	if s.MeanBps < 0.7*cfg.TargetBps || s.MeanBps > 1.3*cfg.TargetBps {
+		t.Fatalf("mean rate = %.1f Mbps, want ~100", s.MeanBps/1e6)
+	}
+}
+
+func TestGeneratorFlowLengthHeavyTail(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 500 * time.Millisecond
+	perFlow := map[packet.FlowKey]int{}
+	g := NewGenerator(cfg)
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		perFlow[r.Key]++
+	}
+	if len(perFlow) < 100 {
+		t.Fatalf("only %d flows", len(perFlow))
+	}
+	ones, big := 0, 0
+	for _, n := range perFlow {
+		if n == 1 {
+			ones++
+		}
+		if n >= 50 {
+			big++
+		}
+	}
+	if ones == 0 {
+		t.Error("no single-packet flows: tail not heavy")
+	}
+	if big == 0 {
+		t.Error("no >=50-packet flows: no elephants")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(NewSliceSource(nil))
+	if s.Packets != 0 || s.Flows != 0 || s.MeanBps != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestCollectLimit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = time.Second
+	recs := Collect(NewGenerator(cfg), 10)
+	if len(recs) != 10 {
+		t.Fatalf("limit ignored: %d", len(recs))
+	}
+}
+
+func TestEmittedCounter(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 20 * time.Millisecond
+	g := NewGenerator(cfg)
+	n := len(Collect(g, 0))
+	if g.Emitted() != uint64(n) {
+		t.Fatalf("Emitted = %d, collected %d", g.Emitted(), n)
+	}
+}
+
+func TestNewGeneratorPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGenerator(Config{})
+}

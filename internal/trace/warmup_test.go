@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWarmupNoNegativeRecords(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 100 * time.Millisecond
+	cfg.Warmup = cfg.StationaryWarmup()
+	for _, r := range Collect(NewGenerator(cfg), 0) {
+		if r.At < 0 {
+			t.Fatalf("emitted pre-window record at %v", r.At)
+		}
+		if r.At.Duration() >= cfg.Duration {
+			t.Fatalf("emitted post-window record at %v", r.At)
+		}
+	}
+}
+
+func TestWarmupImprovesRateDelivery(t *testing.T) {
+	// With a heavy tail (alpha < 1), the cold-start generator starves the
+	// window of elephant bytes; warm-up must close most of the gap.
+	base := DefaultConfig()
+	base.Duration = 300 * time.Millisecond
+	base.TargetBps = 200e6
+	base.FlowLen = FlowLenDist{Alpha: 0.9, Max: 1500} // elephants last ~0.3s
+
+	cold := base
+	warm := base
+	warm.Warmup = warm.StationaryWarmup()
+
+	coldRate := float64(totalBytes(NewGenerator(cold))*8) / cold.Duration.Seconds()
+	warmRate := float64(totalBytes(NewGenerator(warm))*8) / warm.Duration.Seconds()
+
+	if warmRate <= coldRate {
+		t.Fatalf("warm rate %.1f Mbps should exceed cold %.1f Mbps", warmRate/1e6, coldRate/1e6)
+	}
+	if warmRate < 0.75*base.TargetBps || warmRate > 1.35*base.TargetBps {
+		t.Fatalf("warm rate %.1f Mbps, want ~%.1f", warmRate/1e6, base.TargetBps/1e6)
+	}
+}
+
+func totalBytes(src Source) uint64 {
+	var b uint64
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return b
+		}
+		b += uint64(r.Size)
+	}
+}
+
+func TestWarmupDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 50 * time.Millisecond
+	cfg.Warmup = 200 * time.Millisecond
+	a := Collect(NewGenerator(cfg), 0)
+	b := Collect(NewGenerator(cfg), 0)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("warmup generator not deterministic")
+		}
+	}
+}
+
+func TestNegativeWarmupRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Warmup = -time.Second
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative warmup should fail validation")
+	}
+}
+
+func TestStationaryWarmup(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FlowLen.Max = 1000
+	cfg.MeanGap = 100 * time.Microsecond
+	if got := cfg.StationaryWarmup(); got != 100*time.Millisecond {
+		t.Fatalf("StationaryWarmup = %v, want 100ms", got)
+	}
+}

@@ -1,0 +1,293 @@
+package rlir
+
+import (
+	"time"
+
+	"github.com/netmeasure/rlir/internal/core"
+	"github.com/netmeasure/rlir/internal/experiments"
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/simclock"
+	"github.com/netmeasure/rlir/internal/stats"
+	"github.com/netmeasure/rlir/internal/topo"
+	"github.com/netmeasure/rlir/internal/trace"
+)
+
+// ---- Packet and flow identity ----
+
+// Addr is an IPv4 address in host byte order.
+type Addr = packet.Addr
+
+// Prefix is an IPv4 CIDR prefix.
+type Prefix = packet.Prefix
+
+// FlowKey is the comparable 5-tuple identity used for all per-flow state.
+type FlowKey = packet.FlowKey
+
+// ParseAddr parses dotted-quad notation.
+func ParseAddr(s string) (Addr, error) { return packet.ParseAddr(s) }
+
+// MustParseAddr is ParseAddr that panics on error.
+func MustParseAddr(s string) Addr { return packet.MustParseAddr(s) }
+
+// ParsePrefix parses CIDR notation.
+func ParsePrefix(s string) (Prefix, error) { return packet.ParsePrefix(s) }
+
+// MustParsePrefix is ParsePrefix that panics on error.
+func MustParsePrefix(s string) Prefix { return packet.MustParsePrefix(s) }
+
+// ---- Injection schemes (paper §3.2) ----
+
+// InjectionScheme maps the sender's utilization estimate to a 1-and-n gap.
+type InjectionScheme = core.InjectionScheme
+
+// Static is the fixed worst-case 1-and-N scheme.
+type Static = core.Static
+
+// Adaptive is RLI's utilization-driven scheme.
+type Adaptive = core.Adaptive
+
+// DefaultStatic returns the paper's 1-and-100 configuration.
+func DefaultStatic() Static { return core.DefaultStatic() }
+
+// DefaultAdaptive returns the paper's 1-and-10..1-and-300 configuration.
+func DefaultAdaptive() Adaptive { return core.DefaultAdaptive() }
+
+// ---- Results ----
+
+// FlowResult is one flow's estimated-vs-true statistics.
+type FlowResult = core.FlowResult
+
+// Summary aggregates a result set (median relative error and friends).
+type Summary = core.Summary
+
+// Summarize computes a Summary over per-flow results.
+func Summarize(results []FlowResult) Summary { return core.Summarize(results) }
+
+// MeanErrCDF builds the CDF of per-flow mean relative errors (Fig 4a form).
+func MeanErrCDF(results []FlowResult) *CDF { return core.MeanErrCDF(results) }
+
+// StdErrCDF builds the CDF of per-flow stddev relative errors (Fig 4b form).
+func StdErrCDF(results []FlowResult) *CDF { return core.StdErrCDF(results) }
+
+// CDF is an exact empirical distribution over a finite sample.
+type CDF = stats.CDF
+
+// ---- Clock models ----
+
+// ClockSource converts true simulation time to an instance's local reading.
+type ClockSource = simclock.Source
+
+// PerfectClock is exact synchronization (the paper's assumption).
+type PerfectClock = simclock.Perfect
+
+// FixedOffsetClock has a constant synchronization error.
+type FixedOffsetClock = simclock.FixedOffset
+
+// DriftingClock is a free-running oscillator.
+type DriftingClock = simclock.Drifting
+
+// PTPClock is an IEEE 1588-disciplined clock.
+type PTPClock = simclock.PTP
+
+// ---- Workload generation ----
+
+// TraceConfig parameterizes the synthetic workload generator that stands in
+// for the paper's CAIDA traces.
+type TraceConfig = trace.Config
+
+// TraceRec is one generated packet release.
+type TraceRec = trace.Rec
+
+// DefaultTraceConfig returns the ~22%-of-1Gbps regular workload.
+func DefaultTraceConfig() TraceConfig { return trace.DefaultConfig() }
+
+// NewTraceGenerator streams a deterministic synthetic trace.
+func NewTraceGenerator(cfg TraceConfig) *trace.Generator { return trace.NewGenerator(cfg) }
+
+// ---- The tandem experiment (paper Figure 3) ----
+
+// Scale sets experiment magnitude; see SmallScale, DefaultScale, FullScale.
+type Scale = experiments.Scale
+
+// SmallScale is CI-sized (sub-second traces).
+func SmallScale() Scale { return experiments.SmallScale() }
+
+// DefaultScale runs in seconds on a laptop.
+func DefaultScale() Scale { return experiments.DefaultScale() }
+
+// FullScale approximates the paper's 60 s of OC-192.
+func FullScale() Scale { return experiments.FullScale() }
+
+// CrossModel selects the cross-traffic model.
+type CrossModel = experiments.CrossModel
+
+// Cross-traffic models of §4.1.
+const (
+	CrossUniform = experiments.CrossUniform
+	CrossBursty  = experiments.CrossBursty
+	CrossNone    = experiments.CrossNone
+)
+
+// TandemConfig is one two-switch (Figure 3) run.
+type TandemConfig = experiments.TandemConfig
+
+// TandemResult is its outcome.
+type TandemResult = experiments.TandemResult
+
+// RunTandem executes one Figure-3 simulation: regular traffic through an
+// instrumented switch, cross traffic merging at the downstream bottleneck,
+// per-flow latency estimated across both hops.
+func RunTandem(cfg TandemConfig) TandemResult { return experiments.RunTandem(cfg) }
+
+// Estimator variants (ablation A2); Linear is the paper's.
+const (
+	Linear   = core.Linear
+	LeftRef  = core.LeftRef
+	RightRef = core.RightRef
+	Nearest  = core.Nearest
+)
+
+// ---- Fat-tree RLIR deployment (paper Figure 1 / §3.1) ----
+
+// FatTreeConfig is one fat-tree RLIR deployment run.
+type FatTreeConfig = experiments.FatTreeConfig
+
+// FatTreeResult is its outcome.
+type FatTreeResult = experiments.FatTreeResult
+
+// DemuxStrategy names the downstream demultiplexing options.
+type DemuxStrategy = experiments.DemuxStrategy
+
+// Downstream demultiplexing strategies of §3.1.
+const (
+	DemuxNone        = experiments.DemuxNone
+	DemuxMark        = experiments.DemuxMark
+	DemuxReverseECMP = experiments.DemuxReverseECMP
+	DemuxOracle      = experiments.DemuxOracle
+)
+
+// DefaultFatTreeConfig returns a k=4 deployment at moderate load.
+func DefaultFatTreeConfig() FatTreeConfig { return experiments.DefaultFatTreeConfig() }
+
+// RunFatTree executes one fat-tree RLIR deployment: upstream senders at
+// source ToR uplinks, receivers at cores (prefix demux), downstream senders
+// at cores and a strategy-demultiplexed receiver at the destination ToR.
+func RunFatTree(cfg FatTreeConfig) FatTreeResult { return experiments.RunFatTree(cfg) }
+
+// ---- Placement planning (paper §3.1) ----
+
+// Placement computes deployment-complexity figures for a k-ary fat-tree.
+type Placement = topo.Placement
+
+// PlacementRow is one line of the placement table.
+type PlacementRow = topo.Row
+
+// PlacementTable computes the §3.1 table for the given arities.
+func PlacementTable(ks []int) ([]PlacementRow, error) { return topo.Table(ks) }
+
+// FormatPlacementTable renders the table.
+func FormatPlacementTable(rows []PlacementRow) string { return topo.FormatTable(rows) }
+
+// ---- Figures and ablations (paper §4 + DESIGN.md) ----
+
+// Figure is a reproduced figure: labelled CDF series plus notes.
+type Figure = experiments.Figure
+
+// Fig4a reproduces Figure 4(a): mean-estimate accuracy CDFs.
+func Fig4a(scale Scale) Figure { return experiments.Fig4a(scale) }
+
+// Fig4b reproduces Figure 4(b): stddev-estimate accuracy CDFs.
+func Fig4b(scale Scale) Figure { return experiments.Fig4b(scale) }
+
+// Fig4c reproduces Figure 4(c): bursty vs random cross traffic.
+func Fig4c(scale Scale) Figure { return experiments.Fig4c(scale) }
+
+// Fig5Result is the reproduced Figure 5.
+type Fig5Result = experiments.Fig5Result
+
+// Fig5 reproduces Figure 5: reference-packet interference with regular
+// traffic loss across a utilization sweep (nil utils uses the paper's
+// 0.82..0.98 range).
+func Fig5(scale Scale, utils []float64) Fig5Result { return experiments.Fig5(scale, utils) }
+
+// Scalars reproduces the §4.2 quoted numbers.
+type Scalars = experiments.Scalars
+
+// RunScalars measures them.
+func RunScalars(scale Scale) Scalars { return experiments.RunScalars(scale) }
+
+// AblationDemux runs every downstream demux strategy on an identical
+// fat-tree workload (DESIGN.md A1).
+func AblationDemux(cfg FatTreeConfig) []FatTreeResult { return experiments.AblationDemux(cfg) }
+
+// RenderAblationDemux formats A1.
+func RenderAblationDemux(rs []FatTreeResult) string { return experiments.RenderAblationDemux(rs) }
+
+// EstimatorRow is one line of ablation A2.
+type EstimatorRow = experiments.EstimatorRow
+
+// AblationEstimators compares interpolation variants (A2).
+func AblationEstimators(scale Scale, util float64) []EstimatorRow {
+	return experiments.AblationEstimators(scale, util)
+}
+
+// RenderEstimators formats A2.
+func RenderEstimators(rows []EstimatorRow) string { return experiments.RenderEstimators(rows) }
+
+// ClockRow is one line of ablation A3.
+type ClockRow = experiments.ClockRow
+
+// AblationClocks sweeps clock imperfections (A3).
+func AblationClocks(scale Scale, util float64) []ClockRow {
+	return experiments.AblationClocks(scale, util)
+}
+
+// RenderClocks formats A3.
+func RenderClocks(rows []ClockRow) string { return experiments.RenderClocks(rows) }
+
+// BaselineResult is B1: RLIR vs LDA vs Multiflow.
+type BaselineResult = experiments.BaselineResult
+
+// RunBaselines co-locates RLIR, LDA and Multiflow on one run (B1).
+func RunBaselines(scale Scale, util float64) BaselineResult {
+	return experiments.RunBaselines(scale, util)
+}
+
+// ---- Localization (DESIGN.md L1, the paper's Figure 1 narrative) ----
+
+// LocalizationConfig is the T1->T7 per-segment localization scenario.
+type LocalizationConfig = experiments.LocalizationConfig
+
+// LocalizationResult reports calibration, fault run and verdict.
+type LocalizationResult = experiments.LocalizationResult
+
+// AnomalySite places the injected fault.
+type AnomalySite = experiments.AnomalySite
+
+// Fault sites for RunLocalization.
+const (
+	AnomalyNone   = experiments.AnomalyNone
+	AnomalySrcAgg = experiments.AnomalySrcAgg
+	AnomalyDstAgg = experiments.AnomalyDstAgg
+)
+
+// DefaultLocalizationConfig returns the k=4 scenario with a fault at the
+// destination pod's aggregation layer.
+func DefaultLocalizationConfig() LocalizationConfig {
+	return experiments.DefaultLocalizationConfig()
+}
+
+// RunLocalization measures per-core segments of one ToR-to-ToR path twice
+// (healthy, then with an injected fault) and reports which segments the
+// localizer flags.
+func RunLocalization(cfg LocalizationConfig) LocalizationResult {
+	return experiments.RunLocalization(cfg)
+}
+
+// ---- Convenience ----
+
+// Microseconds converts a duration to float64 microseconds, the unit the
+// paper quotes latencies in.
+func Microseconds(d time.Duration) float64 {
+	return float64(d) / float64(time.Microsecond)
+}
