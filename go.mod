@@ -1,0 +1,3 @@
+module github.com/netmeasure/rlir
+
+go 1.24

@@ -1,11 +1,27 @@
 // Package eventsim implements a deterministic discrete-event simulation
 // engine.
 //
-// Events are closures scheduled at nanosecond-resolution virtual instants
+// Events are scheduled at nanosecond-resolution virtual instants
 // (simtime.Time). The engine pops events in (time, scheduling order): two
 // events scheduled for the same instant run in the order they were scheduled,
 // which makes simulations bit-for-bit reproducible across runs with the same
 // seed.
+//
+// The engine offers two scheduling APIs:
+//
+//   - At/After take a closure. This is the convenient path for cold callers
+//     (experiment setup, tickers); each call captures its state in a heap
+//     allocation.
+//   - AtKind/AfterKind take a Kind registered via RegisterKind plus two
+//     payload words. Handlers are installed once per kind; the payload is
+//     carried by value inside the event heap slot, so scheduling allocates
+//     nothing as long as the payload words are pointer-shaped (pointers,
+//     funcs, channels, maps). This is the path the packet simulator's
+//     per-packet events use.
+//
+// Internally the queue is a monomorphic 4-ary min-heap over a flat []event
+// slice: no container/heap indirection, no interface boxing per element, and
+// a branching factor that keeps parent/child slots on the same cache lines.
 //
 // The engine is single-goroutine by design: network simulation at packet
 // granularity is dominated by the event heap and cache behaviour, not by
@@ -13,7 +29,6 @@
 package eventsim
 
 import (
-	"container/heap"
 	"time"
 
 	"github.com/netmeasure/rlir/internal/simtime"
@@ -23,33 +38,44 @@ import (
 // instant it was scheduled for.
 type Handler func()
 
+// Kind identifies a typed-event handler registered with RegisterKind.
+type Kind uint32
+
+// TypedHandler executes one typed event. It receives the two payload words
+// the event was scheduled with. Payloads are conventionally pointers (a
+// node or port, and a packet); storing pointer-shaped values in the payload
+// words performs no allocation.
+type TypedHandler func(a, b any)
+
+// kindFunc is the built-in kind backing the At/After closure API: payload
+// word a holds the Handler.
+const kindFunc Kind = 0
+
+// event is one heap slot. The payload words a and b are carried by value:
+// popping an event never allocates, and dispatch goes through the engine's
+// kind table rather than a captured closure.
 type event struct {
-	at  simtime.Time
-	seq uint64 // FIFO tie-break among events at the same instant
-	fn  Handler
+	at   simtime.Time
+	seq  uint64 // FIFO tie-break among events at the same instant
+	kind Kind
+	a, b any
 }
 
-// eventHeap is a binary min-heap ordered by (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether x orders strictly ahead of y in (at, seq) order.
+func (x *event) before(y *event) bool {
+	if x.at != y.at {
+		return x.at < y.at
 	}
-	return h[i].seq < h[j].seq
+	return x.seq < y.seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() simtime.Time { return h[0].at }
 
 // Engine is a discrete-event scheduler. The zero value is not usable; create
 // one with New.
 type Engine struct {
 	now       simtime.Time
 	seq       uint64
-	events    eventHeap
+	events    []event // 4-ary min-heap ordered by (at, seq)
+	kinds     []TypedHandler
 	processed uint64
 	stopped   bool
 }
@@ -57,8 +83,20 @@ type Engine struct {
 // New returns an engine with its clock at the simulation epoch.
 func New() *Engine {
 	e := &Engine{}
-	e.events = make(eventHeap, 0, 1024)
+	e.events = make([]event, 0, 1024)
+	e.kinds = []TypedHandler{func(a, _ any) { a.(Handler)() }}
 	return e
+}
+
+// RegisterKind installs a typed-event handler and returns its Kind. Kinds
+// are engine-scoped; register them once at setup (registration order is part
+// of the deterministic state, so register in a fixed order).
+func (e *Engine) RegisterKind(h TypedHandler) Kind {
+	if h == nil {
+		panic("eventsim: RegisterKind with nil handler")
+	}
+	e.kinds = append(e.kinds, h)
+	return Kind(len(e.kinds) - 1)
 }
 
 // Now returns the current virtual time.
@@ -73,16 +111,90 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // At schedules fn to run at instant t. Scheduling in the past (t earlier than
 // Now) panics: it would silently corrupt causality in a network simulation.
 func (e *Engine) At(t simtime.Time, fn Handler) {
-	if t < e.now {
-		panic("eventsim: scheduling event in the past (" + t.String() + " < " + e.now.String() + ")")
-	}
-	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.schedule(t, kindFunc, fn, nil)
 }
 
 // After schedules fn to run d after the current instant. Negative d panics.
 func (e *Engine) After(d time.Duration, fn Handler) {
-	e.At(e.now.Add(d), fn)
+	e.schedule(e.now.Add(d), kindFunc, fn, nil)
+}
+
+// AtKind schedules a typed event at instant t. Scheduling in the past
+// panics. The payload words a and b are handed to the kind's handler when
+// the event fires.
+func (e *Engine) AtKind(t simtime.Time, k Kind, a, b any) {
+	if uint32(k) >= uint32(len(e.kinds)) {
+		panic("eventsim: AtKind with unregistered kind")
+	}
+	e.schedule(t, k, a, b)
+}
+
+// AfterKind schedules a typed event d after the current instant.
+func (e *Engine) AfterKind(d time.Duration, k Kind, a, b any) {
+	e.AtKind(e.now.Add(d), k, a, b)
+}
+
+func (e *Engine) schedule(t simtime.Time, k Kind, a, b any) {
+	if t < e.now {
+		panic("eventsim: scheduling event in the past (" + t.String() + " < " + e.now.String() + ")")
+	}
+	e.seq++
+	e.push(event{at: t, seq: e.seq, kind: k, a: a, b: b})
+}
+
+// push sifts a new event up the 4-ary heap.
+func (e *Engine) push(ev event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !ev.before(&h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+	e.events = h
+}
+
+// pop removes and returns the minimum event, sifting the displaced tail
+// element down. The vacated tail slot is zeroed so payload pointers do not
+// outlive their event.
+func (e *Engine) pop() event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{}
+	h = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			m := c
+			for j := c + 1; j < end; j++ {
+				if h[j].before(&h[m]) {
+					m = j
+				}
+			}
+			if !h[m].before(&last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	e.events = h
+	return top
 }
 
 // Stop makes the currently executing Run or RunUntil call return after the
@@ -103,12 +215,12 @@ func (e *Engine) RunUntil(deadline simtime.Time) uint64 {
 	e.stopped = false
 	var n uint64
 	for len(e.events) > 0 && !e.stopped {
-		if e.events.peek() > deadline {
+		if e.events[0].at > deadline {
 			break
 		}
-		ev := heap.Pop(&e.events).(event)
+		ev := e.pop()
 		e.now = ev.at
-		ev.fn()
+		e.kinds[ev.kind](ev.a, ev.b)
 		n++
 	}
 	e.processed += n
@@ -124,9 +236,9 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.pop()
 	e.now = ev.at
-	ev.fn()
+	e.kinds[ev.kind](ev.a, ev.b)
 	e.processed++
 	return true
 }

@@ -1,0 +1,126 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/eventsim"
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/simtime"
+)
+
+// buildTandemLine is a src -> sw -> sink line with a rate-limited middle
+// link, the minimal topology exercising every typed-event site: injection
+// arrival, processing-delay dispatch, tx-complete chaining on a busy port,
+// and propagation arrival.
+func buildTandemLine(nw *Network) (src, sw, sink *Node) {
+	src = nw.AddNode(NodeConfig{Name: "src"})
+	sw = nw.AddNode(NodeConfig{Name: "sw", ProcDelay: 500 * time.Nanosecond})
+	sink = nw.AddNode(NodeConfig{Name: "sink"})
+	nw.Connect(src, sw, LinkConfig{RateBps: 1e9, Propagation: time.Microsecond})
+	nw.Connect(sw, sink, LinkConfig{RateBps: 1e8, Propagation: time.Microsecond})
+	fwd := func(n *Node, p *packet.Packet) int { return 0 }
+	src.SetForward(fwd)
+	sw.SetForward(fwd)
+	return src, sw, sink
+}
+
+// TestSteadyForwardingZeroAlloc is the netsim half of the PR's headline
+// claim: forwarding a packet through injection, processing delay, queueing,
+// transmission and propagation — all four typed-event sites — allocates
+// nothing once queues and the event heap have grown to steady state.
+func TestSteadyForwardingZeroAlloc(t *testing.T) {
+	eng := eventsim.New()
+	nw := New(eng)
+	src, _, sink := buildTandemLine(nw)
+
+	const batch = 200
+	pkts := make([]packet.Packet, batch)
+	for i := range pkts {
+		pkts[i] = packet.Packet{ID: uint64(i + 1), Size: 1000}
+	}
+	inject := func() {
+		base := eng.Now()
+		for i := range pkts {
+			// Arrivals faster than the 1e8 bottleneck drains, so the output
+			// queue stays busy and tx-complete chains into the next startTx.
+			nw.Inject(src, &pkts[i], base.Add(time.Duration(i)*10*time.Microsecond))
+		}
+		eng.Run()
+	}
+	inject() // warm-up: grows the event heap and the port fifos
+
+	allocs := testing.AllocsPerRun(10, inject)
+	if allocs != 0 {
+		t.Fatalf("steady-state forwarding allocated %.1f times per batch of %d packets, want 0",
+			allocs, batch)
+	}
+	if got := sink.Delivered(); got == 0 {
+		t.Fatal("no packets delivered; the zero-alloc run did not exercise the path")
+	}
+}
+
+// TestTypedDispatchMatchesDirectSemantics re-checks the forwarding timeline
+// through the typed-event path against first principles: one packet's
+// delivery time must be the analytic sum of processing, serialization and
+// propagation along the line.
+func TestTypedDispatchMatchesDirectSemantics(t *testing.T) {
+	eng := eventsim.New()
+	nw := New(eng)
+	src, sw, sink := buildTandemLine(nw)
+
+	var deliveredAt simtime.Time
+	sink.OnDeliver(func(p *packet.Packet, now simtime.Time) { deliveredAt = now })
+	p := &packet.Packet{ID: 1, Size: 1000}
+	nw.Inject(src, p, simtime.Zero)
+	eng.Run()
+
+	want := simtime.Zero.
+		Add(simtime.TxTime(1000, 1e9)). // src serialization (src has no proc delay)
+		Add(time.Microsecond).          // src->sw propagation
+		Add(500 * time.Nanosecond).     // sw processing
+		Add(simtime.TxTime(1000, 1e8)). // bottleneck serialization
+		Add(time.Microsecond)           // sw->sink propagation
+	if deliveredAt != want {
+		t.Fatalf("delivered at %v through typed dispatch, analytic %v", deliveredAt, want)
+	}
+	if src.Received() != 1 || sw.Received() != 1 || sink.Delivered() != 1 {
+		t.Fatalf("counters src=%d sw=%d sink=%d, want 1/1/1",
+			src.Received(), sw.Received(), sink.Delivered())
+	}
+}
+
+// TestFifoMaskWrap exercises the power-of-two ring buffer across several
+// growth and wrap cycles.
+func TestFifoMaskWrap(t *testing.T) {
+	var f fifo
+	mk := func(id uint64) *packet.Packet { return &packet.Packet{ID: id, Size: 64} }
+	next := uint64(1)
+	expect := uint64(1)
+	// Interleave pushes and pops so head/tail wrap repeatedly while the
+	// buffer grows through 16, 32, 64.
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 3+round%5; i++ {
+			f.push(mk(next))
+			next++
+		}
+		for i := 0; i < 1+round%3 && f.len() > 0; i++ {
+			if got := f.pop().ID; got != expect {
+				t.Fatalf("round %d: popped %d, want %d", round, got, expect)
+			}
+			expect++
+		}
+		if n := len(f.buf); n&(n-1) != 0 {
+			t.Fatalf("round %d: buffer length %d not a power of two", round, n)
+		}
+	}
+	for f.len() > 0 {
+		if got := f.pop().ID; got != expect {
+			t.Fatalf("drain: popped %d, want %d", got, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d packets, pushed %d", expect-1, next-1)
+	}
+}

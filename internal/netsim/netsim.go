@@ -45,11 +45,24 @@ type Network struct {
 	nodes      []*Node
 	tracePaths bool
 	nextPktID  uint64
+
+	// Typed event kinds for the per-packet hot path. Every steady-state
+	// forwarding step — injection arrival, post-processing dispatch, wire
+	// transfer completion, propagation arrival — is a typed event whose
+	// payload (node or port, plus packet) lives by value in the heap slot,
+	// so forwarding a packet schedules no closures and allocates nothing.
+	kReceive  eventsim.Kind // a: *Node, b: *packet.Packet — ingress arrival
+	kDispatch eventsim.Kind // a: *Node, b: *packet.Packet — post-proc-delay forwarding
+	kTxDone   eventsim.Kind // a: *Port, b: *packet.Packet — wire transfer complete
 }
 
 // New returns an empty network on the given engine.
 func New(eng *eventsim.Engine) *Network {
-	return &Network{eng: eng}
+	nw := &Network{eng: eng}
+	nw.kReceive = eng.RegisterKind(func(a, b any) { a.(*Node).receive(b.(*packet.Packet)) })
+	nw.kDispatch = eng.RegisterKind(func(a, b any) { a.(*Node).dispatch(b.(*packet.Packet)) })
+	nw.kTxDone = eng.RegisterKind(func(a, b any) { a.(*Port).txDone(b.(*packet.Packet)) })
+	return nw
 }
 
 // Engine returns the event engine the network runs on.
@@ -105,7 +118,7 @@ func (nw *Network) Nodes() int { return len(nw.nodes) }
 // Inject schedules p to arrive at node n's ingress at instant at. It is how
 // workloads enter the network.
 func (nw *Network) Inject(n *Node, p *packet.Packet, at simtime.Time) {
-	nw.eng.At(at, func() { n.receive(p) })
+	nw.eng.AtKind(at, nw.kReceive, n, p)
 }
 
 // LinkConfig configures a unidirectional link and the output queue feeding
@@ -207,7 +220,7 @@ func (n *Node) receive(p *packet.Packet) {
 		t(p, now)
 	}
 	if n.proc > 0 {
-		n.net.eng.After(n.proc, func() { n.dispatch(p) })
+		n.net.eng.AfterKind(n.proc, n.net.kDispatch, n, p)
 		return
 	}
 	n.dispatch(p)
@@ -340,24 +353,29 @@ func (pt *Port) startTx() {
 	txDur := simtime.TxTime(p.Size, pt.cfg.RateBps)
 	pt.ctr.TxPackets++
 	pt.ctr.TxBytes += uint64(p.Size)
-	eng.After(txDur, func() {
-		// Wire transfer complete: hand off to propagation, then serve the
-		// next queued packet.
-		dst := pt.dst
-		if pt.cfg.Propagation > 0 {
-			eng.After(pt.cfg.Propagation, func() { dst.receive(p) })
-		} else {
-			dst.receive(p)
-		}
-		if pt.queue.len() > 0 {
-			pt.startTx()
-		} else {
-			pt.busy = false
-		}
-	})
+	eng.AfterKind(txDur, pt.node.net.kTxDone, pt, p)
 }
 
-// fifo is a ring-buffer packet queue sized on demand.
+// txDone handles wire transfer completion: hand off to propagation, then
+// serve the next queued packet. A busy port therefore has exactly one
+// pending event per in-flight packet — the tx-complete of the packet in
+// service — and re-arms itself from it.
+func (pt *Port) txDone(p *packet.Packet) {
+	nw := pt.node.net
+	if pt.cfg.Propagation > 0 {
+		nw.eng.AfterKind(pt.cfg.Propagation, nw.kReceive, pt.dst, p)
+	} else {
+		pt.dst.receive(p)
+	}
+	if pt.queue.len() > 0 {
+		pt.startTx()
+	} else {
+		pt.busy = false
+	}
+}
+
+// fifo is a ring-buffer packet queue sized on demand. The buffer length is
+// always a power of two so head/tail wrap with a mask instead of a modulo.
 type fifo struct {
 	buf        []*packet.Packet
 	head, tail int
@@ -371,7 +389,7 @@ func (f *fifo) push(p *packet.Packet) {
 		f.grow()
 	}
 	f.buf[f.tail] = p
-	f.tail = (f.tail + 1) % len(f.buf)
+	f.tail = (f.tail + 1) & (len(f.buf) - 1)
 	f.n++
 }
 
@@ -381,23 +399,17 @@ func (f *fifo) pop() *packet.Packet {
 	}
 	p := f.buf[f.head]
 	f.buf[f.head] = nil
-	f.head = (f.head + 1) % len(f.buf)
+	f.head = (f.head + 1) & (len(f.buf) - 1)
 	f.n--
 	return p
 }
 
 func (f *fifo) grow() {
 	next := make([]*packet.Packet, max(16, 2*len(f.buf)))
+	mask := len(f.buf) - 1
 	for i := 0; i < f.n; i++ {
-		next[i] = f.buf[(f.head+i)%len(f.buf)]
+		next[i] = f.buf[(f.head+i)&mask]
 	}
 	f.buf = next
-	f.head, f.tail = 0, f.n%len(next)
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	f.head, f.tail = 0, f.n&(len(next)-1)
 }

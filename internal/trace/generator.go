@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -99,6 +98,14 @@ type Generator struct {
 	arrGap   float64 // mean inter-flow-arrival in seconds
 	done     bool
 	emitted  uint64
+
+	// Hot-path accelerators, prepared once per generator: the flow-length
+	// sampler hoists the bounded-Pareto transcendentals, sizeTotal hoists
+	// the size-mix weight sum, and free recycles finished flowState records
+	// so steady-state generation does not allocate per flow.
+	lenSamp   *LenSampler
+	sizeTotal float64
+	free      []*flowState
 }
 
 // flowState is one active flow's pending next packet.
@@ -109,14 +116,64 @@ type flowState struct {
 	size      int
 }
 
+// genHeap is a monomorphic binary min-heap over pending flows, ordered by
+// next-packet instant. Its sift procedures replicate container/heap's
+// algorithm exactly (same comparisons, same swap sequence), so the
+// arrangement — and therefore the emission order among flows whose next
+// packets collide on the same instant — is bit-identical to the seed
+// engine's, without the interface dispatch per comparison.
 type genHeap []*flowState
 
 func (h genHeap) Len() int           { return len(h) }
-func (h genHeap) Less(i, j int) bool { return h[i].at < h[j].at }
-func (h genHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *genHeap) Push(x any)        { *h = append(*h, x.(*flowState)) }
-func (h *genHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
 func (h genHeap) peek() simtime.Time { return h[0].at }
+
+func (h *genHeap) push(fs *flowState) {
+	*h = append(*h, fs)
+	s := *h
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if s[i].at <= s[j].at {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+func (h *genHeap) pop() *flowState {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	s.down(0, n)
+	fs := s[n]
+	s[n] = nil
+	*h = s[:n]
+	return fs
+}
+
+// fixRoot restores the heap after the root's instant changed in place
+// (container/heap.Fix(h, 0) equivalent: at the root, sifting down covers
+// every case).
+func (h genHeap) fixRoot() { h.down(0, len(h)) }
+
+func (h genHeap) down(i0, n int) {
+	i := i0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && h[j2].at < h[j].at {
+			j = j2
+		}
+		if h[i].at <= h[j].at {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
 
 // NewGenerator builds a generator; it panics on invalid configuration since
 // a malformed workload invalidates every downstream result.
@@ -125,9 +182,11 @@ func NewGenerator(cfg Config) *Generator {
 		panic(err)
 	}
 	g := &Generator{
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		arrGap: 1 / cfg.FlowArrivalRate(),
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		arrGap:    1 / cfg.FlowArrivalRate(),
+		lenSamp:   cfg.FlowLen.Sampler(),
+		sizeTotal: cfg.Sizes.total(),
 	}
 	g.nextFlow = g.expAfter(simtime.Time(-int64(cfg.Warmup)), g.arrGap)
 	return g
@@ -163,7 +222,7 @@ func (g *Generator) randAddr(p packet.Prefix) packet.Addr {
 
 // spawnFlow creates a new flow starting at the given instant.
 func (g *Generator) spawnFlow(at simtime.Time) {
-	n := g.cfg.FlowLen.quantile(g.rng.Float64())
+	n := g.lenSamp.Sample(g.rng.Float64())
 	key := packet.FlowKey{
 		Src:     g.randAddr(g.cfg.SrcPrefix),
 		Dst:     g.randAddr(g.cfg.DstPrefix),
@@ -174,9 +233,16 @@ func (g *Generator) spawnFlow(at simtime.Time) {
 	if g.rng.Float64() < 0.15 {
 		key.Proto = packet.ProtoUDP
 	}
-	fs := &flowState{at: at, key: key, remaining: n}
-	fs.size = g.cfg.Sizes.sample(g.rng.Float64())
-	heap.Push(&g.events, fs)
+	var fs *flowState
+	if k := len(g.free); k > 0 {
+		fs = g.free[k-1]
+		g.free = g.free[:k-1]
+	} else {
+		fs = new(flowState)
+	}
+	*fs = flowState{at: at, key: key, remaining: n}
+	fs.size = g.cfg.Sizes.sampleTotal(g.rng.Float64(), g.sizeTotal)
+	g.events.push(fs)
 }
 
 // Next returns the next record in time order.
@@ -207,11 +273,12 @@ func (g *Generator) Next() (Rec, bool) {
 		rec := Rec{At: fs.at, Key: fs.key, Size: fs.size}
 		fs.remaining--
 		if fs.remaining == 0 {
-			heap.Pop(&g.events)
+			g.events.pop()
+			g.free = append(g.free, fs)
 		} else {
 			fs.at = g.expAfter(fs.at, g.cfg.MeanGap.Seconds())
-			fs.size = g.cfg.Sizes.sample(g.rng.Float64())
-			heap.Fix(&g.events, 0)
+			fs.size = g.cfg.Sizes.sampleTotal(g.rng.Float64(), g.sizeTotal)
+			g.events.fixRoot()
 		}
 		if rec.At < 0 {
 			// Warm-up record: generated for stationarity, not emitted.

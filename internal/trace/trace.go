@@ -16,6 +16,7 @@ package trace
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/netmeasure/rlir/internal/packet"
 	"github.com/netmeasure/rlir/internal/simtime"
@@ -83,12 +84,24 @@ func (m SizeMix) Mean() float64 {
 	return sum / total
 }
 
-// sample draws a size given a uniform variate u in [0,1).
-func (m SizeMix) sample(u float64) int {
+// total returns the sum of the mix's weights. Hot callers compute it once
+// and pass it to sampleTotal; the summation order here must match sample's
+// so the two paths stay bit-identical.
+func (m SizeMix) total() float64 {
 	var total float64
 	for _, p := range m {
 		total += p.Weight
 	}
+	return total
+}
+
+// sample draws a size given a uniform variate u in [0,1).
+func (m SizeMix) sample(u float64) int {
+	return m.sampleTotal(u, m.total())
+}
+
+// sampleTotal is sample with the weight total hoisted out of the call.
+func (m SizeMix) sampleTotal(u, total float64) int {
 	u *= total
 	for _, p := range m {
 		u -= p.Weight
@@ -126,23 +139,38 @@ func (d FlowLenDist) Validate() error {
 	return nil
 }
 
+// meanCache memoizes FlowLenDist.Mean per parameter set: experiments build
+// several generators over identical distributions, and the numeric
+// integration is by far the most expensive part of calibration.
+var meanCache sync.Map // FlowLenDist -> float64
+
 // Mean returns the expected flow length in packets, computed numerically
 // from the sampling transform so that calibration matches what Sample
 // actually produces.
 func (d FlowLenDist) Mean() float64 {
+	if v, ok := meanCache.Load(d); ok {
+		return v.(float64)
+	}
 	// E[floor(X)] where X is continuous bounded Pareto on [1, Max+1).
-	// Integrate the inverse CDF over u in [0,1) with a fine grid; the
-	// generator is calibrated once per run, so cost is irrelevant.
+	// Integrate the inverse CDF over u in [0,1) with a fine grid. The grid
+	// probes resolve almost entirely from the prepared sampler's table, so
+	// calibration no longer costs hundreds of thousands of math.Pow calls
+	// per generator.
+	s := d.Sampler()
 	const steps = 200000
 	var sum float64
 	for i := 0; i < steps; i++ {
 		u := (float64(i) + 0.5) / steps
-		sum += float64(d.quantile(u))
+		sum += float64(s.Sample(u))
 	}
-	return sum / steps
+	mean := sum / steps
+	meanCache.Store(d, mean)
+	return mean
 }
 
-// quantile maps a uniform variate to a flow length.
+// quantile maps a uniform variate to a flow length. It is the reference
+// implementation; LenSampler.Sample produces bit-identical values with the
+// per-call invariants hoisted.
 func (d FlowLenDist) quantile(u float64) int {
 	xmax := float64(d.Max) + 1
 	// Inverse CDF of bounded Pareto with xmin=1.
@@ -154,6 +182,99 @@ func (d FlowLenDist) quantile(u float64) int {
 	}
 	if n > d.Max {
 		n = d.Max
+	}
+	return n
+}
+
+// lenSamplerBuckets is the inverse-CDF table resolution. It is a power of
+// two so that u*lenSamplerBuckets is an exact float64 operation: the bucket
+// index computed at sample time and the bucket boundaries computed at build
+// time partition [0,1) identically, with no rounding seam.
+const lenSamplerBuckets = 4096
+
+// LenSampler draws flow lengths from a FlowLenDist. It hoists the two
+// per-call invariants of the inverse CDF (the normalization factor and the
+// -1/Alpha exponent) and resolves most draws from a precomputed lookup
+// table, falling back to the exact transform only for variates that land in
+// a bucket straddling an integer boundary. Sample(u) returns exactly
+// quantile(u) for every u in [0,1): the table is an accelerator, never an
+// approximation.
+type LenSampler struct {
+	d       FlowLenDist
+	hFactor float64
+	negInv  float64
+	table   []int32 // resolved length per bucket; -1 = compute exactly
+}
+
+// Sampler prepares a sampler for the distribution. It panics on invalid
+// parameters, like NewGenerator.
+func (d FlowLenDist) Sampler() *LenSampler {
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
+	xmax := float64(d.Max) + 1
+	s := &LenSampler{
+		d: d,
+		// Same expressions as quantile, evaluated once.
+		hFactor: 1 - math.Pow(1/xmax, d.Alpha),
+		negInv:  -1 / d.Alpha,
+		table:   make([]int32, lenSamplerBuckets),
+	}
+	lo := s.x(0)
+	for i := range s.table {
+		hi := s.x(float64(i+1) / lenSamplerBuckets)
+		s.table[i] = bucketValue(lo, hi, d.Max)
+		lo = hi
+	}
+	return s
+}
+
+// x is the continuous bounded-Pareto inverse CDF, bit-identical to the
+// expression inside quantile.
+func (s *LenSampler) x(u float64) float64 {
+	return math.Pow(1-u*s.hFactor, s.negInv)
+}
+
+// bucketValue resolves one table bucket whose x-range is [lo, hi], or
+// returns -1 when the bucket cannot be proven to map to a single integer.
+// math.Pow is monotone only up to its last-ulp error, so a bucket is cached
+// only when its whole x-range sits clear of the integer boundaries by a
+// margin (1e-9 relative) many orders of magnitude wider than that error —
+// then every variate in the bucket provably floors to the same length.
+func bucketValue(lo, hi float64, maxLen int) int32 {
+	n := math.Floor(lo)
+	if math.Floor(hi) != n {
+		return -1
+	}
+	if m := 1e-9 * hi; lo < n+m || hi > n+1-m {
+		return -1
+	}
+	v := int(n)
+	if v < 1 {
+		v = 1
+	}
+	if v > maxLen {
+		v = maxLen
+	}
+	return int32(v)
+}
+
+// Sample maps a uniform variate in [0,1) to a flow length. It returns the
+// same value quantile would, at the cost of a table probe for almost all
+// variates.
+func (s *LenSampler) Sample(u float64) int {
+	if i := int(u * lenSamplerBuckets); i >= 0 && i < lenSamplerBuckets {
+		if v := s.table[i]; v >= 0 {
+			return int(v)
+		}
+	}
+	x := s.x(u)
+	n := int(x)
+	if n < 1 {
+		n = 1
+	}
+	if n > s.d.Max {
+		n = s.d.Max
 	}
 	return n
 }

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# bench.sh — run the perf benchmark suite and record the result as
+# BENCH_<N>.json in the repository root, starting the performance
+# trajectory across PRs.
+#
+# Usage:
+#   scripts/bench.sh        # picks the next free N (BENCH_1.json, BENCH_2.json, ...)
+#   scripts/bench.sh 3      # writes/overwrites BENCH_3.json
+#
+# Captured: raw simulator throughput (pkts/s, ns/op, B/op, allocs/op) from
+# BenchmarkSimulatorThroughput, plus the headline figure metrics from
+# BenchmarkScalars (base utilization, adaptive gap, median relative error
+# for static injection at 93% utilization).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+n="${1:-}"
+if [ -z "$n" ]; then
+  n=1
+  while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+fi
+out="BENCH_${n}.json"
+
+echo "running benchmark suite (this takes a minute)..." >&2
+raw=$(go test -run '^$' -bench 'BenchmarkSimulatorThroughput$|BenchmarkScalars$' \
+  -benchmem -benchtime 10x . 2>&1)
+
+echo "$raw" | grep -E '^Benchmark' >&2
+
+echo "$raw" | awk -v bench="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+  -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+  -v goversion="$(go env GOVERSION)" '
+  /^BenchmarkSimulatorThroughput/ {
+    for (i = 1; i < NF; i++) {
+      if ($(i + 1) == "ns/op") ns = $i
+      if ($(i + 1) == "pkts/s") pkts = $i
+      if ($(i + 1) == "B/op") bytes = $i
+      if ($(i + 1) == "allocs/op") allocs = $i
+    }
+  }
+  /^BenchmarkScalars/ {
+    for (i = 1; i < NF; i++) {
+      if ($(i + 1) == "baseUtil") base = $i
+      if ($(i + 1) == "adaptiveGap") gap = $i
+      if ($(i + 1) == "medianRelErr@93static") err = $i
+    }
+  }
+  END {
+    if (pkts == "") { print "bench.sh: no throughput result parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"bench\": %d,\n", bench
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"commit\": \"%s\",\n", commit
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"simulator_throughput\": {\n"
+    printf "    \"pkts_per_s\": %s,\n", pkts
+    printf "    \"ns_per_op\": %s,\n", ns
+    printf "    \"bytes_per_op\": %s,\n", bytes
+    printf "    \"allocs_per_op\": %s\n", allocs
+    printf "  },\n"
+    printf "  \"figure_metrics\": {\n"
+    printf "    \"base_util\": %s,\n", base
+    printf "    \"adaptive_gap\": %s,\n", gap
+    printf "    \"median_rel_err_93_static\": %s\n", err
+    printf "  }\n"
+    printf "}\n"
+  }' > "$out"
+
+echo "wrote $out" >&2
+cat "$out"
