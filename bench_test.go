@@ -188,6 +188,32 @@ func BenchmarkLocalization(b *testing.B) {
 	b.ReportMetric(ok, "localized")
 }
 
+// benchmarkRunnerSweep measures the multi-seed runner: an 8-seed tandem
+// sweep (per-run telemetry merged through the collector plane) at the given
+// worker count. BenchmarkRunnerSweep1 vs BenchmarkRunnerSweep4 gives the
+// parallel-scaling ratio scripts/bench.sh records in BENCH_N.json; on a
+// multi-core machine 4 workers should approach 4x, and the ratio degrades
+// to ~1x only when the hardware offers a single core.
+func benchmarkRunnerSweep(b *testing.B, workers int) {
+	cfg := rlir.TandemConfig{
+		Scale:      benchScale(),
+		Scheme:     rlir.DefaultStatic(),
+		Model:      rlir.CrossUniform,
+		TargetUtil: 0.93,
+	}
+	var r rlir.MultiTandemResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = rlir.MultiTandem(cfg, rlir.MultiOpts{Seeds: 8, Workers: workers})
+	}
+	b.ReportMetric(float64(len(r.Merged)), "mergedFlows")
+	b.ReportMetric(r.MedianRelErr.Mean, "medianRelErr")
+	b.ReportMetric(r.MedianRelErr.CI95, "medianRelErrCI95")
+}
+
+func BenchmarkRunnerSweep1(b *testing.B) { benchmarkRunnerSweep(b, 1) }
+func BenchmarkRunnerSweep4(b *testing.B) { benchmarkRunnerSweep(b, 4) }
+
 // BenchmarkSimulatorThroughput measures raw simulator speed: packets pushed
 // through the instrumented tandem per second of wall clock — the
 // engineering metric that bounds how large a trace the harness can replay.

@@ -2,12 +2,18 @@
 // evaluation (and the repository's ablations) and prints them as text
 // tables and CDF renderings.
 //
+// With -seeds N (N > 1) it instead runs each experiment at N independent
+// SplitMix64-derived seeds, fanned across -parallel workers, and reports
+// headline metrics as mean ± 95% CI — the statistically rigorous form of
+// the same figures.
+//
 // Usage:
 //
 //	experiments -all
 //	experiments -fig 4a -scale default
 //	experiments -fig 5
 //	experiments -fig A1
+//	experiments -all -seeds 8 -parallel 4
 package main
 
 import (
@@ -24,21 +30,24 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		fig    = flag.String("fig", "", "which result to regenerate: 4a 4b 4c 5 placement scalars A1 A2 A3 B1")
-		all    = flag.Bool("all", false, "regenerate everything")
-		scale  = flag.String("scale", "default", "small | default | full")
-		seed   = flag.Int64("seed", 1, "deterministic seed")
-		csvDir = flag.String("csv", "", "also write figure series as CSV files into this directory")
+		fig      = flag.String("fig", "", "which result to regenerate: 4a 4b 4c 5 placement scalars A1 A2 A3 B1 L1")
+		all      = flag.Bool("all", false, "regenerate everything")
+		scale    = flag.String("scale", "default", "small | default | full")
+		seed     = flag.Int64("seed", 1, "deterministic base seed")
+		seeds    = flag.Int("seeds", 1, "number of independent seeds; > 1 reports mean ± 95% CI")
+		parallel = flag.Int("parallel", 0, "max concurrent runs for multi-seed sweeps (0 = GOMAXPROCS)")
+		csvDir   = flag.String("csv", "", "also write figure series as CSV files into this directory (single-seed only)")
 	)
 	flag.Parse()
 
 	sc := pickScale(*scale)
-	sc.Seed = seed64(*seed)
+	sc.Seed = *seed
 	csvOut = *csvDir
+	opts := rlir.MultiOpts{Seeds: *seeds, Workers: *parallel}
 
 	targets := []string{}
 	if *all {
-		targets = []string{"placement", "scalars", "4a", "4b", "4c", "5", "A1", "A2", "A3", "B1"}
+		targets = []string{"placement", "scalars", "4a", "4b", "4c", "5", "A1", "A2", "A3", "B1", "L1"}
 	} else if *fig != "" {
 		targets = strings.Split(*fig, ",")
 	} else {
@@ -48,12 +57,14 @@ func main() {
 
 	for _, t := range targets {
 		start := time.Now()
-		run(strings.TrimSpace(t), sc)
+		if *seeds > 1 {
+			runMulti(strings.TrimSpace(t), sc, opts)
+		} else {
+			run(strings.TrimSpace(t), sc)
+		}
 		fmt.Printf("[%s done in %v]\n\n", t, time.Since(start).Round(time.Millisecond))
 	}
 }
-
-func seed64(s int64) int64 { return s }
 
 func pickScale(name string) rlir.Scale {
 	switch name {
@@ -101,12 +112,7 @@ func run(target string, sc rlir.Scale) {
 			}
 		}
 	case "placement":
-		rows, err := rlir.PlacementTable([]int{4, 8, 16, 32, 48})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println("== §3.1: deployment complexity (measurement instances) ==")
-		fmt.Print(rlir.FormatPlacementTable(rows))
+		runPlacement()
 	case "scalars":
 		fmt.Print(rlir.RunScalars(sc).Render())
 	case "A1":
@@ -119,7 +125,56 @@ func run(target string, sc rlir.Scale) {
 		fmt.Print(rlir.RenderClocks(rlir.AblationClocks(sc, 0.8)))
 	case "B1":
 		fmt.Print(rlir.RunBaselines(sc, 0.85).Render())
+	case "L1":
+		cfg := rlir.DefaultLocalizationConfig()
+		cfg.Seed = sc.Seed
+		fmt.Print(rlir.RunLocalization(cfg).Render())
 	default:
 		log.Fatalf("unknown target %q", target)
 	}
+}
+
+// runMulti is the multi-seed dispatch: the same targets, re-recorded as
+// mean ± CI over the derived seeds.
+func runMulti(target string, sc rlir.Scale, opts rlir.MultiOpts) {
+	switch target {
+	case "4a":
+		fmt.Print(rlir.Fig4aMulti(sc, opts).Render())
+	case "4b":
+		fmt.Print(rlir.Fig4bMulti(sc, opts).Render())
+	case "4c":
+		fmt.Print(rlir.Fig4cMulti(sc, opts).Render())
+	case "5":
+		fmt.Println("fig5 runs single-seed (a within-run differential measurement); rerun without -seeds")
+		run(target, sc)
+	case "placement":
+		runPlacement() // exact combinatorics: seed-independent
+	case "scalars":
+		fmt.Print(rlir.MultiScalars(sc, opts).Render())
+	case "A1":
+		cfg := rlir.DefaultFatTreeConfig()
+		cfg.Seed = sc.Seed
+		fmt.Print(rlir.RenderDemuxCI(rlir.MultiDemux(cfg, opts), opts.Seeds))
+	case "A2":
+		fmt.Print(rlir.RenderEstimatorsCI(rlir.MultiEstimators(sc, 0.8, opts), opts.Seeds))
+	case "A3":
+		fmt.Print(rlir.RenderClocksCI(rlir.MultiClocks(sc, 0.8, opts), opts.Seeds))
+	case "B1":
+		fmt.Print(rlir.MultiBaselines(sc, 0.85, opts).Render())
+	case "L1":
+		cfg := rlir.DefaultLocalizationConfig()
+		cfg.Seed = sc.Seed
+		fmt.Print(rlir.MultiLocalization(cfg, opts).Render())
+	default:
+		log.Fatalf("unknown target %q", target)
+	}
+}
+
+func runPlacement() {
+	rows, err := rlir.PlacementTable([]int{4, 8, 16, 32, 48})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== §3.1: deployment complexity (measurement instances) ==")
+	fmt.Print(rlir.FormatPlacementTable(rows))
 }

@@ -1,10 +1,19 @@
-// Telemetry export: using the library as a flow-latency telemetry pipeline.
+// Telemetry export: using the library as a flow-latency telemetry pipeline
+// with a live collection plane.
 //
-// This example runs an RLIR measurement and exports what a monitoring
-// system would consume: a per-flow latency table in CSV on stdout, plus an
-// operator-style summary (aggregate histogram quantiles) on stderr. It also
-// demonstrates trace generation as a library: the synthetic workload is
-// written to a pcap file you can open in Wireshark.
+// This example wires the full measurement path a deployment would run:
+//
+//	RLI receiver ──per-packet estimates──┐
+//	                                     ├─ binary wire frames ─> collector
+//	NetFlow meter ──expired records──────┘       (sharded, concurrent)
+//
+// The receiver's OnEstimate hook and a NetFlow meter at the same
+// measurement point batch their telemetry, encode it with the collector's
+// compact wire codec (what a UDP export packet would carry), and a
+// consumer goroutine decodes the frames into a live sharded collector.
+// When the run ends, the collector's merged snapshot is the operator's
+// fleet view: per-flow latency plus NetFlow byte/packet accounting, printed
+// as CSV on stdout with an aggregate-histogram summary on stderr.
 //
 //	go run ./examples/telemetry > flows.csv
 package main
@@ -13,56 +22,110 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	rlir "github.com/netmeasure/rlir"
-	"github.com/netmeasure/rlir/internal/pcapio"
+	"github.com/netmeasure/rlir/internal/collector"
+	"github.com/netmeasure/rlir/internal/netflow"
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/simtime"
+	"github.com/netmeasure/rlir/internal/stats"
 )
 
 func main() {
 	log.SetFlags(0)
 
-	// 1. Generate (and archive) the workload this measurement will see.
-	tcfg := rlir.DefaultTraceConfig()
-	tcfg.Duration = tcfg.Duration / 4
-	f, err := os.CreateTemp("", "rlir-workload-*.pcap")
-	if err != nil {
-		log.Fatal(err)
-	}
-	w := pcapio.NewWriter(f)
-	gen := rlir.NewTraceGenerator(tcfg)
-	for {
-		rec, ok := gen.Next()
-		if !ok {
-			break
+	// 1. The live collection plane: 4 shards, each owned by one goroutine,
+	// fed encoded wire frames through a channel standing in for the export
+	// socket.
+	plane := collector.New(collector.Config{Shards: 4})
+	frames := make(chan []byte, 64)
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		for frame := range frames {
+			for len(frame) > 0 {
+				n, err := plane.IngestFrame(frame)
+				if err != nil {
+					log.Fatalf("collector rejected frame: %v", err)
+				}
+				frame = frame[n:]
+			}
 		}
-		if err := w.Write(rec); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if err := f.Close(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "workload archived: %s (%d packets)\n", f.Name(), w.Count())
+	}()
 
-	// 2. Measure per-flow latency across the instrumented segment.
+	// 2. Exporters. The receiver side batches per-packet estimates; the
+	// NetFlow meter batches expired flow records. Both encode to the same
+	// wire format before handing frames to the consumer.
+	var sampleBatch []collector.Sample
+	flushSamples := func() {
+		if len(sampleBatch) == 0 {
+			return
+		}
+		frames <- collector.AppendSamples(nil, sampleBatch)
+		sampleBatch = sampleBatch[:0]
+	}
+	onEstimate := func(key packet.FlowKey, est, truth time.Duration) {
+		sampleBatch = append(sampleBatch, collector.Sample{Key: key, Est: est, True: truth})
+		if len(sampleBatch) >= 256 {
+			flushSamples()
+		}
+	}
+
+	exportRecs, flushRecs := netflow.BatchExport(64, func(recs []netflow.Record) {
+		frames <- collector.AppendRecords(nil, recs)
+	})
+	meter := netflow.NewMeter(netflow.Config{
+		IdleTimeout: 50 * time.Millisecond,
+		Export:      exportRecs,
+	})
+
+	// 3. Measure per-flow latency across the instrumented segment, with the
+	// meter co-located at the receiver's measurement point.
 	res := rlir.RunTandem(rlir.TandemConfig{
 		Scale:      rlir.DefaultScale(),
 		Scheme:     rlir.DefaultStatic(),
 		Model:      rlir.CrossUniform,
 		TargetUtil: 0.85,
+		OnEstimate: onEstimate,
+		OnReceiverPoint: func(p *packet.Packet, now simtime.Time) {
+			if p.Kind == packet.Regular {
+				meter.Observe(p.Key, p.Size, now)
+			}
+		},
 	})
+	meter.FlushAll()
+	flushRecs()
+	flushSamples()
+	close(frames)
+	<-consumerDone
 
-	// 3. Export per-flow records as CSV for the monitoring stack.
-	fmt.Println("src,dst,src_port,dst_port,proto,packets,mean_latency_us,stddev_us,rel_err")
-	for _, fr := range res.Results {
-		fmt.Printf("%s,%s,%d,%d,%s,%d,%.2f,%.2f,%.4f\n",
-			fr.Key.Src, fr.Key.Dst, fr.Key.SrcPort, fr.Key.DstPort, fr.Key.Proto,
-			fr.N, rlir.Microseconds(fr.EstMean), rlir.Microseconds(fr.EstStd), fr.RelErrMean)
+	// 4. The operator's fleet view: one snapshot of the merged plane.
+	snapshot := plane.Snapshot()
+	fmt.Println("src,dst,src_port,dst_port,proto,estimates,mean_latency_us,stddev_us,nf_packets,nf_bytes")
+	for _, a := range snapshot {
+		if a.Est.N() == 0 {
+			continue // NetFlow-only flows (e.g. unestimated) are skipped in this table
+		}
+		us := func(ns float64) float64 { return ns / float64(time.Microsecond) }
+		fmt.Printf("%s,%s,%d,%d,%s,%d,%.2f,%.2f,%d,%d\n",
+			a.Key.Src, a.Key.Dst, a.Key.SrcPort, a.Key.DstPort, a.Key.Proto,
+			a.Est.N(), us(a.Est.Mean()), us(a.Est.Std()), a.Packets, a.Bytes)
 	}
 
-	// 4. Operator summary to stderr.
+	// 5. Operator summary to stderr. The aggregate histogram folds from the
+	// snapshot already in hand rather than re-querying the plane.
+	var hist stats.Histogram
+	for i := range snapshot {
+		hist.Merge(&snapshot[i].Hist)
+	}
+	fmt.Fprintf(os.Stderr, "collector: %d flows, %d samples, %d netflow records over %d shards\n",
+		len(snapshot), plane.SamplesIngested(), plane.RecordsIngested(), plane.Shards())
+	fmt.Fprintf(os.Stderr, "segment latency: p50<=%v p99<=%v max=%v\n",
+		hist.Quantile(0.5), hist.Quantile(0.99), hist.Max())
 	fmt.Fprintf(os.Stderr, "flows: %d, median relative error: %.2f%%\n",
 		res.Summary.Flows, res.Summary.MedianRelErr*100)
 	fmt.Fprintf(os.Stderr, "bottleneck utilization: %.1f%%, regular loss: %.6f\n",
 		res.AchievedUtil*100, res.LossRate())
+	plane.Close()
 }

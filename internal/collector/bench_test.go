@@ -1,0 +1,43 @@
+package collector
+
+import (
+	"testing"
+
+	"github.com/netmeasure/rlir/internal/packet"
+)
+
+// BenchmarkIngest measures collector ingest throughput: samples pushed
+// through the sharded plane per second of wall clock, including partitioning
+// and shard aggregation. scripts/bench.sh records this in BENCH_N.json.
+func BenchmarkIngest(b *testing.B) {
+	stream := genStream(1, 4096, 1<<16)
+	const batch = 512
+	b.ReportAllocs()
+	b.ResetTimer()
+	c := New(Config{Shards: 4, Depth: 64})
+	for i := 0; i < b.N; i++ {
+		off := (i * batch) % (len(stream) - batch)
+		c.Ingest(stream[off : off+batch])
+	}
+	b.StopTimer()
+	c.Close()
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkIngestSequentialBaseline is the same aggregation with no
+// sharding, channels or goroutines — the number Ingest's overhead is judged
+// against.
+func BenchmarkIngestSequentialBaseline(b *testing.B) {
+	stream := genStream(1, 4096, 1<<16)
+	const batch = 512
+	s := &shard{flows: make(map[packet.FlowKey]*FlowAgg)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (i * batch) % (len(stream) - batch)
+		for _, smp := range stream[off : off+batch] {
+			s.agg(smp.Key).addSample(smp)
+		}
+	}
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "samples/s")
+}

@@ -1,0 +1,376 @@
+// Package collector is the concurrent measurement plane: the aggregation
+// tier that a fleet of RLI receivers and NetFlow exporters stream per-flow
+// telemetry into (the operational story of the paper's §3 — YAF/NetFlow
+// export feeding an operator's collection infrastructure).
+//
+// A Collector hashes flows onto N shards. Each shard is owned by exactly one
+// goroutine draining a bounded channel of batches, so per-flow aggregation
+// needs no locks: all samples of one flow land on one shard, in ingest
+// order. That gives the plane its determinism contract:
+//
+//   - Per-flow aggregates are bit-for-bit identical to single-threaded
+//     sequential aggregation of the same stream, for any shard count, as
+//     long as each flow's samples are ingested by one producer (they never
+//     reorder within a shard).
+//   - Cross-flow output order is canonicalized by sorting snapshots on
+//     packet.FlowKey.Less.
+//   - Merging snapshots from independent collectors (e.g. per-run planes in
+//     a multi-seed sweep) with Merge is associative over disjoint flows and
+//     uses the stats package's mergeable accumulators otherwise.
+//
+// Ingestion accepts native batches ([]Sample, []netflow.Record) or encoded
+// wire frames (wire.go), the compact binary export format.
+package collector
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/netflow"
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/simtime"
+	"github.com/netmeasure/rlir/internal/stats"
+)
+
+// Sample is one per-packet latency estimate exported by an RLI receiver.
+type Sample struct {
+	Key packet.FlowKey
+	// Est is the receiver's interpolated one-way delay estimate.
+	Est time.Duration
+	// True is the simulator's ground-truth delay for the same packet (zero
+	// in a real deployment, populated here so downstream accuracy analysis
+	// can ride the same plane).
+	True time.Duration
+}
+
+// FlowAgg is one flow's mergeable aggregate state: latency statistics from
+// receiver samples plus byte/packet accounting from NetFlow records.
+type FlowAgg struct {
+	Key packet.FlowKey
+	// Est / True accumulate per-packet estimated and ground-truth delays.
+	Est, True stats.Welford
+	// Hist is the log-bucketed histogram of estimated delays.
+	Hist stats.Histogram
+	// Packets / Bytes / First / Last mirror NetFlow record fields, summed
+	// over ingested records (zero when no record mentioned the flow).
+	Packets, Bytes uint64
+	First, Last    simtime.Time
+}
+
+func (a *FlowAgg) addSample(s Sample) {
+	a.Est.Add(float64(s.Est))
+	a.True.Add(float64(s.True))
+	a.Hist.Record(s.Est)
+}
+
+func (a *FlowAgg) addRecord(r netflow.Record) {
+	if a.Packets == 0 || r.First < a.First {
+		a.First = r.First
+	}
+	if a.Packets == 0 || r.Last > a.Last {
+		a.Last = r.Last
+	}
+	a.Packets += r.Packets
+	a.Bytes += r.Bytes
+}
+
+// merge folds o into a (same-key aggregates from different planes).
+func (a *FlowAgg) merge(o *FlowAgg) {
+	a.Est.Merge(o.Est)
+	a.True.Merge(o.True)
+	a.Hist.Merge(&o.Hist)
+	if o.Packets > 0 {
+		if a.Packets == 0 || o.First < a.First {
+			a.First = o.First
+		}
+		if a.Packets == 0 || o.Last > a.Last {
+			a.Last = o.Last
+		}
+		a.Packets += o.Packets
+		a.Bytes += o.Bytes
+	}
+}
+
+// Config sizes the collector.
+type Config struct {
+	// Shards is the number of single-owner aggregation goroutines (default
+	// GOMAXPROCS, capped at 8 — aggregation is cheap relative to hashing, so
+	// more shards buy queue headroom, not throughput).
+	Shards int
+	// Depth is each shard's bounded channel depth in batches (default 16).
+	// A full shard back-pressures Ingest, bounding collector memory.
+	Depth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards > 8 {
+			c.Shards = 8
+		}
+	}
+	if c.Depth <= 0 {
+		c.Depth = 16
+	}
+	return c
+}
+
+// req is one message to a shard: a data batch, or a snapshot request when
+// snap is non-nil. Requests are processed strictly in channel order, which
+// is what makes Snapshot a consistent cut of everything the caller ingested
+// before it.
+type req struct {
+	samples []Sample
+	records []netflow.Record
+	snap    chan []FlowAgg
+}
+
+// shard owns one partition of the flow space. Only its goroutine touches
+// flows.
+type shard struct {
+	ch    chan req
+	flows map[packet.FlowKey]*FlowAgg
+}
+
+func (s *shard) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for q := range s.ch {
+		switch {
+		case q.snap != nil:
+			q.snap <- s.snapshot()
+		default:
+			for _, smp := range q.samples {
+				s.agg(smp.Key).addSample(smp)
+			}
+			for _, r := range q.records {
+				s.agg(r.Key).addRecord(r)
+			}
+		}
+	}
+}
+
+func (s *shard) agg(key packet.FlowKey) *FlowAgg {
+	a, ok := s.flows[key]
+	if !ok {
+		a = &FlowAgg{Key: key}
+		s.flows[key] = a
+	}
+	return a
+}
+
+// snapshot deep-copies the shard's aggregates (unsorted).
+func (s *shard) snapshot() []FlowAgg {
+	out := make([]FlowAgg, 0, len(s.flows))
+	for _, a := range s.flows {
+		out = append(out, *a)
+	}
+	return out
+}
+
+// Collector is the sharded aggregation plane. Ingest* methods are safe for
+// concurrent use by multiple producers; Snapshot may run concurrently with
+// ingestion and reflects at least everything the calling goroutine ingested
+// beforehand.
+type Collector struct {
+	shards []*shard
+	wg     sync.WaitGroup
+	// mu serializes Close against Ingest*/Snapshot: senders hold it shared,
+	// Close holds it exclusively, so no send can race a channel close and
+	// reads of closed are properly synchronized.
+	mu      sync.RWMutex
+	closed  bool
+	samples atomic.Uint64
+	records atomic.Uint64
+}
+
+// New starts a collector and its shard goroutines. Call Close to stop them.
+func New(cfg Config) *Collector {
+	cfg = cfg.withDefaults()
+	c := &Collector{shards: make([]*shard, cfg.Shards)}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			ch:    make(chan req, cfg.Depth),
+			flows: make(map[packet.FlowKey]*FlowAgg),
+		}
+		c.wg.Add(1)
+		go c.shards[i].run(&c.wg)
+	}
+	return c
+}
+
+// shardOf routes a flow to its owning shard. FastHash rather than the ECMP
+// hashes: sharding must be uniform and deterministic, not path-consistent.
+func (c *Collector) shardOf(key packet.FlowKey) int {
+	return int(key.FastHash() % uint64(len(c.shards)))
+}
+
+// Ingest routes one batch of samples to the owning shards. The batch is
+// copied during partitioning; the caller may reuse it immediately. Blocks
+// only when a shard's bounded queue is full (back-pressure).
+func (c *Collector) Ingest(batch []Sample) {
+	if len(batch) == 0 {
+		return
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		panic("collector: Ingest after Close")
+	}
+	c.samples.Add(uint64(len(batch)))
+	parts := make([][]Sample, len(c.shards))
+	for _, s := range batch {
+		i := c.shardOf(s.Key)
+		parts[i] = append(parts[i], s)
+	}
+	for i, p := range parts {
+		if len(p) > 0 {
+			c.shards[i].ch <- req{samples: p}
+		}
+	}
+}
+
+// IngestRecords routes one batch of NetFlow records to the owning shards,
+// with the same copying and back-pressure semantics as Ingest.
+func (c *Collector) IngestRecords(recs []netflow.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		panic("collector: IngestRecords after Close")
+	}
+	c.records.Add(uint64(len(recs)))
+	parts := make([][]netflow.Record, len(c.shards))
+	for _, r := range recs {
+		i := c.shardOf(r.Key)
+		parts[i] = append(parts[i], r)
+	}
+	for i, p := range parts {
+		if len(p) > 0 {
+			c.shards[i].ch <- req{records: p}
+		}
+	}
+}
+
+// IngestFrame decodes one wire frame (samples or records) and ingests it.
+// It returns the number of bytes consumed, so back-to-back frames in one
+// buffer can be drained in a loop.
+func (c *Collector) IngestFrame(src []byte) (int, error) {
+	f, n, err := DecodeFrame(src)
+	if err != nil {
+		return 0, err
+	}
+	c.Ingest(f.Samples)
+	c.IngestRecords(f.Records)
+	return n, nil
+}
+
+// SamplesIngested returns the number of samples accepted by Ingest calls so
+// far (enqueued; a Snapshot from the same goroutine observes all of them).
+func (c *Collector) SamplesIngested() uint64 { return c.samples.Load() }
+
+// RecordsIngested returns the number of NetFlow records accepted so far.
+func (c *Collector) RecordsIngested() uint64 { return c.records.Load() }
+
+// Shards returns the shard count.
+func (c *Collector) Shards() int { return len(c.shards) }
+
+// Snapshot returns a deep copy of every flow aggregate, sorted by flow key.
+// Before Close it is a consistent cut: each shard answers after draining
+// everything queued ahead of the request, so all batches ingested by the
+// calling goroutine are included. After Close it reads the final state
+// directly.
+func (c *Collector) Snapshot() []FlowAgg {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []FlowAgg
+	if c.closed {
+		for _, s := range c.shards {
+			out = append(out, s.snapshot()...)
+		}
+	} else {
+		replies := make([]chan []FlowAgg, len(c.shards))
+		for i, s := range c.shards {
+			replies[i] = make(chan []FlowAgg, 1)
+			s.ch <- req{snap: replies[i]}
+		}
+		for _, ch := range replies {
+			out = append(out, <-ch...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Less(out[j].Key) })
+	return out
+}
+
+// Flows returns the number of distinct flows aggregated so far.
+func (c *Collector) Flows() int {
+	c.mu.RLock()
+	if c.closed {
+		defer c.mu.RUnlock()
+		n := 0
+		for _, s := range c.shards {
+			n += len(s.flows)
+		}
+		return n
+	}
+	c.mu.RUnlock()
+	// Count via snapshot requests so the answer is a consistent cut.
+	return len(c.Snapshot())
+}
+
+// AggregateHistogram merges every flow's estimate histogram into one
+// operator-facing latency distribution.
+func (c *Collector) AggregateHistogram() stats.Histogram {
+	var h stats.Histogram
+	for _, a := range c.Snapshot() {
+		h.Merge(&a.Hist)
+	}
+	return h
+}
+
+// Close stops the shard goroutines after draining queued batches. The
+// collector's final state remains readable (Snapshot, Flows); further
+// Ingest calls panic.
+func (c *Collector) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	// No sender can be mid-send here: Ingest*/Snapshot hold mu shared for
+	// their whole send sequence.
+	for _, s := range c.shards {
+		close(s.ch)
+	}
+	c.wg.Wait()
+	c.closed = true
+}
+
+// Merge combines flow-aggregate snapshots (for example, per-run collector
+// snapshots of a multi-seed sweep) into one sorted aggregate list. Same-key
+// aggregates merge through the stats accumulators in argument order, so the
+// result is deterministic for a fixed argument order.
+func Merge(snaps ...[]FlowAgg) []FlowAgg {
+	m := make(map[packet.FlowKey]*FlowAgg)
+	for _, snap := range snaps {
+		for i := range snap {
+			a := &snap[i]
+			if dst, ok := m[a.Key]; ok {
+				dst.merge(a)
+			} else {
+				cp := *a
+				m[a.Key] = &cp
+			}
+		}
+	}
+	out := make([]FlowAgg, 0, len(m))
+	for _, a := range m {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Less(out[j].Key) })
+	return out
+}

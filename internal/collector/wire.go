@@ -1,0 +1,190 @@
+package collector
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/netflow"
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/simtime"
+)
+
+// Wire format of the measurement plane: the compact binary export that RLI
+// receivers and NetFlow exporters ship batches to a collector in, in the
+// spirit of a NetFlow/IPFIX export packet. One frame is one batch:
+//
+//	offset size field
+//	0      2    magic 0x5246 ("RF", "RLIR Flow")
+//	2      1    version (1)
+//	3      1    message type (1 = samples, 2 = flow records)
+//	4      4    record count (big endian)
+//	8      ...  count fixed-size records
+//
+// Sample record (SampleWireSize = 29 bytes):
+//
+//	src 4 | dst 4 | srcPort 2 | dstPort 2 | proto 1 | est ns 8 | true ns 8
+//
+// Flow record (RecordWireSize = 45 bytes):
+//
+//	key 13 (as above) | first ns 8 | last ns 8 | packets 8 | bytes 8
+//
+// Multi-byte fields are big endian; timestamps and delays are two's
+// complement nanoseconds.
+const (
+	frameMagic   = 0x5246
+	frameVersion = 1
+
+	// MsgSamples frames carry []Sample; MsgRecords frames carry
+	// []netflow.Record.
+	MsgSamples = 1
+	MsgRecords = 2
+
+	// FrameHeaderSize is the fixed frame prefix.
+	FrameHeaderSize = 8
+	// keyWireSize is the encoded 5-tuple.
+	keyWireSize = 13
+	// SampleWireSize is one encoded Sample.
+	SampleWireSize = keyWireSize + 16
+	// RecordWireSize is one encoded netflow.Record.
+	RecordWireSize = keyWireSize + 32
+)
+
+// Errors returned by DecodeFrame.
+var (
+	ErrShortFrame     = errors.New("collector: frame shorter than header")
+	ErrBadFrameMagic  = errors.New("collector: frame has wrong magic")
+	ErrBadVersion     = errors.New("collector: unsupported frame version")
+	ErrBadMessageType = errors.New("collector: unknown frame message type")
+	ErrTruncatedFrame = errors.New("collector: frame truncated mid-batch")
+)
+
+func appendHeader(dst []byte, msgType byte, count int) []byte {
+	var h [FrameHeaderSize]byte
+	binary.BigEndian.PutUint16(h[0:2], frameMagic)
+	h[2] = frameVersion
+	h[3] = msgType
+	binary.BigEndian.PutUint32(h[4:8], uint32(count))
+	return append(dst, h[:]...)
+}
+
+func appendKey(dst []byte, k packet.FlowKey) []byte {
+	var b [keyWireSize]byte
+	binary.BigEndian.PutUint32(b[0:4], uint32(k.Src))
+	binary.BigEndian.PutUint32(b[4:8], uint32(k.Dst))
+	binary.BigEndian.PutUint16(b[8:10], k.SrcPort)
+	binary.BigEndian.PutUint16(b[10:12], k.DstPort)
+	b[12] = byte(k.Proto)
+	return append(dst, b[:]...)
+}
+
+func decodeKey(src []byte) packet.FlowKey {
+	return packet.FlowKey{
+		Src:     packet.Addr(binary.BigEndian.Uint32(src[0:4])),
+		Dst:     packet.Addr(binary.BigEndian.Uint32(src[4:8])),
+		SrcPort: binary.BigEndian.Uint16(src[8:10]),
+		DstPort: binary.BigEndian.Uint16(src[10:12]),
+		Proto:   packet.Proto(src[12]),
+	}
+}
+
+func appendInt64(dst []byte, v int64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(v))
+	return append(dst, b[:]...)
+}
+
+// AppendSamples appends one MsgSamples frame holding batch to dst and
+// returns the extended slice. An empty batch encodes a valid empty frame.
+func AppendSamples(dst []byte, batch []Sample) []byte {
+	dst = appendHeader(dst, MsgSamples, len(batch))
+	for _, s := range batch {
+		dst = appendKey(dst, s.Key)
+		dst = appendInt64(dst, int64(s.Est))
+		dst = appendInt64(dst, int64(s.True))
+	}
+	return dst
+}
+
+// AppendRecords appends one MsgRecords frame holding recs to dst and
+// returns the extended slice.
+func AppendRecords(dst []byte, recs []netflow.Record) []byte {
+	dst = appendHeader(dst, MsgRecords, len(recs))
+	for _, r := range recs {
+		dst = appendKey(dst, r.Key)
+		dst = appendInt64(dst, int64(r.First))
+		dst = appendInt64(dst, int64(r.Last))
+		dst = appendInt64(dst, int64(r.Packets))
+		dst = appendInt64(dst, int64(r.Bytes))
+	}
+	return dst
+}
+
+// Frame is one decoded wire frame; exactly one of Samples/Records is
+// populated (matching the message type).
+type Frame struct {
+	Samples []Sample
+	Records []netflow.Record
+}
+
+// DecodeFrame decodes one frame from the front of src and returns it along
+// with the number of bytes consumed, so concatenated frames stream through
+// repeated calls.
+func DecodeFrame(src []byte) (Frame, int, error) {
+	if len(src) < FrameHeaderSize {
+		return Frame{}, 0, ErrShortFrame
+	}
+	if binary.BigEndian.Uint16(src[0:2]) != frameMagic {
+		return Frame{}, 0, ErrBadFrameMagic
+	}
+	if src[2] != frameVersion {
+		return Frame{}, 0, ErrBadVersion
+	}
+	msgType := src[3]
+	count32 := binary.BigEndian.Uint32(src[4:8])
+	body := src[FrameHeaderSize:]
+	// Bound count against the buffer BEFORE multiplying: count is untrusted
+	// wire data, and count*recordSize could overflow int on 32-bit builds,
+	// turning the truncation check into a makeslice panic.
+	switch msgType {
+	case MsgSamples:
+		if uint64(count32) > uint64(len(body)/SampleWireSize) {
+			return Frame{}, 0, fmt.Errorf("%w: %d records need %d body bytes, have %d",
+				ErrTruncatedFrame, count32, uint64(count32)*SampleWireSize, len(body))
+		}
+		count := int(count32)
+		need := count * SampleWireSize
+		out := make([]Sample, count)
+		for i := range out {
+			rec := body[i*SampleWireSize:]
+			out[i] = Sample{
+				Key:  decodeKey(rec),
+				Est:  time.Duration(int64(binary.BigEndian.Uint64(rec[keyWireSize : keyWireSize+8]))),
+				True: time.Duration(int64(binary.BigEndian.Uint64(rec[keyWireSize+8 : keyWireSize+16]))),
+			}
+		}
+		return Frame{Samples: out}, FrameHeaderSize + need, nil
+	case MsgRecords:
+		if uint64(count32) > uint64(len(body)/RecordWireSize) {
+			return Frame{}, 0, fmt.Errorf("%w: %d records need %d body bytes, have %d",
+				ErrTruncatedFrame, count32, uint64(count32)*RecordWireSize, len(body))
+		}
+		count := int(count32)
+		need := count * RecordWireSize
+		out := make([]netflow.Record, count)
+		for i := range out {
+			rec := body[i*RecordWireSize:]
+			out[i] = netflow.Record{
+				Key:     decodeKey(rec),
+				First:   simtime.Time(int64(binary.BigEndian.Uint64(rec[keyWireSize : keyWireSize+8]))),
+				Last:    simtime.Time(int64(binary.BigEndian.Uint64(rec[keyWireSize+8 : keyWireSize+16]))),
+				Packets: binary.BigEndian.Uint64(rec[keyWireSize+16 : keyWireSize+24]),
+				Bytes:   binary.BigEndian.Uint64(rec[keyWireSize+24 : keyWireSize+32]),
+			}
+		}
+		return Frame{Records: out}, FrameHeaderSize + need, nil
+	default:
+		return Frame{}, 0, fmt.Errorf("%w: %d", ErrBadMessageType, msgType)
+	}
+}

@@ -1,0 +1,129 @@
+package collector
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/netflow"
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/simtime"
+)
+
+func randKey(rng *rand.Rand) packet.FlowKey {
+	return packet.FlowKey{
+		Src:     packet.Addr(rng.Uint32()),
+		Dst:     packet.Addr(rng.Uint32()),
+		SrcPort: uint16(rng.Intn(1 << 16)),
+		DstPort: uint16(rng.Intn(1 << 16)),
+		Proto:   packet.ProtoTCP,
+	}
+}
+
+func TestWireSamplesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, 256} {
+		batch := make([]Sample, n)
+		for i := range batch {
+			batch[i] = Sample{
+				Key:  randKey(rng),
+				Est:  time.Duration(rng.Int63n(int64(time.Second))),
+				True: time.Duration(rng.Int63n(int64(time.Second))),
+			}
+		}
+		buf := AppendSamples(nil, batch)
+		if want := FrameHeaderSize + n*SampleWireSize; len(buf) != want {
+			t.Fatalf("n=%d: encoded %d bytes, want %d", n, len(buf), want)
+		}
+		f, consumed, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if consumed != len(buf) {
+			t.Fatalf("n=%d: consumed %d of %d", n, consumed, len(buf))
+		}
+		if len(f.Samples) != n || f.Records != nil {
+			t.Fatalf("n=%d: decoded %d samples, %d records", n, len(f.Samples), len(f.Records))
+		}
+		if n > 0 && !reflect.DeepEqual(f.Samples, batch) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+	}
+}
+
+func TestWireRecordsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	recs := make([]netflow.Record, 33)
+	for i := range recs {
+		recs[i] = netflow.Record{
+			Key:     randKey(rng),
+			First:   simtime.Time(rng.Int63()),
+			Last:    simtime.Time(rng.Int63()),
+			Packets: rng.Uint64() >> 1,
+			Bytes:   rng.Uint64() >> 1,
+		}
+	}
+	buf := AppendRecords(nil, recs)
+	f, consumed, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != len(buf) || !reflect.DeepEqual(f.Records, recs) || f.Samples != nil {
+		t.Fatalf("record round trip mismatch (consumed %d/%d)", consumed, len(buf))
+	}
+}
+
+// TestWireStreamedFrames drains several back-to-back frames from one buffer.
+func TestWireStreamedFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var buf []byte
+	var wantSamples, wantRecords int
+	for i := 0; i < 5; i++ {
+		if i%2 == 0 {
+			batch := []Sample{{Key: randKey(rng), Est: time.Duration(i) * time.Microsecond}}
+			buf = AppendSamples(buf, batch)
+			wantSamples += len(batch)
+		} else {
+			buf = AppendRecords(buf, []netflow.Record{{Key: randKey(rng), Packets: 1, Bytes: 64}})
+			wantRecords++
+		}
+	}
+	var gotSamples, gotRecords int
+	for len(buf) > 0 {
+		f, n, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSamples += len(f.Samples)
+		gotRecords += len(f.Records)
+		buf = buf[n:]
+	}
+	if gotSamples != wantSamples || gotRecords != wantRecords {
+		t.Fatalf("streamed %d/%d, want %d/%d", gotSamples, gotRecords, wantSamples, wantRecords)
+	}
+}
+
+func TestWireDecodeErrors(t *testing.T) {
+	good := AppendSamples(nil, []Sample{{Key: packet.FlowKey{SrcPort: 1}}})
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"short", good[:4], ErrShortFrame},
+		{"magic", append([]byte{0, 0}, good[2:]...), ErrBadFrameMagic},
+		{"version", append([]byte{good[0], good[1], 99}, good[3:]...), ErrBadVersion},
+		{"type", append([]byte{good[0], good[1], good[2], 9}, good[4:]...), ErrBadMessageType},
+		{"truncated", good[:len(good)-1], ErrTruncatedFrame},
+		// A corrupt count must fail the bound check cleanly on any
+		// platform, never overflow into a makeslice panic (32-bit int).
+		{"hugecount", append([]byte{good[0], good[1], good[2], good[3], 0xff, 0xff, 0xff, 0xff}, good[8:]...), ErrTruncatedFrame},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeFrame(tc.buf); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}

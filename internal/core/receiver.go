@@ -70,7 +70,17 @@ type ReceiverConfig struct {
 	// nil accepts all. Receivers sharing a path with foreign reference
 	// streams (RLIR fan-out) must filter by destination address.
 	AcceptRef func(*packet.Packet) bool
+	// OnEstimate, when non-nil, observes every per-packet estimate as it is
+	// produced — the receiver's export hook. A deployment streams these to a
+	// collection plane (see internal/collector); estimates still fold into
+	// the receiver's own per-flow accumulators regardless.
+	OnEstimate EstimateFunc
 }
+
+// EstimateFunc receives one per-packet estimate: the flow it belongs to, the
+// interpolated delay, and the simulator's ground-truth delay (what a real
+// deployment cannot see; exported so accuracy can be evaluated downstream).
+type EstimateFunc func(key packet.FlowKey, est, truth time.Duration)
 
 // ReceiverCounters reports a receiver's activity.
 type ReceiverCounters struct {
@@ -296,6 +306,9 @@ func (r *Receiver) record(pp pendingPkt, est time.Duration) {
 	acc.True.Add(float64(pp.trueDelay))
 	r.segHist.Record(est)
 	r.ctr.Estimated++
+	if r.cfg.OnEstimate != nil {
+		r.cfg.OnEstimate(pp.key, est, pp.trueDelay)
+	}
 }
 
 // Flows returns the receiver's per-flow accumulators, live (not copies).

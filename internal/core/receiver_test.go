@@ -364,7 +364,7 @@ func TestResultsDeterministicOrder(t *testing.T) {
 		}
 	}
 	for i := 1; i < len(a); i++ {
-		if !lessKey(a[i-1].Key, a[i].Key) {
+		if !a[i-1].Key.Less(a[i].Key) {
 			t.Fatal("Results not sorted")
 		}
 	}
@@ -399,5 +399,47 @@ func TestEstimatorString(t *testing.T) {
 		if e.String() == "" {
 			t.Fatal("empty estimator name")
 		}
+	}
+}
+
+// TestOnEstimateHook pins the export hook: every produced estimate is
+// surfaced exactly once, with the same values folded into the accumulators,
+// and a nil hook changes nothing.
+func TestOnEstimateHook(t *testing.T) {
+	type sample struct {
+		key        packet.FlowKey
+		est, truth time.Duration
+	}
+	var exported []sample
+	r := newRx(t, ReceiverConfig{
+		OnEstimate: func(key packet.FlowKey, est, truth time.Duration) {
+			exported = append(exported, sample{key, est, truth})
+		},
+	})
+	r.Observe(refPkt(1, 1, at(0)), at(100))
+	r.Observe(regPkt(10, testKey, at(100)), at(150))
+	r.Observe(regPkt(11, testKey, at(120)), at(180))
+	r.Observe(refPkt(1, 2, at(60)), at(200))
+
+	if got, want := uint64(len(exported)), r.Counters().Estimated; got != want {
+		t.Fatalf("hook fired %d times, receiver estimated %d", got, want)
+	}
+	acc, ok := r.Flow(testKey)
+	if !ok {
+		t.Fatal("flow missing")
+	}
+	var estSum, truthSum float64
+	for _, s := range exported {
+		if s.key != testKey {
+			t.Fatalf("hook saw key %v, want %v", s.key, testKey)
+		}
+		estSum += float64(s.est)
+		truthSum += float64(s.truth)
+	}
+	if got := acc.Est.Mean() * float64(acc.Est.N()); math.Abs(got-estSum) > 1e-6*math.Abs(got) {
+		t.Fatalf("exported estimate sum %v != accumulator sum %v", estSum, got)
+	}
+	if got := acc.True.Mean() * float64(acc.True.N()); math.Abs(got-truthSum) > 1e-6*math.Abs(got) {
+		t.Fatalf("exported truth sum %v != accumulator sum %v", truthSum, got)
 	}
 }

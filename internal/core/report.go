@@ -49,23 +49,8 @@ func (r *Receiver) Results(minPackets int64) []FlowResult {
 		fr.RelErrStd = stats.RelErr(acc.Est.Std(), acc.True.Std())
 		out = append(out, fr)
 	}
-	sort.Slice(out, func(i, j int) bool { return lessKey(out[i].Key, out[j].Key) })
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Less(out[j].Key) })
 	return out
-}
-
-func lessKey(a, b packet.FlowKey) bool {
-	switch {
-	case a.Src != b.Src:
-		return a.Src < b.Src
-	case a.Dst != b.Dst:
-		return a.Dst < b.Dst
-	case a.SrcPort != b.SrcPort:
-		return a.SrcPort < b.SrcPort
-	case a.DstPort != b.DstPort:
-		return a.DstPort < b.DstPort
-	default:
-		return a.Proto < b.Proto
-	}
 }
 
 // MeanErrCDF builds the CDF of per-flow mean relative errors.

@@ -117,6 +117,10 @@ type TandemConfig struct {
 	// NetFlow meters) on the identical run.
 	OnSenderPoint   netsim.TapFunc
 	OnReceiverPoint netsim.TapFunc
+	// OnEstimate, when non-nil, streams every per-packet estimate out of
+	// the receiver as it is produced — the hook a collection plane
+	// (internal/collector) ingests from.
+	OnEstimate core.EstimateFunc
 }
 
 // TandemResult is everything a figure needs from one run.
@@ -253,6 +257,7 @@ func RunTandem(cfg TandemConfig) TandemResult {
 		Accept: func(p *packet.Packet) bool {
 			return p.Kind == packet.Regular && regularSrc.Contains(p.Key.Src)
 		},
+		OnEstimate: cfg.OnEstimate,
 	})
 	if err != nil {
 		panic(err)

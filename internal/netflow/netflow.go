@@ -107,6 +107,34 @@ func (m *Meter) export(r Record) {
 	}
 }
 
+// BatchExport adapts a batch-oriented sink (the collector plane's natural
+// ingest unit, like a NetFlow export packet carrying many records) to the
+// Meter's per-record Export callback. Records buffer until n accumulate,
+// then sink receives the batch; flush hands over any partial batch — call it
+// after FlushAll ends the measurement interval. The slice passed to sink is
+// reused across batches, so the sink must copy or encode before returning
+// (collector.Ingest and the wire encoders both do).
+func BatchExport(n int, sink func([]Record)) (export func(Record), flush func()) {
+	if n < 1 {
+		n = 1
+	}
+	buf := make([]Record, 0, n)
+	export = func(r Record) {
+		buf = append(buf, r)
+		if len(buf) >= n {
+			sink(buf)
+			buf = buf[:0]
+		}
+	}
+	flush = func() {
+		if len(buf) > 0 {
+			sink(buf)
+			buf = buf[:0]
+		}
+	}
+	return export, flush
+}
+
 // Active returns the number of open flow records.
 func (m *Meter) Active() int { return len(m.flows) }
 

@@ -155,3 +155,40 @@ func TestRecordString(t *testing.T) {
 		t.Fatal("empty String")
 	}
 }
+
+// TestBatchExport pins batching boundaries: full batches of n, partial on
+// flush, nothing lost, nothing duplicated.
+func TestBatchExport(t *testing.T) {
+	var batches [][]Record
+	export, flush := BatchExport(3, func(recs []Record) {
+		cp := make([]Record, len(recs))
+		copy(cp, recs)
+		batches = append(batches, cp)
+	})
+	for i := 0; i < 7; i++ {
+		export(Record{Key: packet.FlowKey{SrcPort: uint16(i)}, Packets: 1})
+	}
+	if len(batches) != 2 {
+		t.Fatalf("before flush: %d batches, want 2", len(batches))
+	}
+	flush()
+	flush() // idempotent on empty buffer
+	if len(batches) != 3 || len(batches[0]) != 3 || len(batches[1]) != 3 || len(batches[2]) != 1 {
+		t.Fatalf("after flush: got batch sizes %v", func() []int {
+			var s []int
+			for _, b := range batches {
+				s = append(s, len(b))
+			}
+			return s
+		}())
+	}
+	seen := 0
+	for _, b := range batches {
+		for _, r := range b {
+			if r.Key.SrcPort != uint16(seen) {
+				t.Fatalf("record %d out of order: port %d", seen, r.Key.SrcPort)
+			}
+			seen++
+		}
+	}
+}

@@ -46,6 +46,24 @@ func (k FlowKey) String() string {
 	return fmt.Sprintf("%s:%d>%s:%d/%s", k.Src, k.SrcPort, k.Dst, k.DstPort, k.Proto)
 }
 
+// Less orders keys lexicographically by (Src, Dst, SrcPort, DstPort, Proto).
+// It is the canonical ordering for deterministic per-flow output: result
+// tables, collector snapshots and merged aggregates all sort with it.
+func (k FlowKey) Less(o FlowKey) bool {
+	switch {
+	case k.Src != o.Src:
+		return k.Src < o.Src
+	case k.Dst != o.Dst:
+		return k.Dst < o.Dst
+	case k.SrcPort != o.SrcPort:
+		return k.SrcPort < o.SrcPort
+	case k.DstPort != o.DstPort:
+		return k.DstPort < o.DstPort
+	default:
+		return k.Proto < o.Proto
+	}
+}
+
 // FastHash returns a 64-bit FNV-1a hash of the key. It is not the ECMP hash
 // (see internal/ecmp for those); it exists for sharding and sampling, and is
 // deliberately asymmetric: A->B and B->A hash differently.

@@ -97,3 +97,29 @@ func TestStringersSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestFlowKeyLess pins the canonical ordering: strict weak, field by field.
+func TestFlowKeyLess(t *testing.T) {
+	base := FlowKey{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Proto: ProtoTCP}
+	if base.Less(base) {
+		t.Fatal("key < itself")
+	}
+	bump := []FlowKey{
+		{Src: 2, Dst: 2, SrcPort: 3, DstPort: 4, Proto: ProtoTCP},
+		{Src: 1, Dst: 3, SrcPort: 3, DstPort: 4, Proto: ProtoTCP},
+		{Src: 1, Dst: 2, SrcPort: 4, DstPort: 4, Proto: ProtoTCP},
+		{Src: 1, Dst: 2, SrcPort: 3, DstPort: 5, Proto: ProtoTCP},
+		{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Proto: ProtoUDP},
+	}
+	for i, hi := range bump {
+		if !base.Less(hi) || hi.Less(base) {
+			t.Fatalf("field %d: ordering wrong for %v vs %v", i, base, hi)
+		}
+	}
+	// Earlier fields dominate later ones.
+	lo := FlowKey{Src: 1, Dst: 9, SrcPort: 9, DstPort: 9, Proto: ProtoUDP}
+	hi := FlowKey{Src: 2}
+	if !lo.Less(hi) || hi.Less(lo) {
+		t.Fatal("Src must dominate later fields")
+	}
+}

@@ -1,0 +1,100 @@
+package runner
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/collector"
+	"github.com/netmeasure/rlir/internal/packet"
+)
+
+// TestMapOrderAndCoverage: results land at their seed's index for any
+// worker count, every seed runs exactly once.
+func TestMapOrderAndCoverage(t *testing.T) {
+	seeds := Seeds(99, 17)
+	for _, workers := range []int{1, 2, 4, 32} {
+		got := Map(seeds, workers, func(i int, seed int64) [2]int64 {
+			time.Sleep(time.Duration(i%3) * time.Millisecond) // scramble completion order
+			return [2]int64{int64(i), seed}
+		})
+		for i := range got {
+			if got[i][0] != int64(i) || got[i][1] != seeds[i] {
+				t.Fatalf("workers=%d: slot %d holds run %v", workers, i, got[i])
+			}
+		}
+	}
+}
+
+// TestMapWorkerCountInvariance: a deterministic job yields bit-identical
+// results regardless of parallelism — the runner's core contract.
+func TestMapWorkerCountInvariance(t *testing.T) {
+	seeds := Seeds(3, 12)
+	job := func(i int, seed int64) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]float64, 50)
+		for j := range out {
+			out[j] = rng.NormFloat64()
+		}
+		return out
+	}
+	want := Map(seeds, 1, job)
+	for _, workers := range []int{2, 3, 8} {
+		if got := Map(seeds, workers, job); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results differ from sequential run", workers)
+		}
+	}
+}
+
+// TestSweepIntoMergesThroughCollector: per-run sample streams land merged in
+// the shared collector, and per-flow aggregates for run-unique flows match
+// a sequential sweep exactly.
+func TestSweepIntoMergesThroughCollector(t *testing.T) {
+	seeds := Seeds(42, 6)
+	const perRun = 700
+	job := func(r Run) int {
+		rng := rand.New(rand.NewSource(r.Seed))
+		// Flow keys embed the run index -> disjoint across runs.
+		for j := 0; j < perRun; j++ {
+			key := packet.FlowKey{
+				Src: packet.Addr(0x0a000000 + uint32(r.Index)), Dst: packet.Addr(rng.Uint32()%16 + 1),
+				SrcPort: uint16(rng.Intn(4)), DstPort: 80, Proto: packet.ProtoTCP,
+			}
+			r.Sink.Add(key, time.Duration(rng.Int63n(1e6)), time.Duration(rng.Int63n(1e6)))
+		}
+		return r.Index
+	}
+
+	run := func(workers int) ([]collector.FlowAgg, []int) {
+		c := collector.New(collector.Config{Shards: 3, Depth: 4})
+		res := SweepInto(c, seeds, workers, job)
+		snap := c.Snapshot()
+		c.Close()
+		return snap, res
+	}
+	wantSnap, wantRes := run(1)
+	gotSnap, gotRes := run(4)
+	if !reflect.DeepEqual(gotRes, wantRes) {
+		t.Fatalf("results differ: %v vs %v", gotRes, wantRes)
+	}
+	if !reflect.DeepEqual(gotSnap, wantSnap) {
+		t.Fatalf("collector state differs across worker counts (%d vs %d flows)", len(gotSnap), len(wantSnap))
+	}
+	var n uint64
+	for _, a := range wantSnap {
+		n += uint64(a.Est.N())
+	}
+	if n != uint64(len(seeds)*perRun) {
+		t.Fatalf("collector holds %d samples, want %d", n, len(seeds)*perRun)
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("Workers must default to >= 1")
+	}
+	if Workers(5) != 5 {
+		t.Fatalf("Workers(5) = %d", Workers(5))
+	}
+}

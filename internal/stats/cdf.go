@@ -38,6 +38,35 @@ func (c *CDF) FracBelow(x float64) float64 {
 	return float64(i) / float64(len(c.sorted))
 }
 
+// Merge returns a new CDF over the union multiset of both sample sets.
+// Merging is a linear merge of the two sorted slices under sort.Float64s's
+// ordering (NaNs first, then ascending), so Merge(a, b) holds exactly the
+// samples NewCDF(append(a.samples, b.samples...)) would: merging partial
+// CDFs (per-shard or per-run error distributions) equals building one CDF
+// over the whole stream. Neither input is modified.
+func (c *CDF) Merge(o *CDF) *CDF {
+	merged := make([]float64, 0, len(c.sorted)+len(o.sorted))
+	i, j := 0, 0
+	for i < len(c.sorted) && j < len(o.sorted) {
+		if floatBefore(c.sorted[i], o.sorted[j]) {
+			merged = append(merged, c.sorted[i])
+			i++
+		} else {
+			merged = append(merged, o.sorted[j])
+			j++
+		}
+	}
+	merged = append(merged, c.sorted[i:]...)
+	merged = append(merged, o.sorted[j:]...)
+	return &CDF{sorted: merged}
+}
+
+// floatBefore replicates sort.Float64s's ordering predicate: NaNs sort
+// before everything, then ascending values.
+func floatBefore(x, y float64) bool {
+	return x < y || (math.IsNaN(x) && !math.IsNaN(y))
+}
+
 // Quantile returns the q-quantile (0 <= q <= 1) using the nearest-rank
 // method. It panics on an empty CDF or out-of-range q.
 func (c *CDF) Quantile(q float64) float64 {

@@ -1,0 +1,27 @@
+package stats
+
+import "math"
+
+// tCrit95 holds two-sided 95% Student-t critical values for 1..30 degrees of
+// freedom; beyond 30 the normal approximation (1.96) is close enough for the
+// experiment tables this repository prints.
+var tCrit95 = [30]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the mean of
+// the accumulated samples (Student-t for small n), or 0 with fewer than two
+// samples. Multi-seed experiment sweeps report their headline metrics as
+// Mean() ± CI95().
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	t := 1.96
+	if df := w.n - 1; df <= 30 {
+		t = tCrit95[df-1]
+	}
+	return t * math.Sqrt(w.SampleVar()/float64(w.n))
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"math/bits"
+	"testing"
+)
+
+func TestDeriveSeedsReproducible(t *testing.T) {
+	a := DeriveSeeds(42, 16)
+	b := DeriveSeeds(42, 16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed %d not reproducible: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] != DeriveSeed(42, uint64(i)) {
+			t.Fatalf("DeriveSeeds[%d] != DeriveSeed: %d vs %d", i, a[i], DeriveSeed(42, uint64(i)))
+		}
+	}
+}
+
+func TestDeriveSeedsDistinct(t *testing.T) {
+	seen := map[int64]int{}
+	for _, base := range []int64{0, 1, 2, -1, 1 << 40} {
+		for i, s := range DeriveSeeds(base, 64) {
+			if j, dup := seen[s]; dup {
+				t.Fatalf("collision: base=%d stream=%d repeats earlier seed %d (%d)", base, i, s, j)
+			}
+			seen[s] = i
+		}
+	}
+}
+
+// TestDeriveSeedAvalanche checks the independence property that justifies
+// replacing base+i arithmetic: adjacent streams and adjacent bases must
+// differ in roughly half their bits, not just the low ones.
+func TestDeriveSeedAvalanche(t *testing.T) {
+	check := func(name string, a, b int64) {
+		d := bits.OnesCount64(uint64(a) ^ uint64(b))
+		if d < 16 || d > 48 {
+			t.Errorf("%s: hamming distance %d outside [16,48] (a=%x b=%x)", name, d, a, b)
+		}
+	}
+	for i := uint64(0); i < 32; i++ {
+		check("adjacent streams", DeriveSeed(1, i), DeriveSeed(1, i+1))
+		check("adjacent bases", DeriveSeed(int64(i), 0), DeriveSeed(int64(i)+1, 0))
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference outputs of the SplitMix64 finalizer over the golden-gamma
+	// sequence starting at state 0 (cross-checked against the published
+	// java.util.SplittableRandom / xoshiro seeding sequence).
+	want := []uint64{0xE220A8397B1DCDAF, 0x6E789E6AA1B965F4, 0x06C45D188009454F}
+	state := uint64(0)
+	for i, w := range want {
+		state += splitmix64Gamma
+		if got := SplitMix64(state); got != w {
+			t.Fatalf("SplitMix64 step %d = %#x, want %#x", i, got, w)
+		}
+	}
+}

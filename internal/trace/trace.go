@@ -141,15 +141,29 @@ func (d FlowLenDist) Validate() error {
 
 // meanCache memoizes FlowLenDist.Mean per parameter set: experiments build
 // several generators over identical distributions, and the numeric
-// integration is by far the most expensive part of calibration.
-var meanCache sync.Map // FlowLenDist -> float64
+// integration is by far the most expensive part of calibration. A plain
+// mutex-guarded map beats sync.Map here: the key set is a handful of
+// parameter tuples (sync.Map's niche is append-only maps with disjoint
+// per-goroutine key sets), lookups are far off the hot path — once per
+// generator construction — and the mutex keeps the fast path a single
+// uncontended lock around one map probe, with no interface boxing of the
+// float values. Concurrent misses on the same key may both integrate, but
+// both store the identical deterministic result, so the duplicated work is
+// harmless and rare.
+var (
+	meanCacheMu sync.Mutex
+	meanCache   = make(map[FlowLenDist]float64, 8)
+)
 
 // Mean returns the expected flow length in packets, computed numerically
 // from the sampling transform so that calibration matches what Sample
 // actually produces.
 func (d FlowLenDist) Mean() float64 {
-	if v, ok := meanCache.Load(d); ok {
-		return v.(float64)
+	meanCacheMu.Lock()
+	v, ok := meanCache[d]
+	meanCacheMu.Unlock()
+	if ok {
+		return v
 	}
 	// E[floor(X)] where X is continuous bounded Pareto on [1, Max+1).
 	// Integrate the inverse CDF over u in [0,1) with a fine grid. The grid
@@ -164,7 +178,9 @@ func (d FlowLenDist) Mean() float64 {
 		sum += float64(s.Sample(u))
 	}
 	mean := sum / steps
-	meanCache.Store(d, mean)
+	meanCacheMu.Lock()
+	meanCache[d] = mean
+	meanCacheMu.Unlock()
 	return mean
 }
 

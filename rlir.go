@@ -284,6 +284,102 @@ func RunLocalization(cfg LocalizationConfig) LocalizationResult {
 	return experiments.RunLocalization(cfg)
 }
 
+// ---- Multi-seed sweeps (the concurrent measurement plane) ----
+//
+// Every figure and ablation above is a single-seed point estimate. The
+// Multi* variants fan N independent simulations (seeds derived via
+// SplitMix64) across workers and report each headline metric as
+// mean ± 95% CI, merging per-run flow telemetry through the
+// internal/collector plane.
+
+// MultiOpts sizes a multi-seed sweep (Seeds default 8, Workers default
+// GOMAXPROCS).
+type MultiOpts = experiments.MultiOpts
+
+// MetricCI is one metric's across-seed mean ± 95% CI.
+type MetricCI = experiments.MetricCI
+
+// DeriveSeeds returns n independent, reproducible seeds derived from base
+// with SplitMix64 — use it instead of base+i arithmetic whenever seeding
+// separate runs.
+func DeriveSeeds(base int64, n int) []int64 { return trace.DeriveSeeds(base, n) }
+
+// MultiTandemResult aggregates one tandem configuration across seeds.
+type MultiTandemResult = experiments.MultiTandemResult
+
+// MultiTandem runs one tandem configuration at N derived seeds in parallel.
+func MultiTandem(cfg TandemConfig, opts MultiOpts) MultiTandemResult {
+	return experiments.MultiTandem(cfg, opts)
+}
+
+// MultiFigure is a figure re-recorded as across-seed statistics.
+type MultiFigure = experiments.MultiFigure
+
+// Fig4aMulti / Fig4bMulti / Fig4cMulti re-record Figures 4(a)-4(c) as
+// mean ± CI across seeds.
+func Fig4aMulti(scale Scale, opts MultiOpts) MultiFigure { return experiments.Fig4aMulti(scale, opts) }
+func Fig4bMulti(scale Scale, opts MultiOpts) MultiFigure { return experiments.Fig4bMulti(scale, opts) }
+func Fig4cMulti(scale Scale, opts MultiOpts) MultiFigure { return experiments.Fig4cMulti(scale, opts) }
+
+// ScalarsCI re-records the §4.2 scalars across seeds.
+type ScalarsCI = experiments.ScalarsCI
+
+// MultiScalars measures the §4.2 scalar table at every derived seed.
+func MultiScalars(scale Scale, opts MultiOpts) ScalarsCI {
+	return experiments.MultiScalars(scale, opts)
+}
+
+// EstimatorCI is one line of the multi-seed A2 table.
+type EstimatorCI = experiments.EstimatorCI
+
+// MultiEstimators re-records ablation A2 across seeds.
+func MultiEstimators(scale Scale, util float64, opts MultiOpts) []EstimatorCI {
+	return experiments.MultiEstimators(scale, util, opts)
+}
+
+// RenderEstimatorsCI formats multi-seed A2.
+func RenderEstimatorsCI(rows []EstimatorCI, seeds int) string {
+	return experiments.RenderEstimatorsCI(rows, seeds)
+}
+
+// ClockCI is one line of the multi-seed A3 table.
+type ClockCI = experiments.ClockCI
+
+// MultiClocks re-records ablation A3 across seeds.
+func MultiClocks(scale Scale, util float64, opts MultiOpts) []ClockCI {
+	return experiments.MultiClocks(scale, util, opts)
+}
+
+// RenderClocksCI formats multi-seed A3.
+func RenderClocksCI(rows []ClockCI, seeds int) string { return experiments.RenderClocksCI(rows, seeds) }
+
+// BaselineCI re-records B1 across seeds.
+type BaselineCI = experiments.BaselineCI
+
+// MultiBaselines re-records ablation B1 across seeds.
+func MultiBaselines(scale Scale, util float64, opts MultiOpts) BaselineCI {
+	return experiments.MultiBaselines(scale, util, opts)
+}
+
+// DemuxCI is one line of the multi-seed A1 table.
+type DemuxCI = experiments.DemuxCI
+
+// MultiDemux re-records ablation A1 across seeds.
+func MultiDemux(cfg FatTreeConfig, opts MultiOpts) []DemuxCI {
+	return experiments.MultiDemux(cfg, opts)
+}
+
+// RenderDemuxCI formats multi-seed A1.
+func RenderDemuxCI(rows []DemuxCI, seeds int) string { return experiments.RenderDemuxCI(rows, seeds) }
+
+// LocalizationCI re-records L1 across seeds.
+type LocalizationCI = experiments.LocalizationCI
+
+// MultiLocalization re-records the L1 scenario across seeds.
+func MultiLocalization(cfg LocalizationConfig, opts MultiOpts) LocalizationCI {
+	return experiments.MultiLocalization(cfg, opts)
+}
+
 // ---- Convenience ----
 
 // Microseconds converts a duration to float64 microseconds, the unit the

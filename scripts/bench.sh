@@ -8,9 +8,12 @@
 #   scripts/bench.sh 3      # writes/overwrites BENCH_3.json
 #
 # Captured: raw simulator throughput (pkts/s, ns/op, B/op, allocs/op) from
-# BenchmarkSimulatorThroughput, plus the headline figure metrics from
+# BenchmarkSimulatorThroughput, the headline figure metrics from
 # BenchmarkScalars (base utilization, adaptive gap, median relative error
-# for static injection at 93% utilization).
+# for static injection at 93% utilization), collector ingest throughput
+# (BenchmarkIngest in internal/collector), and multi-seed runner scaling
+# (BenchmarkRunnerSweep1 vs BenchmarkRunnerSweep4: an 8-seed sweep at 1 vs
+# 4 workers, with the wall-clock speedup ratio).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,15 +24,20 @@ if [ -z "$n" ]; then
 fi
 out="BENCH_${n}.json"
 
-echo "running benchmark suite (this takes a minute)..." >&2
+echo "running benchmark suite (this takes a few minutes)..." >&2
 raw=$(go test -run '^$' -bench 'BenchmarkSimulatorThroughput$|BenchmarkScalars$' \
   -benchmem -benchtime 10x . 2>&1)
+raw_collector=$(go test -run '^$' -bench 'BenchmarkIngest$' \
+  -benchmem ./internal/collector 2>&1)
+raw_runner=$(go test -run '^$' -bench 'BenchmarkRunnerSweep[14]$' \
+  -benchtime 3x . 2>&1)
+raw=$(printf '%s\n%s\n%s\n' "$raw" "$raw_collector" "$raw_runner")
 
 echo "$raw" | grep -E '^Benchmark' >&2
 
 echo "$raw" | awk -v bench="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
   -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
-  -v goversion="$(go env GOVERSION)" '
+  -v goversion="$(go env GOVERSION)" -v maxprocs="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" '
   /^BenchmarkSimulatorThroughput/ {
     for (i = 1; i < NF; i++) {
       if ($(i + 1) == "ns/op") ns = $i
@@ -45,18 +53,49 @@ echo "$raw" | awk -v bench="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
       if ($(i + 1) == "medianRelErr@93static") err = $i
     }
   }
+  /^BenchmarkIngest-/ || /^BenchmarkIngest / {
+    for (i = 1; i < NF; i++) {
+      if ($(i + 1) == "samples/s") ingest = $i
+      if ($(i + 1) == "ns/op") ingestns = $i
+    }
+  }
+  /^BenchmarkRunnerSweep1/ {
+    for (i = 1; i < NF; i++) if ($(i + 1) == "ns/op") sweep1 = $i
+  }
+  /^BenchmarkRunnerSweep4/ {
+    for (i = 1; i < NF; i++) {
+      if ($(i + 1) == "ns/op") sweep4 = $i
+      if ($(i + 1) == "medianRelErr") sweeperr = $i
+      if ($(i + 1) == "medianRelErrCI95") sweepci = $i
+    }
+  }
   END {
     if (pkts == "") { print "bench.sh: no throughput result parsed" > "/dev/stderr"; exit 1 }
+    if (ingest == "") { print "bench.sh: no collector ingest result parsed" > "/dev/stderr"; exit 1 }
+    if (sweep1 == "" || sweep4 == "") { print "bench.sh: no runner scaling result parsed" > "/dev/stderr"; exit 1 }
     printf "{\n"
     printf "  \"bench\": %d,\n", bench
     printf "  \"date\": \"%s\",\n", date
     printf "  \"commit\": \"%s\",\n", commit
     printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"cpus\": %s,\n", maxprocs
     printf "  \"simulator_throughput\": {\n"
     printf "    \"pkts_per_s\": %s,\n", pkts
     printf "    \"ns_per_op\": %s,\n", ns
     printf "    \"bytes_per_op\": %s,\n", bytes
     printf "    \"allocs_per_op\": %s\n", allocs
+    printf "  },\n"
+    printf "  \"collector_ingest\": {\n"
+    printf "    \"samples_per_s\": %s,\n", ingest
+    printf "    \"ns_per_batch\": %s\n", ingestns
+    printf "  },\n"
+    printf "  \"runner_scaling\": {\n"
+    printf "    \"sweep_seeds\": 8,\n"
+    printf "    \"ns_per_sweep_1_worker\": %s,\n", sweep1
+    printf "    \"ns_per_sweep_4_workers\": %s,\n", sweep4
+    printf "    \"speedup_4_workers\": %.2f,\n", sweep1 / sweep4
+    printf "    \"sweep_median_rel_err\": %s,\n", sweeperr
+    printf "    \"sweep_median_rel_err_ci95\": %s\n", sweepci
     printf "  },\n"
     printf "  \"figure_metrics\": {\n"
     printf "    \"base_util\": %s,\n", base
