@@ -14,6 +14,7 @@
 //	experiments -fig 5
 //	experiments -fig A1
 //	experiments -all -seeds 8 -parallel 4
+//	experiments -scenario incast -seeds 8
 package main
 
 import (
@@ -26,12 +27,17 @@ import (
 	rlir "github.com/netmeasure/rlir"
 )
 
+// validTargets is every -fig value, in -all order. An unknown -fig exits
+// non-zero listing these.
+var validTargets = []string{"placement", "scalars", "4a", "4b", "4c", "5", "A1", "A2", "A3", "B1", "L1"}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		fig      = flag.String("fig", "", "which result to regenerate: 4a 4b 4c 5 placement scalars A1 A2 A3 B1 L1")
+		fig      = flag.String("fig", "", "which result to regenerate: "+strings.Join(validTargets, " "))
 		all      = flag.Bool("all", false, "regenerate everything")
+		scenName = flag.String("scenario", "", "run a registered scenario from the scenario engine (see cmd/scenario -list)")
 		scale    = flag.String("scale", "default", "small | default | full")
 		seed     = flag.Int64("seed", 1, "deterministic base seed")
 		seeds    = flag.Int("seeds", 1, "number of independent seeds; > 1 reports mean ± 95% CI")
@@ -44,26 +50,84 @@ func main() {
 	sc.Seed = *seed
 	csvOut = *csvDir
 	opts := rlir.MultiOpts{Seeds: *seeds, Workers: *parallel}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["csv"] && *seeds > 1 {
+		// The multi-seed harnesses render CI tables, not CDF series; fail
+		// loudly rather than silently write nothing.
+		log.Fatal("-csv applies to single-seed figure runs only; drop -seeds or -csv")
+	}
+
+	if *scenName != "" {
+		// Scenarios are sized by their registered spec (or a cmd/scenario
+		// -spec file), not by the figure harness's scale; fail loudly
+		// rather than silently run something other than what was asked.
+		if set["scale"] || set["csv"] {
+			log.Fatal("-scale/-csv do not apply to -scenario; size scenarios via their spec (see cmd/scenario)")
+		}
+		if err := runScenario(*scenName, *seed, set["seed"], *seeds, *parallel); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	targets := []string{}
 	if *all {
-		targets = []string{"placement", "scalars", "4a", "4b", "4c", "5", "A1", "A2", "A3", "B1", "L1"}
+		targets = validTargets
 	} else if *fig != "" {
 		targets = strings.Split(*fig, ",")
 	} else {
 		flag.Usage()
-		log.Fatal("need -fig or -all")
+		log.Fatal("need -fig, -all or -scenario")
 	}
 
 	for _, t := range targets {
 		start := time.Now()
+		var err error
 		if *seeds > 1 {
-			runMulti(strings.TrimSpace(t), sc, opts)
+			err = runMulti(strings.TrimSpace(t), sc, opts)
 		} else {
-			run(strings.TrimSpace(t), sc)
+			err = run(strings.TrimSpace(t), sc)
+		}
+		if err != nil {
+			log.Fatal(err)
 		}
 		fmt.Printf("[%s done in %v]\n\n", t, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runScenario dispatches the -scenario target onto the scenario engine.
+// The spec's registered seed applies unless the -seed flag was explicitly
+// passed (haveSeed), so any seed value — including 0 — can be forced.
+func runScenario(name string, seed int64, haveSeed bool, seeds, parallel int) error {
+	scen, ok := rlir.ScenarioByName(name)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (registered: %s)", name, strings.Join(rlir.ScenarioNames(), ", "))
+	}
+	spec := scen.Spec
+	if haveSeed {
+		spec.Seed = seed
+	}
+	if seeds > 1 {
+		mr, err := rlir.RunScenarioMulti(spec, rlir.ScenarioMultiOpts{Seeds: seeds, Workers: parallel})
+		if err != nil {
+			return err
+		}
+		fmt.Print(mr.Render())
+		return nil
+	}
+	res, err := rlir.RunScenario(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	return nil
+}
+
+// unknownTarget is the error an unrecognized -fig value produces: non-zero
+// exit, listing every valid target.
+func unknownTarget(target string) error {
+	return fmt.Errorf("unknown -fig target %q (valid: %s)", target, strings.Join(validTargets, " "))
 }
 
 func pickScale(name string) rlir.Scale {
@@ -95,7 +159,7 @@ func emitFigure(f rlir.Figure) {
 	fmt.Printf("wrote %d CSV series to %s\n", len(files), csvOut)
 }
 
-func run(target string, sc rlir.Scale) {
+func run(target string, sc rlir.Scale) error {
 	switch target {
 	case "4a":
 		emitFigure(rlir.Fig4a(sc))
@@ -108,11 +172,11 @@ func run(target string, sc rlir.Scale) {
 		fmt.Print(r.Render())
 		if csvOut != "" {
 			if _, err := r.WriteCSV(csvOut); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
 	case "placement":
-		runPlacement()
+		return runPlacement()
 	case "scalars":
 		fmt.Print(rlir.RunScalars(sc).Render())
 	case "A1":
@@ -130,13 +194,14 @@ func run(target string, sc rlir.Scale) {
 		cfg.Seed = sc.Seed
 		fmt.Print(rlir.RunLocalization(cfg).Render())
 	default:
-		log.Fatalf("unknown target %q", target)
+		return unknownTarget(target)
 	}
+	return nil
 }
 
 // runMulti is the multi-seed dispatch: the same targets, re-recorded as
 // mean ± CI over the derived seeds.
-func runMulti(target string, sc rlir.Scale, opts rlir.MultiOpts) {
+func runMulti(target string, sc rlir.Scale, opts rlir.MultiOpts) error {
 	switch target {
 	case "4a":
 		fmt.Print(rlir.Fig4aMulti(sc, opts).Render())
@@ -146,9 +211,9 @@ func runMulti(target string, sc rlir.Scale, opts rlir.MultiOpts) {
 		fmt.Print(rlir.Fig4cMulti(sc, opts).Render())
 	case "5":
 		fmt.Println("fig5 runs single-seed (a within-run differential measurement); rerun without -seeds")
-		run(target, sc)
+		return run(target, sc)
 	case "placement":
-		runPlacement() // exact combinatorics: seed-independent
+		return runPlacement() // exact combinatorics: seed-independent
 	case "scalars":
 		fmt.Print(rlir.MultiScalars(sc, opts).Render())
 	case "A1":
@@ -166,15 +231,17 @@ func runMulti(target string, sc rlir.Scale, opts rlir.MultiOpts) {
 		cfg.Seed = sc.Seed
 		fmt.Print(rlir.MultiLocalization(cfg, opts).Render())
 	default:
-		log.Fatalf("unknown target %q", target)
+		return unknownTarget(target)
 	}
+	return nil
 }
 
-func runPlacement() {
+func runPlacement() error {
 	rows, err := rlir.PlacementTable([]int{4, 8, 16, 32, 48})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Println("== §3.1: deployment complexity (measurement instances) ==")
 	fmt.Print(rlir.FormatPlacementTable(rows))
+	return nil
 }

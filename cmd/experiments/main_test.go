@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	rlir "github.com/netmeasure/rlir"
+)
+
+// TestUnknownTargetRejected pins the dispatch contract: an unknown -fig
+// value must produce an error that names every valid target, in both the
+// single- and multi-seed paths.
+func TestUnknownTargetRejected(t *testing.T) {
+	sc := rlir.SmallScale()
+	for _, dispatch := range []func(string) error{
+		func(tg string) error { return run(tg, sc) },
+		func(tg string) error { return runMulti(tg, sc, rlir.MultiOpts{Seeds: 2}) },
+	} {
+		err := dispatch("fig99")
+		if err == nil {
+			t.Fatal("unknown target accepted")
+		}
+		if !strings.Contains(err.Error(), `"fig99"`) {
+			t.Fatalf("error %q does not echo the bad target", err)
+		}
+		for _, valid := range validTargets {
+			if !strings.Contains(err.Error(), valid) {
+				t.Fatalf("error %q does not list valid target %q", err, valid)
+			}
+		}
+	}
+}
+
+// TestUnknownScenarioRejected pins the -scenario target's rejection path.
+func TestUnknownScenarioRejected(t *testing.T) {
+	err := runScenario("nonexistent", 0, false, 1, 0)
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	for _, name := range rlir.ScenarioNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list scenario %q", err, name)
+		}
+	}
+}
+
+// TestPlacementTargetRuns exercises one cheap real target end to end
+// through the same dispatch an operator hits.
+func TestPlacementTargetRuns(t *testing.T) {
+	if err := run("placement", rlir.SmallScale()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMainExitsNonZeroOnUnknownFig re-executes the test binary as the real
+// main and asserts the process-level contract: unknown -fig means a
+// non-zero exit with the valid targets on stderr.
+func TestMainExitsNonZeroOnUnknownFig(t *testing.T) {
+	if os.Getenv("EXPERIMENTS_MAIN_PROBE") == "1" {
+		os.Args = []string{"experiments", "-fig", "fig99"}
+		main()
+		return // unreachable: main must have exited non-zero
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestMainExitsNonZeroOnUnknownFig")
+	cmd.Env = append(os.Environ(), "EXPERIMENTS_MAIN_PROBE=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("main accepted an unknown -fig; output:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() == 0 {
+		t.Fatalf("expected a non-zero exit, got %v; output:\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "valid:") || !strings.Contains(string(out), "placement") {
+		t.Fatalf("failure output does not list valid targets:\n%s", out)
+	}
+}

@@ -1,0 +1,175 @@
+// Command scenario is the CLI front-end of the declarative scenario engine:
+// it lists the registry, runs named scenarios (single- or multi-seed, with
+// or without their invariant checks), runs ad-hoc JSON specs, and prints
+// spec templates to build new scenarios from.
+//
+// Usage:
+//
+//	scenario -list                 # registry with what each scenario stresses
+//	scenario -list -json           # name array (the CI scenario-matrix input)
+//	scenario -run incast -check    # run one scenario, enforce its invariant
+//	scenario -run incast -seeds 8 -parallel 4
+//	scenario -describe incast      # print the spec as JSON
+//	scenario -spec my.json -seed 7 # run an ad-hoc spec file
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	rlir "github.com/netmeasure/rlir"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scenario:", err)
+		os.Exit(1)
+	}
+}
+
+// options is the parsed command line.
+type options struct {
+	list     bool
+	jsonOut  bool
+	runName  string
+	describe string
+	specFile string
+	check    bool
+	seed     int64
+	seeds    int
+	parallel int
+}
+
+// parseArgs parses the command line into options, validating the
+// combination. Split from run so tests can exercise the flag surface
+// without executing simulations.
+func parseArgs(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.BoolVar(&o.list, "list", false, "list registered scenarios")
+	fs.BoolVar(&o.jsonOut, "json", false, "with -list: print names as a JSON array")
+	fs.StringVar(&o.runName, "run", "", "run a registered scenario by name")
+	fs.StringVar(&o.describe, "describe", "", "print a registered scenario's spec as JSON")
+	fs.StringVar(&o.specFile, "spec", "", "run an ad-hoc spec from a JSON file")
+	fs.BoolVar(&o.check, "check", false, "apply the scenario's invariant; non-zero exit on violation")
+	fs.Int64Var(&o.seed, "seed", 0, "override the spec seed (0 keeps the spec's)")
+	fs.IntVar(&o.seeds, "seeds", 1, "number of independent derived seeds; > 1 reports mean ± 95% CI")
+	fs.IntVar(&o.parallel, "parallel", 0, "max concurrent runs for multi-seed sweeps (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if fs.NArg() > 0 {
+		return o, fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	modes := 0
+	for _, on := range []bool{o.list, o.runName != "", o.describe != "", o.specFile != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return o, fmt.Errorf("need exactly one of -list, -run, -describe, -spec")
+	}
+	if o.seeds < 1 {
+		return o, fmt.Errorf("-seeds %d < 1", o.seeds)
+	}
+	if o.check && o.specFile != "" {
+		return o, fmt.Errorf("-check needs a registered scenario (ad-hoc specs carry no invariant)")
+	}
+	return o, nil
+}
+
+func run(args []string, out io.Writer) error {
+	o, err := parseArgs(args)
+	if err != nil {
+		return err
+	}
+	switch {
+	case o.list:
+		return list(o, out)
+	case o.describe != "":
+		sc, ok := rlir.ScenarioByName(o.describe)
+		if !ok {
+			return unknownScenario(o.describe)
+		}
+		data, err := sc.Spec.EncodeJSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(data))
+		return nil
+	case o.runName != "":
+		sc, ok := rlir.ScenarioByName(o.runName)
+		if !ok {
+			return unknownScenario(o.runName)
+		}
+		return execute(o, sc.Spec, sc.Check, out)
+	default:
+		data, err := os.ReadFile(o.specFile)
+		if err != nil {
+			return err
+		}
+		spec, err := rlir.DecodeScenarioSpec(data)
+		if err != nil {
+			return err
+		}
+		return execute(o, spec, nil, out)
+	}
+}
+
+func list(o options, out io.Writer) error {
+	if o.jsonOut {
+		data, err := json.Marshal(rlir.ScenarioNames())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(data))
+		return nil
+	}
+	for _, sc := range rlir.Scenarios() {
+		fmt.Fprintf(out, "%-18s %s\n%-18s invariant: %s\n", sc.Name, sc.Stresses, "", sc.Invariant)
+	}
+	return nil
+}
+
+// execute runs one spec (optionally checked) single- or multi-seed.
+func execute(o options, spec rlir.ScenarioSpec, check func(*rlir.ScenarioResult) error, out io.Writer) error {
+	if o.seed != 0 {
+		spec.Seed = o.seed
+	}
+	if o.seeds > 1 {
+		mr, err := rlir.RunScenarioMulti(spec, rlir.ScenarioMultiOpts{Seeds: o.seeds, Workers: o.parallel})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, mr.Render())
+		if o.check && check != nil {
+			if err := mr.CheckAll(check); err != nil {
+				return fmt.Errorf("invariant violated: %w", err)
+			}
+			fmt.Fprintf(out, "invariant held on all %d seeds\n", o.seeds)
+		}
+		return nil
+	}
+	res, err := rlir.RunScenario(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.Render())
+	if o.check && check != nil {
+		if err := check(res); err != nil {
+			return fmt.Errorf("invariant violated: %w", err)
+		}
+		fmt.Fprintln(out, "invariant held")
+	}
+	return nil
+}
+
+func unknownScenario(name string) error {
+	return fmt.Errorf("unknown scenario %q (registered: %s)", name, strings.Join(rlir.ScenarioNames(), ", "))
+}

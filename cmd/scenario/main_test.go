@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	rlir "github.com/netmeasure/rlir"
+)
+
+func TestParseArgs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the expected error; "" = must parse
+	}{
+		{"list", []string{"-list"}, ""},
+		{"list json", []string{"-list", "-json"}, ""},
+		{"run", []string{"-run", "incast"}, ""},
+		{"run checked multi", []string{"-run", "incast", "-check", "-seeds", "4", "-parallel", "2"}, ""},
+		{"describe", []string{"-describe", "incast"}, ""},
+		{"spec file", []string{"-spec", "x.json", "-seed", "7"}, ""},
+		{"no mode", []string{}, "exactly one"},
+		{"two modes", []string{"-list", "-run", "incast"}, "exactly one"},
+		{"spec with check", []string{"-spec", "x.json", "-check"}, "no invariant"},
+		{"zero seeds", []string{"-run", "incast", "-seeds", "0"}, "-seeds"},
+		{"unknown flag", []string{"-frobnicate"}, "frobnicate"},
+		{"stray args", []string{"-list", "extra"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseArgs(tc.args)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("parseArgs(%v) = %v, want success", tc.args, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("parseArgs(%v) = %v, want error mentioning %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestListJSONCoversRegistry(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-list", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	if err := json.Unmarshal([]byte(buf.String()), &names); err != nil {
+		t.Fatalf("-list -json output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	want := rlir.ScenarioNames()
+	if len(names) != len(want) {
+		t.Fatalf("-list -json has %d names, registry has %d", len(names), len(want))
+	}
+	for i := range names {
+		if names[i] != want[i] {
+			t.Fatalf("-list -json[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestListShowsInvariants(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range rlir.ScenarioNames() {
+		if !strings.Contains(buf.String(), name) {
+			t.Fatalf("-list output missing scenario %q", name)
+		}
+	}
+	if !strings.Contains(buf.String(), "invariant:") {
+		t.Fatal("-list output missing invariant descriptions")
+	}
+}
+
+func TestRunUnknownScenarioListsRegistry(t *testing.T) {
+	err := run([]string{"-run", "nonexistent"}, io.Discard)
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	for _, name := range rlir.ScenarioNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list registered scenario %q", err, name)
+		}
+	}
+}
+
+func TestDescribeRoundTrips(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-describe", "degraded-link"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := rlir.DecodeScenarioSpec([]byte(buf.String()))
+	if err != nil {
+		t.Fatalf("-describe output is not a valid spec: %v", err)
+	}
+	if spec.Name != "degraded-link" || len(spec.Faults) != 1 {
+		t.Fatalf("described spec lost fields: %+v", spec)
+	}
+}
+
+func TestSpecFileRuns(t *testing.T) {
+	spec := rlir.DefaultScenarioSpec()
+	spec.Name = "adhoc"
+	spec.Topology.LinkBps = 200e6
+	spec.Duration = 30 * time.Millisecond
+	data, err := spec.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "adhoc.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run([]string{"-spec", path, "-seed", "7"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "scenario adhoc (seed 7)") {
+		t.Fatalf("spec-file run did not honour the seed override:\n%s", buf.String())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecFileRejectsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"version":1,"topology":{"kind":"ring"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", path}, io.Discard); err == nil {
+		t.Fatal("invalid spec file accepted")
+	}
+	if err := run([]string{"-spec", filepath.Join(t.TempDir(), "missing.json")}, io.Discard); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+}

@@ -46,7 +46,10 @@ type MetricCI struct {
 	N          int
 }
 
-func metricOf(samples []float64) MetricCI {
+// MetricOf folds independent per-seed samples into a mean ± 95% CI metric.
+// Exported so other sweep harnesses (internal/scenario) share one
+// implementation of the across-seed statistic.
+func MetricOf(samples []float64) MetricCI {
 	var w stats.Welford
 	m := MetricCI{}
 	for _, x := range samples {
@@ -82,7 +85,7 @@ func column(rows [][]float64, i int) MetricCI {
 			xs = append(xs, r[i])
 		}
 	}
-	return metricOf(xs)
+	return MetricOf(xs)
 }
 
 // ---- Multi-seed tandem ----
@@ -229,9 +232,9 @@ func multiFigure(fig func(Scale) Figure, scale Scale, opts MultiOpts) MultiFigur
 		}
 		out.Series = append(out.Series, MultiSeries{
 			Label:          ref.Label,
-			Median:         metricOf(med),
-			P90:            metricOf(p90),
-			FracUnder10Pct: metricOf(under),
+			Median:         MetricOf(med),
+			P90:            MetricOf(p90),
+			FracUnder10Pct: MetricOf(under),
 		})
 	}
 	return out
@@ -337,8 +340,8 @@ func MultiEstimators(scale Scale, targetUtil float64, opts MultiOpts) []Estimato
 		}
 		out = append(out, EstimatorCI{
 			Estimator: ref.Estimator,
-			Median:    metricOf(med),
-			P90:       metricOf(p90),
+			Median:    MetricOf(med),
+			P90:       MetricOf(p90),
 		})
 	}
 	return out
@@ -523,7 +526,7 @@ func MultiLocalization(cfg LocalizationConfig, opts MultiOpts) LocalizationCI {
 		}
 		inflations = append(inflations, o.inflation)
 	}
-	res.FaultyInflation = metricOf(inflations)
+	res.FaultyInflation = MetricOf(inflations)
 	return res
 }
 

@@ -91,11 +91,11 @@ func TestMultiTandemStatistics(t *testing.T) {
 }
 
 func TestMetricOf(t *testing.T) {
-	m := metricOf([]float64{1, 2, 3})
+	m := MetricOf([]float64{1, 2, 3})
 	if m.N != 3 || m.Mean != 2 || m.Min != 1 || m.Max != 3 {
 		t.Fatalf("metricOf: %+v", m)
 	}
-	if m.String() == "" || metricOf(nil).String() != "n/a" {
-		t.Fatalf("String rendering broken: %q / %q", m.String(), metricOf(nil).String())
+	if m.String() == "" || MetricOf(nil).String() != "n/a" {
+		t.Fatalf("String rendering broken: %q / %q", m.String(), MetricOf(nil).String())
 	}
 }

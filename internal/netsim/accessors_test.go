@@ -104,3 +104,46 @@ func TestNewPacketIDUnique(t *testing.T) {
 		seen[id] = true
 	}
 }
+
+func TestSetRateChangesTxTime(t *testing.T) {
+	link := LinkConfig{RateBps: 1e9}
+	eng, nw, src, sw, dst := buildLine(t, link, link)
+
+	var arrivals []simtime.Time
+	dst.OnDeliver(func(p *packet.Packet, now simtime.Time) { arrivals = append(arrivals, now) })
+
+	nw.Inject(src, mkpkt(1, 1500), simtime.Zero)
+	// Degrade the switch's output link to a tenth of its rate mid-run, the
+	// way the scenario engine's link-degrade fault does.
+	eng.At(simtime.FromDuration(time.Millisecond), func() {
+		sw.Port(0).SetRate(1e8)
+	})
+	nw.Inject(src, mkpkt(2, 1500), simtime.FromDuration(2*time.Millisecond))
+	eng.Run()
+
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %d", len(arrivals))
+	}
+	base := arrivals[0].Sub(simtime.Zero)
+	slow := arrivals[1].Sub(simtime.FromDuration(2 * time.Millisecond))
+	// The second packet's last hop serializes at 100 Mbps instead of 1 Gbps:
+	// 1500B costs 120µs instead of 12µs, a 108µs delta.
+	want := simtime.TxTime(1500, 1e8) - simtime.TxTime(1500, 1e9)
+	if slow-base != want {
+		t.Fatalf("degrade delta = %v, want %v", slow-base, want)
+	}
+	if got := sw.Port(0).Rate(); got != 1e8 {
+		t.Fatalf("Rate = %v after SetRate", got)
+	}
+}
+
+func TestSetRateRejectsNonPositive(t *testing.T) {
+	link := LinkConfig{RateBps: 1e9}
+	_, _, _, sw, _ := buildLine(t, link, link)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sw.Port(0).SetRate(0)
+}

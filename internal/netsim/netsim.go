@@ -291,6 +291,18 @@ func (pt *Port) Rate() float64 { return pt.cfg.RateBps }
 // Propagation returns the link's one-way propagation delay.
 func (pt *Port) Propagation() time.Duration { return pt.cfg.Propagation }
 
+// SetRate changes the link's line rate. A packet already in transmission
+// finishes at the rate it started with; packets starting transmission after
+// the call serialize at the new rate — the way a renegotiated or degraded
+// physical link behaves. Fault injection (scenario link-degrade) uses this
+// mid-run.
+func (pt *Port) SetRate(bps float64) {
+	if bps <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive rate %v on %s port %d", bps, pt.node.name, pt.index))
+	}
+	pt.cfg.RateBps = bps
+}
+
 // SetPropagation changes the link's propagation delay. Experiments use it
 // to model heterogeneous path lengths.
 func (pt *Port) SetPropagation(d time.Duration) {

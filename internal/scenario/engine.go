@@ -1,0 +1,542 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/collector"
+	"github.com/netmeasure/rlir/internal/core"
+	"github.com/netmeasure/rlir/internal/crossinject"
+	"github.com/netmeasure/rlir/internal/eventsim"
+	"github.com/netmeasure/rlir/internal/netsim"
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/runner"
+	"github.com/netmeasure/rlir/internal/simtime"
+	"github.com/netmeasure/rlir/internal/stats"
+	"github.com/netmeasure/rlir/internal/topo"
+	"github.com/netmeasure/rlir/internal/trace"
+)
+
+// Run executes one scenario at its spec seed.
+func Run(spec Spec) (*Result, error) { return RunSeed(spec, spec.Seed) }
+
+// RunSeed executes one scenario at an explicit seed (multi-seed sweeps
+// derive per-run seeds and call this).
+func RunSeed(spec Spec, seed int64) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Topology.Kind == TopoTandem {
+		return runTandem(spec, seed)
+	}
+	return runFatTree(spec, seed)
+}
+
+// scheme builds the injection scheme from the deployment spec.
+func (s Spec) scheme() core.InjectionScheme {
+	if s.Deploy.Scheme == SchemeAdaptive {
+		a := core.DefaultAdaptive()
+		if s.Deploy.MinGap > 0 {
+			a.MinGap = s.Deploy.MinGap
+		}
+		if s.Deploy.MaxGap > 0 {
+			a.MaxGap = s.Deploy.MaxGap
+		}
+		return a
+	}
+	n := s.Deploy.StaticN
+	if n == 0 {
+		n = 50
+	}
+	return core.Static{N: n}
+}
+
+// traceConfig builds the workload generator config for the given target
+// rate, applying the spec's flow-shape overrides and the stationary warm-up
+// with flow lengths capped relative to the window (the same calibration the
+// experiments harness uses, so short runs still deliver their offered load).
+func (s Spec) traceConfig(seed int64, targetBps float64) trace.Config {
+	cfg := trace.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Duration = s.Duration
+	cfg.TargetBps = targetBps
+	if s.Workload.FlowAlpha > 0 {
+		cfg.FlowLen.Alpha = s.Workload.FlowAlpha
+	}
+	if s.Workload.FlowMaxLen > 0 {
+		cfg.FlowLen.Max = s.Workload.FlowMaxLen
+	}
+	if s.Workload.MeanGap > 0 {
+		cfg.MeanGap = s.Workload.MeanGap
+	}
+	limit := 2 * int(cfg.Duration/cfg.MeanGap)
+	if limit < 64 {
+		limit = 64
+	}
+	if cfg.FlowLen.Max > limit {
+		cfg.FlowLen.Max = limit
+	}
+	cfg.Warmup = cfg.StationaryWarmup()
+	return cfg
+}
+
+// burstGate wraps src in the microburst on/off admission model when the
+// spec asks for one. The generator's target rate must already be scaled by
+// the inverse duty cycle so the admitted average load matches the spec.
+func (s Spec) burstGate(src trace.Source, seed int64) trace.Source {
+	if s.Workload.BurstPeriod == 0 {
+		return src
+	}
+	return crossinject.NewSource(src, crossinject.NewBursty(s.Workload.BurstOn, s.Workload.BurstPeriod, 1, seed+2099))
+}
+
+// dutyBoost is the factor the offered rate is scaled up by to compensate
+// for microburst off-time.
+func (s Spec) dutyBoost() float64 {
+	if s.Workload.BurstPeriod == 0 {
+		return 1
+	}
+	return float64(s.Workload.BurstPeriod) / float64(s.Workload.BurstOn)
+}
+
+// upstreamSenderID identifies the sender at ToR(p,e) uplink j.
+func upstreamSenderID(h, p, e, j int) core.SenderID {
+	return core.SenderID(1000 + ((p*h+e)*h + j))
+}
+
+// downstreamSenderID identifies the sender instances at core (j,i).
+func downstreamSenderID(h, j, i int) core.SenderID {
+	return core.SenderID(2000 + j*h + i)
+}
+
+// countingDemux audits a strategy against ground truth.
+type countingDemux struct {
+	inner  core.Demux
+	oracle core.Demux
+	agree  uint64
+	total  uint64
+}
+
+func (c *countingDemux) Classify(p *packet.Packet) (core.SenderID, bool) {
+	id, ok := c.inner.Classify(p)
+	if ok {
+		if truth, tok := c.oracle.Classify(p); tok {
+			c.total++
+			if truth == id {
+				c.agree++
+			}
+		}
+	}
+	return id, ok
+}
+
+func (c *countingDemux) Name() string { return "counting(" + c.inner.Name() + ")" }
+
+func (c *countingDemux) misattribution() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return 1 - float64(c.agree)/float64(c.total)
+}
+
+// routerRx pairs a receiver with its identity and tail accumulators.
+type routerRx struct {
+	name    string
+	segment string
+	rx      *core.Receiver
+	rec     *routerRec
+	// tor is set for downstream receivers: the monitored (pod, tor).
+	tor  [2]int
+	down bool
+}
+
+// runFatTree composes and executes a fat-tree scenario.
+func runFatTree(spec Spec, seed int64) (*Result, error) {
+	eng := eventsim.New()
+	nw := netsim.New(eng)
+	tc := topo.DefaultConfig()
+	tc.K = spec.Topology.K
+	tc.LinkBps = spec.Topology.LinkBps
+	tc.QueueBytes = spec.Topology.QueueBytes
+	if spec.Topology.Propagation > 0 {
+		tc.Propagation = spec.Topology.Propagation
+	}
+	if spec.Topology.ProcDelay > 0 {
+		tc.ProcDelay = spec.Topology.ProcDelay
+	}
+	tc.MarkAtCores = spec.Deploy.Demux == DemuxMark
+	ft, err := topo.Build(tc, nw)
+	if err != nil {
+		return nil, err
+	}
+	nw.SetTracePaths(true) // oracle demux + misattribution audit
+
+	k, h := spec.Topology.K, spec.half()
+	monitored := spec.monitoredToRs()
+	monPods := make([]int, 0, k)
+	seenPod := make(map[int]bool, k)
+	for _, m := range monitored {
+		if !seenPod[m[0]] {
+			seenPod[m[0]] = true
+			monPods = append(monPods, m[0])
+		}
+	}
+	allPairs := spec.Workload.Pattern == PatternAllPairs
+
+	// Physical path differentiation toward every monitored pod.
+	if skew := spec.Topology.CoreSkew; skew > 0 {
+		for _, p := range monPods {
+			for j := 0; j < h; j++ {
+				for i := 0; i < h; i++ {
+					port := ft.CoreDownPort(j, i, p)
+					port.SetPropagation(port.Propagation() + time.Duration(j*h+i)*skew)
+				}
+			}
+		}
+	}
+
+	scheme := spec.scheme()
+
+	// --- Upstream instruments: senders at source-ToR uplinks, receivers at
+	// cores (prefix demux on source subnets).
+	sourcePods := make([]int, 0, k)
+	for p := 0; p < k; p++ {
+		if !allPairs && seenPod[p] {
+			continue // single-destination patterns: the monitored pod only receives
+		}
+		sourcePods = append(sourcePods, p)
+	}
+	for _, p := range sourcePods {
+		for e := 0; e < h; e++ {
+			for j := 0; j < h; j++ {
+				dsts := make([]packet.Addr, h)
+				for i := 0; i < h; i++ {
+					dsts[i] = ft.CoreAddr(j, i)
+				}
+				if _, err := core.AttachSender(ft.ToRUplink(p, e, j), core.SenderConfig{
+					ID:        upstreamSenderID(h, p, e, j),
+					Addr:      ft.ToRAddr(p, e),
+					Receivers: dsts,
+					Scheme:    scheme,
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	var routers []*routerRx
+	for j := 0; j < h; j++ {
+		for i := 0; i < h; i++ {
+			pd := core.NewPrefixDemux()
+			for _, p := range sourcePods {
+				for e := 0; e < h; e++ {
+					pd.Add(ft.ToRSubnet(p, e), upstreamSenderID(h, p, e, j))
+				}
+			}
+			addr := ft.CoreAddr(j, i)
+			rec := &routerRec{}
+			rx, err := core.AttachReceiverIngress(ft.Cores[j][i], core.ReceiverConfig{
+				Demux:      pd,
+				Accept:     func(p *packet.Packet) bool { return p.Kind == packet.Regular },
+				AcceptRef:  func(p *packet.Packet) bool { return p.Key.Dst == addr },
+				OnEstimate: func(_ packet.FlowKey, est, truth time.Duration) { rec.record(est, truth) },
+			})
+			if err != nil {
+				return nil, err
+			}
+			routers = append(routers, &routerRx{
+				name:    ft.Cores[j][i].Name(),
+				segment: "tor-uplink->core",
+				rx:      rx,
+				rec:     rec,
+			})
+		}
+	}
+
+	// --- Downstream instruments: a sender at each core down-port toward a
+	// monitored pod (references fanned to one anchor host per monitored ToR
+	// of that pod), and one receiver per monitored ToR spanning its host
+	// ports, demultiplexing with the strategy under test.
+	for _, p := range monPods {
+		var refs []packet.Addr
+		for _, m := range monitored {
+			if m[0] == p {
+				refs = append(refs, ft.HostAddr(m[0], m[1], 0))
+			}
+		}
+		for j := 0; j < h; j++ {
+			for i := 0; i < h; i++ {
+				if _, err := core.AttachSender(ft.CoreDownPort(j, i, p), core.SenderConfig{
+					ID:        downstreamSenderID(h, j, i),
+					Addr:      ft.CoreAddr(j, i),
+					Receivers: refs,
+					Scheme:    scheme,
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	oracle := core.NewOracleDemux()
+	for j := 0; j < h; j++ {
+		for i := 0; i < h; i++ {
+			oracle.Add(ft.Cores[j][i].ID(), downstreamSenderID(h, j, i))
+		}
+	}
+	var strategy core.Demux
+	switch spec.Deploy.Demux {
+	case DemuxNone:
+		strategy = core.SingleDemux{ID: downstreamSenderID(h, 0, 0)}
+	case DemuxMark:
+		md := core.NewMarkDemux()
+		for j := 0; j < h; j++ {
+			for i := 0; i < h; i++ {
+				md.Add(ft.CoreMark(j, i), downstreamSenderID(h, j, i))
+			}
+		}
+		strategy = md
+	case DemuxOracle:
+		strategy = oracle
+	default: // "", DemuxReverseECMP
+		strategy = core.FuncDemux{
+			Label: "reverse-ecmp",
+			F: func(p *packet.Packet) (core.SenderID, bool) {
+				j, i, err := ft.ResolveCore(p.Key)
+				if err != nil {
+					return 0, false
+				}
+				return downstreamSenderID(h, j, i), true
+			},
+		}
+	}
+	counting := &countingDemux{inner: strategy, oracle: oracle}
+
+	// The collection plane: downstream estimates stream through the sharded
+	// collector (upstream receivers keep local tails only, so one flow's
+	// fleet aggregate is not a mix of two different segments).
+	coll := collector.New(collector.Config{Shards: 4})
+	sink := runner.NewSink(coll, 0)
+
+	for _, m := range monitored {
+		p, e := m[0], m[1]
+		rec := &routerRec{}
+		accept := func(pk *packet.Packet) bool {
+			// Inter-pod regular traffic only: packets from inside the pod
+			// never cross a core, so no reference stream measures them.
+			sp, _, _, ok := ft.LocateHost(pk.Key.Src)
+			return pk.Kind == packet.Regular && ok && sp != p
+		}
+		rx, err := core.NewReceiver(core.ReceiverConfig{
+			Demux:  counting,
+			Accept: accept,
+			OnEstimate: func(key packet.FlowKey, est, truth time.Duration) {
+				rec.record(est, truth)
+				sink.Add(key, est, truth)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		for hh := 0; hh < h; hh++ {
+			ft.ToRHostPort(p, e, hh).OnTxStart(rx.Observe)
+		}
+		routers = append(routers, &routerRx{
+			name:    ft.ToRs[p][e].Name(),
+			segment: "core->tor",
+			rx:      rx,
+			rec:     rec,
+			tor:     m,
+			down:    true,
+		})
+	}
+
+	// --- Faults: scheduled state changes on the running topology.
+	for _, f := range spec.sortedFaults() {
+		f := f
+		switch f.Kind {
+		case FaultLinkDegrade:
+			port := ft.CoreDownPort(f.CoreJ, f.CoreI, f.DownPod)
+			healthy := spec.Topology.LinkBps
+			eng.At(simtime.FromDuration(f.Start), func() { port.SetRate(healthy * f.RateFactor) })
+			eng.At(simtime.FromDuration(f.End), func() { port.SetRate(healthy) })
+		case FaultHopDelay:
+			node := ft.Aggs[f.AggPod][f.AggIdx]
+			base := node.ProcDelay()
+			eng.At(simtime.FromDuration(f.Start), func() { node.SetProcDelay(base + f.Extra) })
+			eng.At(simtime.FromDuration(f.End), func() { node.SetProcDelay(base) })
+		}
+	}
+
+	// --- Workload.
+	injected := spec.injectWorkload(nw, ft, seed)
+	eng.Run()
+
+	// --- Harvest.
+	res := &Result{Spec: spec, Seed: seed, Injected: injected}
+	var downResults []core.FlowResult
+	var estAll, trueAll stats.Histogram
+	type segKey struct {
+		j, i, p, e int
+	}
+	segFlows := map[segKey][]core.FlowResult{}
+	for _, r := range routers {
+		results := r.rx.Results(1)
+		rs := RouterStats{Router: r.name, Segment: r.segment, Summary: core.Summarize(results)}
+		r.rec.fill(&rs)
+		res.Routers = append(res.Routers, rs)
+		if !r.down {
+			continue
+		}
+		downResults = append(downResults, results...)
+		estAll.Merge(&r.rec.estH)
+		trueAll.Merge(&r.rec.trueH)
+		for _, fr := range results {
+			j, i, err := ft.ResolveCore(fr.Key)
+			if err != nil {
+				continue
+			}
+			sk := segKey{j, i, r.tor[0], r.tor[1]}
+			segFlows[sk] = append(segFlows[sk], fr)
+		}
+	}
+	sort.Slice(res.Routers, func(a, b int) bool { return res.Routers[a].Router < res.Routers[b].Router })
+	res.Overall = core.Summarize(downResults)
+	res.EstP50, res.EstP99 = estAll.Quantile(0.5), estAll.Quantile(0.99)
+	res.TrueP50, res.TrueP99 = trueAll.Quantile(0.5), trueAll.Quantile(0.99)
+	res.Misattribution = counting.misattribution()
+
+	for sk, frs := range segFlows {
+		seg := SegmentStats{
+			Name:  fmt.Sprintf("core%d.%d->tor%d.%d", sk.j, sk.i, sk.p, sk.e),
+			Flows: len(frs),
+		}
+		var estW, trueW float64
+		errs := make([]float64, 0, len(frs))
+		for _, fr := range frs {
+			seg.Estimates += fr.N
+			estW += float64(fr.EstMean) * float64(fr.N)
+			trueW += float64(fr.TrueMean) * float64(fr.N)
+			errs = append(errs, fr.RelErrMean)
+		}
+		if seg.Estimates > 0 {
+			seg.EstMean = time.Duration(estW / float64(seg.Estimates))
+			seg.TrueMean = time.Duration(trueW / float64(seg.Estimates))
+		}
+		seg.MedianRelErr = stats.NewCDF(errs).Median()
+		res.Segments = append(res.Segments, seg)
+	}
+	sort.Slice(res.Segments, func(a, b int) bool { return res.Segments[a].Name < res.Segments[b].Name })
+
+	// Hottest monitored access link.
+	for _, m := range monitored {
+		for hh := 0; hh < h; hh++ {
+			c := ft.ToRHostPort(m[0], m[1], hh).Counters()
+			u := simtime.Rate(int64(c.TxBytes), 0, simtime.FromDuration(spec.Duration)) / spec.Topology.LinkBps
+			if u > res.HotLinkUtil {
+				res.HotLinkUtil = u
+			}
+		}
+	}
+
+	sink.Flush()
+	coll.Close()
+	res.Fleet = coll.Snapshot()
+	res.Samples = coll.SamplesIngested()
+	return res, nil
+}
+
+// injectWorkload generates the spec's traffic pattern and schedules it into
+// the network, returning the packet count.
+func (spec Spec) injectWorkload(nw *netsim.Network, ft *topo.FatTree, seed int64) int {
+	k, h := spec.Topology.K, spec.half()
+	q, e0 := spec.destPod(), spec.Workload.DestToR
+	lb := spec.Topology.LinkBps
+
+	var targetBps float64
+	switch spec.Workload.Pattern {
+	case PatternIncast:
+		targetBps = spec.Workload.LoadFrac * lb
+	case PatternAllPairs:
+		targetBps = spec.Workload.LoadFrac * lb * float64(h) * float64(k*h)
+	default: // converging, hotspot
+		targetBps = spec.Workload.LoadFrac * lb * float64(h)
+	}
+	gen := spec.burstGate(trace.NewGenerator(spec.traceConfig(seed, targetBps*spec.dutyBoost())), seed)
+
+	// Incast source host list: the first IncastFanIn hosts outside the
+	// destination pod, in (pod, tor, host) order.
+	var incastSrc []packet.Addr
+	if spec.Workload.Pattern == PatternIncast {
+		for p := 0; p < k && len(incastSrc) < spec.Workload.IncastFanIn; p++ {
+			if p == q {
+				continue
+			}
+			for e := 0; e < h && len(incastSrc) < spec.Workload.IncastFanIn; e++ {
+				for hh := 0; hh < h && len(incastSrc) < spec.Workload.IncastFanIn; hh++ {
+					incastSrc = append(incastSrc, ft.HostAddr(p, e, hh))
+				}
+			}
+		}
+	}
+	hotPod := (q + 1) % k // hotspot: every skewed flow sources under this pod's ToR 0
+
+	injected := 0
+	for {
+		rec, ok := gen.Next()
+		if !ok {
+			break
+		}
+		hash := rec.Key.FastHash()
+		key := rec.Key
+		switch spec.Workload.Pattern {
+		case PatternAllPairs:
+			sp := int(hash % uint64(k))
+			se := int(hash >> 8 % uint64(h))
+			sh := int(hash >> 16 % uint64(h))
+			dp := int(hash >> 24 % uint64(k-1))
+			if dp >= sp {
+				dp++ // inter-pod only: same-pod pairs never cross a core
+			}
+			de := int(hash >> 32 % uint64(h))
+			dh := int(hash >> 40 % uint64(h))
+			key.Src = ft.HostAddr(sp, se, sh)
+			key.Dst = ft.HostAddr(dp, de, dh)
+		case PatternIncast:
+			key.Src = incastSrc[int(hash%uint64(len(incastSrc)))]
+			key.Dst = ft.HostAddr(q, e0, 0)
+		case PatternHotspot:
+			dh := int(hash >> 24 % uint64(h))
+			key.Dst = ft.HostAddr(q, e0, dh)
+			// A HotspotSkew fraction of flows source under the hot ToR.
+			if float64(hash>>40&0xFFFF)/65536.0 < spec.Workload.HotspotSkew {
+				key.Src = ft.HostAddr(hotPod, 0, int(hash>>16%uint64(h)))
+			} else {
+				sp := int(hash % uint64(k-1))
+				if sp >= q {
+					sp++
+				}
+				key.Src = ft.HostAddr(sp, int(hash>>8%uint64(h)), int(hash>>16%uint64(h)))
+			}
+		default: // converging
+			sp := int(hash % uint64(k-1))
+			if sp >= q {
+				sp++
+			}
+			se := int(hash >> 8 % uint64(h))
+			sh := int(hash >> 16 % uint64(h))
+			dh := int(hash >> 24 % uint64(h))
+			key.Src = ft.HostAddr(sp, se, sh)
+			key.Dst = ft.HostAddr(q, e0, dh)
+		}
+		sp, se, sh, ok := ft.LocateHost(key.Src)
+		if !ok {
+			panic(fmt.Sprintf("scenario: remapped source %v is not a fat-tree host", key.Src))
+		}
+		pk := &packet.Packet{ID: nw.NewPacketID(), Key: key, Size: rec.Size, Kind: packet.Regular}
+		nw.Inject(ft.Hosts[sp][se][sh], pk, rec.At)
+		injected++
+	}
+	return injected
+}

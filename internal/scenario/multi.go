@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/netmeasure/rlir/internal/collector"
+	"github.com/netmeasure/rlir/internal/experiments"
+	"github.com/netmeasure/rlir/internal/runner"
+)
+
+// MultiOpts sizes a multi-seed scenario sweep.
+type MultiOpts struct {
+	// Seeds is the number of independent runs (default 8).
+	Seeds int
+	// Workers caps parallel runs (<= 0 uses GOMAXPROCS).
+	Workers int
+}
+
+// Metric is one scalar's across-seed distribution: mean ± 95% CI
+// (Student-t) — the same statistic the figure harnesses report.
+type Metric = experiments.MetricCI
+
+// MultiResult aggregates one scenario across independent seeds.
+type MultiResult struct {
+	Spec    Spec
+	Seeds   []int64
+	PerSeed []*Result
+	// Across-seed distributions of the headline scalars.
+	MedianRelErr   Metric
+	P90RelErr      Metric
+	Misattribution Metric
+	HotLinkUtil    Metric
+	EstP99Us       Metric
+	// Fleet merges every run's collector snapshot in seed order.
+	Fleet []collector.FlowAgg
+}
+
+// RunMulti runs the spec at opts.Seeds SplitMix64-derived seeds fanned
+// across the runner pool. Per-run simulations stay single-goroutine and
+// deterministic; the result is identical for any worker count.
+func RunMulti(spec Spec, opts MultiOpts) (*MultiResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Seeds <= 0 {
+		opts.Seeds = 8
+	}
+	seeds := runner.Seeds(spec.Seed, opts.Seeds)
+	type out struct {
+		res *Result
+		err error
+	}
+	outs := runner.Map(seeds, opts.Workers, func(i int, seed int64) out {
+		r, err := RunSeed(spec, seed)
+		return out{r, err}
+	})
+	mr := &MultiResult{Spec: spec, Seeds: seeds}
+	var medians, p90s, misattr, hot, p99us []float64
+	snaps := make([][]collector.FlowAgg, 0, len(outs))
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		mr.PerSeed = append(mr.PerSeed, o.res)
+		medians = append(medians, o.res.Overall.MedianRelErr)
+		p90s = append(p90s, o.res.Overall.P90RelErr)
+		misattr = append(misattr, o.res.Misattribution)
+		hot = append(hot, o.res.HotLinkUtil)
+		p99us = append(p99us, float64(o.res.EstP99)/1e3)
+		snaps = append(snaps, o.res.Fleet)
+	}
+	mr.MedianRelErr = experiments.MetricOf(medians)
+	mr.P90RelErr = experiments.MetricOf(p90s)
+	mr.Misattribution = experiments.MetricOf(misattr)
+	mr.HotLinkUtil = experiments.MetricOf(hot)
+	mr.EstP99Us = experiments.MetricOf(p99us)
+	mr.Fleet = collector.Merge(snaps...)
+	return mr, nil
+}
+
+// CheckAll applies a scenario invariant to every per-seed result, returning
+// the first violation.
+func (mr *MultiResult) CheckAll(check func(*Result) error) error {
+	for i, r := range mr.PerSeed {
+		if err := check(r); err != nil {
+			return fmt.Errorf("seed %d (%d): %w", i, mr.Seeds[i], err)
+		}
+	}
+	return nil
+}
+
+// Render formats the sweep as a text report.
+func (mr *MultiResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== scenario %s x %d seeds ==\n", mr.Spec.Name, len(mr.Seeds))
+	fmt.Fprintf(&b, "medianRelErr   %s\n", mr.MedianRelErr)
+	fmt.Fprintf(&b, "p90RelErr      %s\n", mr.P90RelErr)
+	fmt.Fprintf(&b, "misattribution %s\n", mr.Misattribution)
+	fmt.Fprintf(&b, "hotLinkUtil    %s\n", mr.HotLinkUtil)
+	fmt.Fprintf(&b, "estP99 (µs)    %s\n", mr.EstP99Us)
+	fmt.Fprintf(&b, "fleet flows    %d\n", len(mr.Fleet))
+	return b.String()
+}

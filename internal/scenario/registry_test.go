@@ -1,0 +1,57 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// TestScenarioRegistrySmoke runs every registered scenario at its CI-sized
+// spec and applies its invariant — the correctness harness the CI
+// scenario-matrix job fans out over (one matrix entry per subtest name).
+func TestScenarioRegistrySmoke(t *testing.T) {
+	if len(registry) < 6 {
+		t.Fatalf("registry has %d scenarios, want >= 6", len(registry))
+	}
+	for _, sc := range All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			res, err := sc.RunCheck()
+			if err != nil {
+				if res != nil {
+					t.Logf("result:\n%s", res.Render())
+				}
+				t.Fatal(err)
+			}
+			t.Logf("%s: flows=%d medianErr=%.4f estP99=%v hotUtil=%.2f misattr=%.4f samples=%d",
+				sc.Name, res.Overall.Flows, res.Overall.MedianRelErr, res.EstP99,
+				res.HotLinkUtil, res.Misattribution, res.Samples)
+		})
+	}
+}
+
+// TestRegistryMetadata pins the registry's documented contract: the six
+// pathologies the roadmap names are all present, and every entry carries
+// the prose fields the docs and CI listing render.
+func TestRegistryMetadata(t *testing.T) {
+	required := []string{
+		"baseline-tandem", "fattree-allpairs", "incast",
+		"microburst", "degraded-link", "ecmp-skew",
+	}
+	for _, name := range required {
+		sc, ok := Get(name)
+		if !ok {
+			t.Fatalf("required scenario %q is not registered", name)
+		}
+		if sc.Stresses == "" || sc.Invariant == "" {
+			t.Errorf("%s: missing Stresses/Invariant documentation", name)
+		}
+		if sc.Spec.Name != name {
+			t.Errorf("%s: spec name %q does not match registration", name, sc.Spec.Name)
+		}
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/collector"
+	"github.com/netmeasure/rlir/internal/core"
+	"github.com/netmeasure/rlir/internal/stats"
+)
+
+// RouterStats is one measured router's view: the accuracy summary of every
+// estimate its receiver produced plus the estimated and ground-truth delay
+// tails of the segment it terminates.
+type RouterStats struct {
+	// Router is the node name ("core0.1", "tor3.0").
+	Router string
+	// Segment describes what the receiver measures ("tor-uplink->core",
+	// "core->tor").
+	Segment string
+	// Summary is the per-flow accuracy at this router.
+	Summary core.Summary
+	// Tails of the per-packet estimated and true delay distributions.
+	EstP50, EstP99   time.Duration
+	TrueP50, TrueP99 time.Duration
+}
+
+// SegmentStats is one core->monitored-ToR path segment, grouped from a
+// downstream receiver's flows by which core each flow traversed. This is
+// the view a fault on one core's down-link shows up in.
+type SegmentStats struct {
+	// Name is "coreJ.I->torP.E".
+	Name string
+	// Flows and Estimates count the segment's traffic.
+	Flows     int
+	Estimates int64
+	// EstMean / TrueMean are estimate-weighted mean delays over the
+	// segment's flows.
+	EstMean, TrueMean time.Duration
+	// MedianRelErr is the median per-flow relative error.
+	MedianRelErr float64
+}
+
+// Result is one scenario run's outcome.
+type Result struct {
+	Spec Spec
+	// Seed is the seed this run actually used (differs from Spec.Seed in
+	// multi-seed sweeps).
+	Seed int64
+	// Injected counts workload packets offered to the network.
+	Injected int
+	// Overall aggregates every monitored downstream flow.
+	Overall core.Summary
+	// EstP50/EstP99/TrueP50/TrueP99 are the downstream per-packet delay
+	// tails across all monitored routers.
+	EstP50, EstP99   time.Duration
+	TrueP50, TrueP99 time.Duration
+	// Routers lists per-router accuracy (cores first, then monitored ToRs),
+	// sorted by name.
+	Routers []RouterStats
+	// Segments lists per core->ToR segment statistics at monitored ToRs,
+	// sorted by name. Empty on tandem topologies.
+	Segments []SegmentStats
+	// Misattribution is the fraction of classified downstream packets whose
+	// demux decision disagrees with ground truth. Zero on tandem (a single
+	// stream cannot be misattributed).
+	Misattribution float64
+	// HotLinkUtil is the highest achieved utilization over monitored ToR
+	// host links (tandem: the bottleneck link) — the congestion the
+	// scenario manufactured.
+	HotLinkUtil float64
+	// Fleet is the per-flow aggregate table streamed through the sharded
+	// collector plane, sorted by flow key.
+	Fleet []collector.FlowAgg
+	// Samples counts estimates streamed into the collector.
+	Samples uint64
+}
+
+// Router returns the named router's stats.
+func (r *Result) Router(name string) (RouterStats, bool) {
+	for _, rs := range r.Routers {
+		if rs.Router == name {
+			return rs, true
+		}
+	}
+	return RouterStats{}, false
+}
+
+// Segment returns the named segment's stats.
+func (r *Result) Segment(name string) (SegmentStats, bool) {
+	for _, s := range r.Segments {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return SegmentStats{}, false
+}
+
+// Render formats the result as a text report.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== scenario %s (seed %d) ==\n", r.Spec.Name, r.Seed)
+	fmt.Fprintf(&b, "injected=%d flows=%d estimates=%d samples=%d misattribution=%.4f hotLinkUtil=%.2f\n",
+		r.Injected, r.Overall.Flows, r.Overall.Estimates, r.Samples, r.Misattribution, r.HotLinkUtil)
+	fmt.Fprintf(&b, "overall: medianRelErr=%.4f p90RelErr=%.4f under10%%=%.1f%%\n",
+		r.Overall.MedianRelErr, r.Overall.P90RelErr, r.Overall.FracUnder10Pct*100)
+	fmt.Fprintf(&b, "delay tails: est p50=%v p99=%v | true p50=%v p99=%v\n",
+		r.EstP50, r.EstP99, r.TrueP50, r.TrueP99)
+	if len(r.Routers) > 0 {
+		fmt.Fprintf(&b, "%-10s %-18s %8s %10s %12s %12s %12s\n",
+			"router", "segment", "flows", "medianErr", "estP50", "estP99", "trueP99")
+		for _, rs := range r.Routers {
+			fmt.Fprintf(&b, "%-10s %-18s %8d %10.4f %12v %12v %12v\n",
+				rs.Router, rs.Segment, rs.Summary.Flows, rs.Summary.MedianRelErr,
+				rs.EstP50, rs.EstP99, rs.TrueP99)
+		}
+	}
+	if len(r.Segments) > 0 {
+		fmt.Fprintf(&b, "%-22s %8s %10s %12s %12s\n", "segment", "flows", "medianErr", "estMean", "trueMean")
+		for _, s := range r.Segments {
+			fmt.Fprintf(&b, "%-22s %8d %10.4f %12v %12v\n", s.Name, s.Flows, s.MedianRelErr, s.EstMean, s.TrueMean)
+		}
+	}
+	return b.String()
+}
+
+// routerRec accumulates one receiver's per-packet estimate/truth tails while
+// the run streams them into the collector.
+type routerRec struct {
+	estH, trueH stats.Histogram
+}
+
+func (rr *routerRec) record(est, truth time.Duration) {
+	rr.estH.Record(est)
+	rr.trueH.Record(truth)
+}
+
+func (rr *routerRec) fill(rs *RouterStats) {
+	rs.EstP50 = rr.estH.Quantile(0.5)
+	rs.EstP99 = rr.estH.Quantile(0.99)
+	rs.TrueP50 = rr.trueH.Quantile(0.5)
+	rs.TrueP99 = rr.trueH.Quantile(0.99)
+}

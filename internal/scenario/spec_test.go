@@ -1,0 +1,238 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func validSpec() Spec {
+	s := DefaultSpec()
+	s.Duration = 50 * time.Millisecond
+	return s
+}
+
+func TestValidateAcceptsDefault(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+}
+
+// TestValidateRejections walks the spec's whole rejection surface: every
+// malformed field must fail validation with a message naming the problem.
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string // substring of the expected error
+	}{
+		{"wrong version", func(s *Spec) { s.Version = 99 }, "version"},
+		{"zero duration", func(s *Spec) { s.Duration = 0 }, "duration"},
+		{"negative duration", func(s *Spec) { s.Duration = -time.Second }, "duration"},
+		{"unknown topology", func(s *Spec) { s.Topology.Kind = "ring" }, "topology kind"},
+		{"odd K", func(s *Spec) { s.Topology.K = 5 }, "even"},
+		{"K too small", func(s *Spec) { s.Topology.K = 2 }, "core paths"},
+		{"K too big", func(s *Spec) { s.Topology.K = 256 }, "address plan"},
+		{"negative link rate", func(s *Spec) { s.Topology.LinkBps = -1 }, "rate"},
+		{"zero link rate", func(s *Spec) { s.Topology.LinkBps = 0 }, "rate"},
+		{"negative propagation", func(s *Spec) { s.Topology.Propagation = -time.Microsecond }, "negative topology delay"},
+		{"negative core skew", func(s *Spec) { s.Topology.CoreSkew = -1 }, "negative topology delay"},
+		{"negative queue", func(s *Spec) { s.Topology.QueueBytes = -1 }, "queue"},
+		{"zero load", func(s *Spec) { s.Workload.LoadFrac = 0 }, "load fraction"},
+		{"absurd load", func(s *Spec) { s.Workload.LoadFrac = 5 }, "load fraction"},
+		{"negative flow alpha", func(s *Spec) { s.Workload.FlowAlpha = -0.5 }, "flow-length"},
+		{"unknown pattern", func(s *Spec) { s.Workload.Pattern = "broadcast" }, "pattern"},
+		{"incast without fan-in", func(s *Spec) { s.Workload.Pattern = PatternIncast }, "fan-in"},
+		{"incast fan-in too big", func(s *Spec) {
+			s.Workload.Pattern = PatternIncast
+			s.Workload.IncastFanIn = 1000
+		}, "fan-in"},
+		{"hotspot without skew", func(s *Spec) { s.Workload.Pattern = PatternHotspot }, "skew"},
+		{"hotspot skew over 1", func(s *Spec) {
+			s.Workload.Pattern = PatternHotspot
+			s.Workload.HotspotSkew = 1.5
+		}, "skew"},
+		{"burst on without period", func(s *Spec) { s.Workload.BurstOn = time.Millisecond }, "burst"},
+		{"burst on exceeds period", func(s *Spec) {
+			s.Workload.BurstOn = 2 * time.Millisecond
+			s.Workload.BurstPeriod = time.Millisecond
+		}, "burst"},
+		{"dest pod out of range", func(s *Spec) { s.Workload.DestPod = 4 }, "destination pod"},
+		{"dest tor out of range", func(s *Spec) { s.Workload.DestToR = 2 }, "destination ToR"},
+		{"unknown scheme", func(s *Spec) { s.Deploy.Scheme = "fibonacci" }, "scheme"},
+		{"inverted adaptive gaps", func(s *Spec) {
+			s.Deploy.Scheme = SchemeAdaptive
+			s.Deploy.MinGap, s.Deploy.MaxGap = 300, 10
+		}, "adaptive gaps"},
+		{"unknown demux", func(s *Spec) { s.Deploy.Demux = "clairvoyant" }, "demux"},
+		{"budget too small", func(s *Spec) { s.Deploy.MaxInstances = 3 }, "budget"},
+		{"unknown fault kind", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: "power-cut", Start: 1, End: 2}}
+		}, "unknown kind"},
+		{"fault core out of grid", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: FaultLinkDegrade, CoreJ: 7, RateFactor: 0.5, Start: 1, End: 2}}
+		}, "core grid"},
+		{"fault agg out of range", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: FaultHopDelay, AggPod: 9, Extra: time.Microsecond, Start: 1, End: 2}}
+		}, "aggregation switch"},
+		{"fault empty window", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: FaultHopDelay, Extra: time.Microsecond, Start: 5, End: 5}}
+		}, "window"},
+		{"fault negative start", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: FaultHopDelay, Extra: time.Microsecond, Start: -1, End: 2}}
+		}, "window"},
+		{"fault past run end", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: FaultHopDelay, Extra: time.Microsecond, Start: 0, End: time.Hour}}
+		}, "past"},
+		{"degrade factor out of range", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: FaultLinkDegrade, RateFactor: 1.5, Start: 1, End: 2}}
+		}, "rate factor"},
+		{"degrade pod out of range", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: FaultLinkDegrade, RateFactor: 0.5, DownPod: 9, Start: 1, End: 2}}
+		}, "down-pod"},
+		{"hop delay without extra", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: FaultHopDelay, Start: 1, End: 2}}
+		}, "non-positive delay"},
+		{"overlapping fault windows", func(s *Spec) {
+			s.Faults = []FaultSpec{
+				{Kind: FaultHopDelay, Extra: time.Microsecond, Start: 0, End: 10 * time.Millisecond},
+				{Kind: FaultHopDelay, Extra: 2 * time.Microsecond, Start: 5 * time.Millisecond, End: 15 * time.Millisecond},
+			}
+		}, "overlaps"},
+		{"faults on tandem", func(s *Spec) {
+			s.Topology = TopologySpec{Kind: TopoTandem, LinkBps: 1e9}
+			s.Faults = []FaultSpec{{Kind: FaultHopDelay, Extra: time.Microsecond, Start: 1, End: 2}}
+		}, "fattree"},
+		{"unknown cross model", func(s *Spec) {
+			s.Topology = TopologySpec{Kind: TopoTandem, LinkBps: 1e9}
+			s.Workload.CrossModel = "fractal"
+		}, "cross model"},
+		{"cross util over 1", func(s *Spec) {
+			s.Topology = TopologySpec{Kind: TopoTandem, LinkBps: 1e9}
+			s.Workload.CrossUtil = 1.2
+		}, "cross utilization"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			tc.mut(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted a spec with %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFaultWindowsSameSiteOnly pins that the overlap check is per site:
+// simultaneous faults at different cores are legal.
+func TestFaultWindowsSameSiteOnly(t *testing.T) {
+	s := validSpec()
+	s.Faults = []FaultSpec{
+		{Kind: FaultHopDelay, AggPod: 0, AggIdx: 0, Extra: time.Microsecond, Start: 0, End: 10 * time.Millisecond},
+		{Kind: FaultHopDelay, AggPod: 1, AggIdx: 1, Extra: time.Microsecond, Start: 0, End: 10 * time.Millisecond},
+		{Kind: FaultLinkDegrade, CoreJ: 0, CoreI: 0, DownPod: 3, RateFactor: 0.5, Start: 0, End: 10 * time.Millisecond},
+		// Back-to-back windows at one site are adjacent, not overlapping.
+		{Kind: FaultHopDelay, AggPod: 0, AggIdx: 0, Extra: time.Microsecond, Start: 10 * time.Millisecond, End: 20 * time.Millisecond},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("disjoint-site faults rejected: %v", err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := validSpec()
+	s.Name = "round-trip"
+	s.Faults = []FaultSpec{{Kind: FaultHopDelay, AggPod: 1, AggIdx: 0, Extra: 250 * time.Microsecond,
+		Start: time.Millisecond, End: 2 * time.Millisecond}}
+	data, err := s.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Faults) != 1 {
+		t.Fatalf("round trip changed the spec:\n in: %+v\nout: %+v", s, got)
+	}
+	if got.Name != s.Name || got.Faults[0] != s.Faults[0] || got.Topology != s.Topology ||
+		got.Workload != s.Workload || got.Deploy != s.Deploy || got.Duration != s.Duration {
+		t.Fatalf("round trip changed fields:\n in: %+v\nout: %+v", s, got)
+	}
+}
+
+// TestDecodeJSONDestPodDefault pins the documented default: a spec that
+// omits dest_pod monitors the LAST pod (the -1 sentinel), while an
+// explicit "dest_pod": 0 still selects pod 0.
+func TestDecodeJSONDestPodDefault(t *testing.T) {
+	base := `{"version":1,
+		"topology":{"kind":"fattree","k":4,"link_bps":1e9},
+		"workload":{"load_frac":0.5%s},
+		"deploy":{"scheme":"static"},
+		"duration_ns":1000000,"seed":1}`
+	omitted, err := DecodeJSON([]byte(fmt.Sprintf(base, "")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if omitted.Workload.DestPod != -1 || omitted.destPod() != 3 {
+		t.Fatalf("omitted dest_pod = %d (resolves to pod %d), want sentinel -1 -> pod 3",
+			omitted.Workload.DestPod, omitted.destPod())
+	}
+	explicit, err := DecodeJSON([]byte(fmt.Sprintf(base, `,"dest_pod":0`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicit.destPod() != 0 {
+		t.Fatalf("explicit dest_pod 0 resolves to pod %d, want 0", explicit.destPod())
+	}
+}
+
+func TestDecodeJSONRejectsInvalid(t *testing.T) {
+	if _, err := DecodeJSON([]byte("{")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := DecodeJSON([]byte(`{"version": 1, "topology": {"kind": "ring"}}`)); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	// A misspelled knob must fail loudly, not silently run a different
+	// scenario than the one written.
+	data, err := validSpec().EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(string(data), `"load_frac"`, `"load_fraction"`, 1)
+	if _, err := DecodeJSON([]byte(bad)); err == nil {
+		t.Fatal("unknown spec field accepted")
+	}
+}
+
+// TestInstancesBudget pins the deployment-size arithmetic the budget check
+// uses: for k=4 converging, 3 source pods x 2 ToRs x 2 uplink senders,
+// 4 core receivers, 4 downstream core senders, 1 ToR receiver.
+func TestInstancesBudget(t *testing.T) {
+	s := validSpec()
+	if got, want := s.Instances(), 3*2*2+4+4+1; got != want {
+		t.Fatalf("Instances() = %d, want %d", got, want)
+	}
+	s.Deploy.MaxInstances = s.Instances()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("exact budget rejected: %v", err)
+	}
+	s.Deploy.MaxInstances--
+	if err := s.Validate(); err == nil {
+		t.Fatal("over-budget deployment accepted")
+	}
+	all := s
+	all.Deploy.MaxInstances = 0
+	all.Workload.Pattern = PatternAllPairs
+	// allpairs: 8 source ToRs x 2 uplinks, 4 cores, 4 pods x 4 core
+	// down-senders, 8 ToR receivers.
+	if got, want := all.Instances(), 8*2+4+4*4+8; got != want {
+		t.Fatalf("allpairs Instances() = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"time"
+
+	"github.com/netmeasure/rlir/internal/collector"
+	"github.com/netmeasure/rlir/internal/experiments"
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/runner"
+)
+
+// runTandem executes a tandem-topology scenario by driving the Figure-3
+// harness with the spec's knobs, streaming estimates through the collector
+// plane like the fat-tree path does.
+func runTandem(spec Spec, seed int64) (*Result, error) {
+	sc := experiments.Scale{
+		LinkBps:          spec.Topology.LinkBps,
+		Duration:         spec.Duration,
+		QueueBytes:       spec.Topology.QueueBytes,
+		BaseUtil:         spec.Workload.LoadFrac,
+		CrossOfferedUtil: 1.5,
+		Seed:             seed,
+	}
+	var model experiments.CrossModel
+	switch spec.Workload.CrossModel {
+	case CrossUniform:
+		model = experiments.CrossUniform
+	case CrossBursty:
+		model = experiments.CrossBursty
+	default:
+		model = experiments.CrossNone
+	}
+
+	coll := collector.New(collector.Config{Shards: 4})
+	sink := runner.NewSink(coll, 0)
+	rec := &routerRec{}
+
+	cfg := experiments.TandemConfig{
+		Scale:       sc,
+		Scheme:      spec.scheme(),
+		Model:       model,
+		TargetUtil:  spec.Workload.CrossUtil,
+		BurstOn:     spec.Workload.BurstOn,
+		BurstPeriod: spec.Workload.BurstPeriod,
+		OnEstimate: func(key packet.FlowKey, est, truth time.Duration) {
+			rec.record(est, truth)
+			sink.Add(key, est, truth)
+		},
+	}
+	tr := experiments.RunTandem(cfg)
+
+	res := &Result{
+		Spec:        spec,
+		Seed:        seed,
+		Injected:    int(tr.RegularOffered),
+		Overall:     tr.Summary,
+		HotLinkUtil: tr.AchievedUtil,
+	}
+	rs := RouterStats{Router: "sw2", Segment: "sw1-egress->bottleneck", Summary: tr.Summary}
+	rec.fill(&rs)
+	res.Routers = []RouterStats{rs}
+	res.EstP50, res.EstP99 = rs.EstP50, rs.EstP99
+	res.TrueP50, res.TrueP99 = rs.TrueP50, rs.TrueP99
+
+	sink.Flush()
+	coll.Close()
+	res.Fleet = coll.Snapshot()
+	res.Samples = coll.SamplesIngested()
+	return res, nil
+}

@@ -418,11 +418,21 @@ func (ft *FatTree) ResolveCore(key packet.FlowKey) (j, i int, err error) {
 	return j, i, nil
 }
 
-// locateHost maps a host address back to (pod, tor).
-func (ft *FatTree) locateHost(a packet.Addr) (p, e int, ok bool) {
+// LocateHost maps a host address back to its (pod, tor, host) coordinates.
+// ok is false for any address outside the Al-Fares host plan (switch
+// loopbacks, foreign prefixes). It is the inverse of HostAddr and the one
+// place the address layout is decoded — workload remappers (the scenario
+// engine) depend on it instead of re-deriving octet arithmetic.
+func (ft *FatTree) LocateHost(a packet.Addr) (p, e, h int, ok bool) {
 	o1, o2, o3, o4 := a.Octets()
 	if o1 != 10 || int(o2) >= ft.Cfg.K || int(o3) >= ft.Half() || o4 < 2 || int(o4) >= 2+ft.Half() {
-		return 0, 0, false
+		return 0, 0, 0, false
 	}
-	return int(o2), int(o3), true
+	return int(o2), int(o3), int(o4) - 2, true
+}
+
+// locateHost is LocateHost without the host index.
+func (ft *FatTree) locateHost(a packet.Addr) (p, e int, ok bool) {
+	p, e, _, ok = ft.LocateHost(a)
+	return p, e, ok
 }

@@ -6,6 +6,7 @@ import (
 	"github.com/netmeasure/rlir/internal/core"
 	"github.com/netmeasure/rlir/internal/experiments"
 	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/scenario"
 	"github.com/netmeasure/rlir/internal/simclock"
 	"github.com/netmeasure/rlir/internal/stats"
 	"github.com/netmeasure/rlir/internal/topo"
@@ -378,6 +379,59 @@ type LocalizationCI = experiments.LocalizationCI
 // MultiLocalization re-records the L1 scenario across seeds.
 func MultiLocalization(cfg LocalizationConfig, opts MultiOpts) LocalizationCI {
 	return experiments.MultiLocalization(cfg, opts)
+}
+
+// ---- Scenario engine (declarative network-wide workloads) ----
+//
+// A Scenario is a versioned declarative spec — topology, workload mix,
+// scheduled fault injections, RLIR deployment — composed over the whole
+// substrate by one engine, plus an invariant check that makes the registry
+// a correctness harness. cmd/scenario is the CLI front-end; the CI
+// scenario-matrix job runs every registered scenario.
+
+// Scenario is one registered named scenario.
+type Scenario = scenario.Scenario
+
+// ScenarioSpec is the declarative scenario description.
+type ScenarioSpec = scenario.Spec
+
+// ScenarioResult is one scenario run's outcome.
+type ScenarioResult = scenario.Result
+
+// ScenarioMultiOpts sizes a multi-seed scenario sweep.
+type ScenarioMultiOpts = scenario.MultiOpts
+
+// ScenarioMultiResult aggregates one scenario across seeds.
+type ScenarioMultiResult = scenario.MultiResult
+
+// Scenarios returns every registered scenario in name order.
+func Scenarios() []Scenario { return scenario.All() }
+
+// ScenarioNames returns the registered scenario names, sorted.
+func ScenarioNames() []string { return scenario.Names() }
+
+// ScenarioByName returns one registered scenario.
+func ScenarioByName(name string) (Scenario, bool) { return scenario.Get(name) }
+
+// DefaultScenarioSpec returns a valid fat-tree spec to build variations
+// from.
+func DefaultScenarioSpec() ScenarioSpec { return scenario.DefaultSpec() }
+
+// DecodeScenarioSpec parses and validates a JSON scenario spec.
+func DecodeScenarioSpec(data []byte) (ScenarioSpec, error) { return scenario.DecodeJSON(data) }
+
+// RunScenario executes one scenario spec at its spec seed.
+func RunScenario(spec ScenarioSpec) (*ScenarioResult, error) { return scenario.Run(spec) }
+
+// RunScenarioSeed executes one scenario spec at an explicit seed.
+func RunScenarioSeed(spec ScenarioSpec, seed int64) (*ScenarioResult, error) {
+	return scenario.RunSeed(spec, seed)
+}
+
+// RunScenarioMulti sweeps one scenario spec across derived seeds in
+// parallel.
+func RunScenarioMulti(spec ScenarioSpec, opts ScenarioMultiOpts) (*ScenarioMultiResult, error) {
+	return scenario.RunMulti(spec, opts)
 }
 
 // ---- Convenience ----

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# bench_check.sh — guard against simulator-throughput regressions.
+#
+# Compares fresh simulator throughput (pkts/s) against the last committed
+# BENCH_<N>.json (highest N) and fails when the fresh number falls more
+# than 25% below the recorded one. CI's bench-smoke job runs this on every
+# push; a genuine intentional regression is recorded by committing a new
+# BENCH_<N>.json (scripts/bench.sh) or overridden one-off with -f.
+#
+# Usage:
+#   scripts/bench_check.sh                 # run a short bench, then compare
+#   scripts/bench_check.sh fresh.json      # compare a bench.sh-format JSON
+#   scripts/bench_check.sh -f [...]        # report, but never fail
+#   BENCH_CHECK_FORCE=1 scripts/bench_check.sh   # same as -f
+#
+# Exit codes: 0 ok / regression overridden, 1 regression, 2 usage/parse
+# error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+force="${BENCH_CHECK_FORCE:-0}"
+fresh_file=""
+for arg in "$@"; do
+  case "$arg" in
+    -f|--force) force=1 ;;
+    -*) echo "bench_check: unknown flag $arg" >&2; exit 2 ;;
+    *) fresh_file="$arg" ;;
+  esac
+done
+
+# Threshold: fail when fresh < (100 - max_drop_pct)% of the baseline.
+max_drop_pct=25
+
+# pkts_from_json extracts simulator_throughput.pkts_per_s from a bench.sh
+# JSON (no jq dependency).
+pkts_from_json() {
+  awk '/"pkts_per_s"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2; exit }' "$1"
+}
+
+base_file=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)
+if [ -z "$base_file" ]; then
+  echo "bench_check: no committed BENCH_*.json baseline; nothing to compare" >&2
+  exit 0
+fi
+base=$(pkts_from_json "$base_file")
+if [ -z "$base" ]; then
+  echo "bench_check: could not parse pkts_per_s from $base_file" >&2
+  exit 2
+fi
+
+if [ -n "$fresh_file" ]; then
+  fresh=$(pkts_from_json "$fresh_file")
+  src="$fresh_file"
+else
+  echo "bench_check: measuring simulator throughput (3 iterations)..." >&2
+  raw=$(go test -run '^$' -bench 'BenchmarkSimulatorThroughput$' -benchtime 3x . 2>&1)
+  echo "$raw" | grep -E '^Benchmark' >&2 || true
+  fresh=$(echo "$raw" | awk '/^BenchmarkSimulatorThroughput/ {
+    for (i = 1; i < NF; i++) if ($(i + 1) == "pkts/s") print $i
+  }' | tail -1)
+  src="local bench"
+fi
+if [ -z "$fresh" ]; then
+  echo "bench_check: no throughput number parsed from $src" >&2
+  exit 2
+fi
+
+awk -v fresh="$fresh" -v base="$base" -v drop="$max_drop_pct" \
+    -v basefile="$base_file" -v force="$force" 'BEGIN {
+  floor = base * (100 - drop) / 100
+  ratio = base > 0 ? 100 * fresh / base : 0
+  printf "bench_check: fresh %.0f pkts/s vs baseline %.0f pkts/s (%s) = %.1f%%\n",
+    fresh, base, basefile, ratio
+  if (fresh < floor) {
+    printf "bench_check: REGRESSION: below the %d%%-drop floor (%.0f pkts/s)\n", drop, floor
+    if (force == "1") {
+      print "bench_check: override in effect (-f / BENCH_CHECK_FORCE=1); not failing"
+      exit 0
+    }
+    print "bench_check: if intentional, commit a new BENCH_<N>.json (scripts/bench.sh) or rerun with -f"
+    exit 1
+  }
+  print "bench_check: ok"
+}'
