@@ -38,6 +38,7 @@ func main() {
 		fig      = flag.String("fig", "", "which result to regenerate: "+strings.Join(validTargets, " "))
 		all      = flag.Bool("all", false, "regenerate everything")
 		scenName = flag.String("scenario", "", "run a registered scenario from the scenario engine (see cmd/scenario -list)")
+		ests     = flag.String("estimators", "", "with -scenario: comma-separated estimator set (rli always included)")
 		scale    = flag.String("scale", "default", "small | default | full")
 		seed     = flag.Int64("seed", 1, "deterministic base seed")
 		seeds    = flag.Int("seeds", 1, "number of independent seeds; > 1 reports mean ± 95% CI")
@@ -58,6 +59,9 @@ func main() {
 		log.Fatal("-csv applies to single-seed figure runs only; drop -seeds or -csv")
 	}
 
+	if *scenName == "" && *ests != "" {
+		log.Fatal("-estimators applies to -scenario runs only")
+	}
 	if *scenName != "" {
 		// Scenarios are sized by their registered spec (or a cmd/scenario
 		// -spec file), not by the figure harness's scale; fail loudly
@@ -65,7 +69,11 @@ func main() {
 		if set["scale"] || set["csv"] {
 			log.Fatal("-scale/-csv do not apply to -scenario; size scenarios via their spec (see cmd/scenario)")
 		}
-		if err := runScenario(*scenName, *seed, set["seed"], *seeds, *parallel); err != nil {
+		estimators, err := rlir.ParseEstimatorList(*ests)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runScenario(*scenName, *seed, set["seed"], *seeds, *parallel, estimators); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -99,7 +107,7 @@ func main() {
 // runScenario dispatches the -scenario target onto the scenario engine.
 // The spec's registered seed applies unless the -seed flag was explicitly
 // passed (haveSeed), so any seed value — including 0 — can be forced.
-func runScenario(name string, seed int64, haveSeed bool, seeds, parallel int) error {
+func runScenario(name string, seed int64, haveSeed bool, seeds, parallel int, estimators []string) error {
 	scen, ok := rlir.ScenarioByName(name)
 	if !ok {
 		return fmt.Errorf("unknown scenario %q (registered: %s)", name, strings.Join(rlir.ScenarioNames(), ", "))
@@ -107,6 +115,9 @@ func runScenario(name string, seed int64, haveSeed bool, seeds, parallel int) er
 	spec := scen.Spec
 	if haveSeed {
 		spec.Seed = seed
+	}
+	if len(estimators) > 0 {
+		spec.Deploy.Estimators = estimators
 	}
 	if seeds > 1 {
 		mr, err := rlir.RunScenarioMulti(spec, rlir.ScenarioMultiOpts{Seeds: seeds, Workers: parallel})

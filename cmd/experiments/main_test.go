@@ -35,13 +35,32 @@ func TestUnknownTargetRejected(t *testing.T) {
 
 // TestUnknownScenarioRejected pins the -scenario target's rejection path.
 func TestUnknownScenarioRejected(t *testing.T) {
-	err := runScenario("nonexistent", 0, false, 1, 0)
+	err := runScenario("nonexistent", 0, false, 1, 0, nil)
 	if err == nil {
 		t.Fatal("unknown scenario accepted")
 	}
 	for _, name := range rlir.ScenarioNames() {
 		if !strings.Contains(err.Error(), name) {
 			t.Fatalf("error %q does not list scenario %q", err, name)
+		}
+	}
+}
+
+// TestParseEstimatorList pins the shared -estimators validation: unknown
+// names are rejected listing the registry; known names pass through in
+// order.
+func TestParseEstimatorList(t *testing.T) {
+	got, err := rlir.ParseEstimatorList("rli, lda")
+	if err != nil || len(got) != 2 || got[0] != "rli" || got[1] != "lda" {
+		t.Fatalf("ParseEstimatorList(rli, lda) = %v, %v", got, err)
+	}
+	if _, err := rlir.ParseEstimatorList("bogus"); err == nil {
+		t.Fatal("unknown estimator accepted")
+	} else {
+		for _, name := range rlir.EstimatorNames() {
+			if !strings.Contains(err.Error(), name) {
+				t.Fatalf("error %q does not list estimator %q", err, name)
+			}
 		}
 	}
 }

@@ -10,7 +10,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
 	"strconv"
 	"strings"
 
@@ -18,22 +19,50 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("placement: ")
-	ks := flag.String("k", "4,8,16,32,48", "comma-separated fat-tree arities (even)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "placement:", err)
+		os.Exit(1)
+	}
+}
 
+// parseArgs parses and validates the command line: the -k list must be
+// comma-separated even integers >= 4 (a fat-tree needs distinct core
+// paths). Split from run so tests can exercise the flag surface without
+// printing tables.
+func parseArgs(args []string) ([]int, error) {
+	fs := flag.NewFlagSet("placement", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	ks := fs.String("k", "4,8,16,32,48", "comma-separated fat-tree arities (even, >= 4)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
 	var arities []int
 	for _, s := range strings.Split(*ks, ",") {
-		k, err := strconv.Atoi(strings.TrimSpace(s))
+		s = strings.TrimSpace(s)
+		k, err := strconv.Atoi(s)
 		if err != nil {
-			log.Fatalf("invalid arity %q: %v", s, err)
+			return nil, fmt.Errorf("invalid -k arity %q (valid: comma-separated even integers >= 4, e.g. 4,8,16): %v", s, err)
+		}
+		if k < 4 || k%2 != 0 {
+			return nil, fmt.Errorf("invalid -k arity %d (valid: comma-separated even integers >= 4, e.g. 4,8,16)", k)
 		}
 		arities = append(arities, k)
 	}
+	return arities, nil
+}
+
+func run(args []string, out io.Writer) error {
+	arities, err := parseArgs(args)
+	if err != nil {
+		return err
+	}
 	rows, err := rlir.PlacementTable(arities)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Print(rlir.FormatPlacementTable(rows))
+	fmt.Fprint(out, rlir.FormatPlacementTable(rows))
+	return nil
 }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestParseArgsValidation pins the -k validation contract: bad arities are
+// rejected with an error stating what is valid.
+func TestParseArgsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the expected error; "" = must parse
+	}{
+		{"defaults", nil, ""},
+		{"explicit", []string{"-k", "4, 8,16"}, ""},
+		{"odd arity", []string{"-k", "5"}, "even integers >= 4"},
+		{"too small", []string{"-k", "2"}, "even integers >= 4"},
+		{"not a number", []string{"-k", "four"}, `"four"`},
+		{"empty entry", []string{"-k", "4,,8"}, "even integers >= 4"},
+		{"unknown flag", []string{"-frobnicate"}, "frobnicate"},
+		{"stray args", []string{"extra"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseArgs(tc.args)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("parseArgs(%v) = %v, want success", tc.args, err)
+				}
+				if len(got) == 0 {
+					t.Fatal("no arities parsed")
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("parseArgs(%v) = %v, want error mentioning %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunPrintsTable exercises the real table path through the same
+// dispatch an operator hits.
+func TestRunPrintsTable(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-k", "4,8"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "k") || len(buf.String()) == 0 {
+		t.Fatalf("no table rendered:\n%s", buf.String())
+	}
+}
+
+// TestMainExitsNonZeroOnBadArity re-executes the test binary as the real
+// main: an invalid -k must exit non-zero with the constraint on stderr.
+func TestMainExitsNonZeroOnBadArity(t *testing.T) {
+	if os.Getenv("PLACEMENT_MAIN_PROBE") == "1" {
+		os.Args = []string{"placement", "-k", "3"}
+		main()
+		return // unreachable: main must have exited non-zero
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestMainExitsNonZeroOnBadArity")
+	cmd.Env = append(os.Environ(), "PLACEMENT_MAIN_PROBE=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("main accepted arity 3; output:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() == 0 {
+		t.Fatalf("expected a non-zero exit, got %v; output:\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "even integers >= 4") {
+		t.Fatalf("failure output does not state the arity constraint:\n%s", out)
+	}
+}

@@ -11,44 +11,117 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
+	"slices"
+	"strings"
 	"time"
 
 	rlir "github.com/netmeasure/rlir"
 	"github.com/netmeasure/rlir/internal/core"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("rlirsim: ")
-	var (
-		topology = flag.String("topology", "tandem", "tandem | fattree")
-		scheme   = flag.String("scheme", "static", "static | adaptive | none")
-		staticN  = flag.Int("n", 100, "static scheme's 1-and-n gap")
-		model    = flag.String("model", "random", "random | bursty | none (tandem)")
-		util     = flag.Float64("util", 0.93, "target bottleneck utilization (tandem)")
-		scale    = flag.String("scale", "default", "small | default | full")
-		seed     = flag.Int64("seed", 1, "deterministic seed")
-		estName  = flag.String("estimator", "linear", "linear | left | right | nearest")
-		k        = flag.Int("k", 4, "fat-tree arity (fattree)")
-		demux    = flag.String("demux", "reverse-ecmp", "none | marking | reverse-ecmp | oracle (fattree)")
-		duration = flag.Duration("duration", 0, "override trace duration")
-		topn     = flag.Int("top", 10, "per-flow rows to print")
-	)
-	flag.Parse()
+// Valid values for every enumerated flag. An unknown value exits non-zero
+// listing the valid ones (the same contract cmd/experiments pins for
+// -fig).
+var (
+	validTopologies = []string{"tandem", "fattree"}
+	validSchemes    = []string{"static", "adaptive", "none"}
+	validModels     = []string{"random", "bursty", "none"}
+	validScales     = []string{"small", "default", "full"}
+	validEstimators = []string{"linear", "left", "right", "nearest"}
+	validDemuxes    = []string{"none", "marking", "reverse-ecmp", "oracle"}
+)
 
-	switch *topology {
-	case "tandem":
-		runTandem(*scheme, *staticN, *model, *util, *scale, *seed, *estName, *duration, *topn)
-	case "fattree":
-		runFatTree(*k, *demux, *scheme, *staticN, *seed, *duration)
-	default:
-		log.Fatalf("unknown topology %q", *topology)
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rlirsim:", err)
+		os.Exit(1)
 	}
 }
 
-func pickScale(name string) rlir.Scale {
-	switch name {
+// options is the parsed command line.
+type options struct {
+	topology string
+	scheme   string
+	staticN  int
+	model    string
+	util     float64
+	scale    string
+	seed     int64
+	estName  string
+	k        int
+	demux    string
+	duration time.Duration
+	topn     int
+}
+
+// badValue is the uniform rejection: echo the flag and value, list what is
+// valid.
+func badValue(flagName, got string, valid []string) error {
+	return fmt.Errorf("unknown -%s %q (valid: %s)", flagName, got, strings.Join(valid, ", "))
+}
+
+// parseArgs parses and validates the command line. Split from run so tests
+// can exercise the flag surface without executing simulations.
+func parseArgs(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("rlirsim", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.StringVar(&o.topology, "topology", "tandem", strings.Join(validTopologies, " | "))
+	fs.StringVar(&o.scheme, "scheme", "static", strings.Join(validSchemes, " | "))
+	fs.IntVar(&o.staticN, "n", 100, "static scheme's 1-and-n gap")
+	fs.StringVar(&o.model, "model", "random", strings.Join(validModels, " | ")+" (tandem)")
+	fs.Float64Var(&o.util, "util", 0.93, "target bottleneck utilization (tandem)")
+	fs.StringVar(&o.scale, "scale", "default", strings.Join(validScales, " | "))
+	fs.Int64Var(&o.seed, "seed", 1, "deterministic seed")
+	fs.StringVar(&o.estName, "estimator", "linear", strings.Join(validEstimators, " | "))
+	fs.IntVar(&o.k, "k", 4, "fat-tree arity (fattree)")
+	fs.StringVar(&o.demux, "demux", "reverse-ecmp", strings.Join(validDemuxes, " | ")+" (fattree)")
+	fs.DurationVar(&o.duration, "duration", 0, "override trace duration")
+	fs.IntVar(&o.topn, "top", 10, "per-flow rows to print")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if fs.NArg() > 0 {
+		return o, fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	switch {
+	case !slices.Contains(validTopologies, o.topology):
+		return o, badValue("topology", o.topology, validTopologies)
+	case !slices.Contains(validSchemes, o.scheme):
+		return o, badValue("scheme", o.scheme, validSchemes)
+	case !slices.Contains(validModels, o.model):
+		return o, badValue("model", o.model, validModels)
+	case !slices.Contains(validScales, o.scale):
+		return o, badValue("scale", o.scale, validScales)
+	case !slices.Contains(validEstimators, o.estName):
+		return o, badValue("estimator", o.estName, validEstimators)
+	case !slices.Contains(validDemuxes, o.demux):
+		return o, badValue("demux", o.demux, validDemuxes)
+	}
+	if o.staticN < 0 {
+		return o, fmt.Errorf("-n %d < 0", o.staticN)
+	}
+	return o, nil
+}
+
+func run(args []string, out io.Writer) error {
+	o, err := parseArgs(args)
+	if err != nil {
+		return err
+	}
+	if o.topology == "tandem" {
+		return runTandem(o, out)
+	}
+	return runFatTree(o, out)
+}
+
+// The pick* switches are exhaustive over their valid* lists; the panic
+// defaults catch a list updated without its switch (parseArgs would
+// otherwise let the new value silently run the old default).
+func pickScale(o options) rlir.Scale {
+	switch o.scale {
 	case "small":
 		return rlir.SmallScale()
 	case "default":
@@ -56,27 +129,25 @@ func pickScale(name string) rlir.Scale {
 	case "full":
 		return rlir.FullScale()
 	default:
-		log.Fatalf("unknown scale %q", name)
-		panic("unreachable")
+		panic("rlirsim: -scale " + o.scale + " validated but not dispatched")
 	}
 }
 
-func pickScheme(name string, n int) rlir.InjectionScheme {
-	switch name {
+func pickScheme(o options) rlir.InjectionScheme {
+	switch o.scheme {
 	case "static":
-		return rlir.Static{N: n}
+		return rlir.Static{N: o.staticN}
 	case "adaptive":
 		return rlir.DefaultAdaptive()
 	case "none":
 		return nil
 	default:
-		log.Fatalf("unknown scheme %q", name)
-		panic("unreachable")
+		panic("rlirsim: -scheme " + o.scheme + " validated but not dispatched")
 	}
 }
 
-func pickEstimator(name string) core.Estimator {
-	switch name {
+func pickEstimator(o options) core.Estimator {
+	switch o.estName {
 	case "linear":
 		return rlir.Linear
 	case "left":
@@ -86,25 +157,24 @@ func pickEstimator(name string) core.Estimator {
 	case "nearest":
 		return rlir.Nearest
 	default:
-		log.Fatalf("unknown estimator %q", name)
-		panic("unreachable")
+		panic("rlirsim: -estimator " + o.estName + " validated but not dispatched")
 	}
 }
 
-func runTandem(scheme string, n int, model string, util float64, scaleName string, seed int64, est string, duration time.Duration, topn int) {
-	sc := pickScale(scaleName)
-	sc.Seed = seed
-	if duration > 0 {
-		sc.Duration = duration
+func runTandem(o options, out io.Writer) error {
+	sc := pickScale(o)
+	sc.Seed = o.seed
+	if o.duration > 0 {
+		sc.Duration = o.duration
 	}
 	cfg := rlir.TandemConfig{
 		Scale:        sc,
-		Scheme:       pickScheme(scheme, n),
-		AdaptiveLive: scheme == "adaptive",
-		TargetUtil:   util,
-		Estimator:    pickEstimator(est),
+		Scheme:       pickScheme(o),
+		AdaptiveLive: o.scheme == "adaptive",
+		TargetUtil:   o.util,
+		Estimator:    pickEstimator(o),
 	}
-	switch model {
+	switch o.model {
 	case "random":
 		cfg.Model = rlir.CrossUniform
 	case "bursty":
@@ -112,31 +182,32 @@ func runTandem(scheme string, n int, model string, util float64, scaleName strin
 	case "none":
 		cfg.Model = rlir.CrossNone
 	default:
-		log.Fatalf("unknown cross model %q", model)
+		panic("rlirsim: -model " + o.model + " validated but not dispatched")
 	}
 
 	res := rlir.RunTandem(cfg)
-	fmt.Printf("run: %s\n", res.Label())
-	fmt.Printf("achieved utilization: %.1f%%\n", res.AchievedUtil*100)
-	fmt.Printf("summary: %s\n", res.Summary)
-	fmt.Printf("receiver: %+v\n", res.Receiver)
-	fmt.Printf("sender:   %+v\n", res.Sender)
-	fmt.Printf("regular loss rate: %.6f\n", res.LossRate())
-	fmt.Println()
-	fmt.Print(core.FormatResults(res.Results, topn))
-	fmt.Println()
-	fmt.Print(rlir.MeanErrCDF(res.Results).Render("relative error (mean estimates)", 1e-3, 1e1, 9))
+	fmt.Fprintf(out, "run: %s\n", res.Label())
+	fmt.Fprintf(out, "achieved utilization: %.1f%%\n", res.AchievedUtil*100)
+	fmt.Fprintf(out, "summary: %s\n", res.Summary)
+	fmt.Fprintf(out, "receiver: %+v\n", res.Receiver)
+	fmt.Fprintf(out, "sender:   %+v\n", res.Sender)
+	fmt.Fprintf(out, "regular loss rate: %.6f\n", res.LossRate())
+	fmt.Fprintln(out)
+	fmt.Fprint(out, core.FormatResults(res.Results, o.topn))
+	fmt.Fprintln(out)
+	fmt.Fprint(out, rlir.MeanErrCDF(res.Results).Render("relative error (mean estimates)", 1e-3, 1e1, 9))
+	return nil
 }
 
-func runFatTree(k int, demux, scheme string, n int, seed int64, duration time.Duration) {
+func runFatTree(o options, out io.Writer) error {
 	cfg := rlir.DefaultFatTreeConfig()
-	cfg.K = k
-	cfg.Seed = seed
-	if duration > 0 {
-		cfg.Duration = duration
+	cfg.K = o.k
+	cfg.Seed = o.seed
+	if o.duration > 0 {
+		cfg.Duration = o.duration
 	}
-	cfg.Scheme = pickScheme(scheme, n)
-	switch demux {
+	cfg.Scheme = pickScheme(o)
+	switch o.demux {
 	case "none":
 		cfg.Strategy = rlir.DemuxNone
 	case "marking":
@@ -146,12 +217,13 @@ func runFatTree(k int, demux, scheme string, n int, seed int64, duration time.Du
 	case "oracle":
 		cfg.Strategy = rlir.DemuxOracle
 	default:
-		log.Fatalf("unknown demux %q", demux)
+		panic("rlirsim: -demux " + o.demux + " validated but not dispatched")
 	}
 
 	res := rlir.RunFatTree(cfg)
-	fmt.Printf("fat-tree k=%d, demux=%s, injected=%d packets\n", k, cfg.Strategy, res.Injected)
-	fmt.Printf("downstream (core->ToR): %s\n", res.Downstream)
-	fmt.Printf("upstream   (ToR->core): %s\n", res.Upstream)
-	fmt.Printf("misattribution: %.4f\n", res.Misattribution)
+	fmt.Fprintf(out, "fat-tree k=%d, demux=%s, injected=%d packets\n", o.k, cfg.Strategy, res.Injected)
+	fmt.Fprintf(out, "downstream (core->ToR): %s\n", res.Downstream)
+	fmt.Fprintf(out, "upstream   (ToR->core): %s\n", res.Upstream)
+	fmt.Fprintf(out, "misattribution: %.4f\n", res.Misattribution)
+	return nil
 }

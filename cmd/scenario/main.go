@@ -7,8 +7,11 @@
 //
 //	scenario -list                 # registry with what each scenario stresses
 //	scenario -list -json           # name array (the CI scenario-matrix input)
+//	scenario -list-estimators      # registered measurement estimators
+//	scenario -list-estimators -json  # name array (the CI estimator-matrix input)
 //	scenario -run incast -check    # run one scenario, enforce its invariant
 //	scenario -run incast -seeds 8 -parallel 4
+//	scenario -run incast -estimators rli,lda   # override the comparison set
 //	scenario -describe incast      # print the spec as JSON
 //	scenario -spec my.json -seed 7 # run an ad-hoc spec file
 package main
@@ -33,15 +36,17 @@ func main() {
 
 // options is the parsed command line.
 type options struct {
-	list     bool
-	jsonOut  bool
-	runName  string
-	describe string
-	specFile string
-	check    bool
-	seed     int64
-	seeds    int
-	parallel int
+	list       bool
+	listEsts   bool
+	jsonOut    bool
+	runName    string
+	describe   string
+	specFile   string
+	check      bool
+	seed       int64
+	seeds      int
+	parallel   int
+	estimators []string
 }
 
 // parseArgs parses the command line into options, validating the
@@ -52,7 +57,8 @@ func parseArgs(args []string) (options, error) {
 	fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	fs.BoolVar(&o.list, "list", false, "list registered scenarios")
-	fs.BoolVar(&o.jsonOut, "json", false, "with -list: print names as a JSON array")
+	fs.BoolVar(&o.listEsts, "list-estimators", false, "list registered measurement estimators")
+	fs.BoolVar(&o.jsonOut, "json", false, "with -list/-list-estimators: print names as a JSON array")
 	fs.StringVar(&o.runName, "run", "", "run a registered scenario by name")
 	fs.StringVar(&o.describe, "describe", "", "print a registered scenario's spec as JSON")
 	fs.StringVar(&o.specFile, "spec", "", "run an ad-hoc spec from a JSON file")
@@ -60,6 +66,7 @@ func parseArgs(args []string) (options, error) {
 	fs.Int64Var(&o.seed, "seed", 0, "override the spec seed (0 keeps the spec's)")
 	fs.IntVar(&o.seeds, "seeds", 1, "number of independent derived seeds; > 1 reports mean ± 95% CI")
 	fs.IntVar(&o.parallel, "parallel", 0, "max concurrent runs for multi-seed sweeps (0 = GOMAXPROCS)")
+	ests := fs.String("estimators", "", "comma-separated estimator set for -run/-spec (rli is always included; empty keeps the spec's)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -67,19 +74,29 @@ func parseArgs(args []string) (options, error) {
 		return o, fmt.Errorf("unexpected arguments %q", fs.Args())
 	}
 	modes := 0
-	for _, on := range []bool{o.list, o.runName != "", o.describe != "", o.specFile != ""} {
+	for _, on := range []bool{o.list, o.listEsts, o.runName != "", o.describe != "", o.specFile != ""} {
 		if on {
 			modes++
 		}
 	}
 	if modes != 1 {
-		return o, fmt.Errorf("need exactly one of -list, -run, -describe, -spec")
+		return o, fmt.Errorf("need exactly one of -list, -list-estimators, -run, -describe, -spec")
 	}
 	if o.seeds < 1 {
 		return o, fmt.Errorf("-seeds %d < 1", o.seeds)
 	}
 	if o.check && o.specFile != "" {
 		return o, fmt.Errorf("-check needs a registered scenario (ad-hoc specs carry no invariant)")
+	}
+	if *ests != "" {
+		if o.runName == "" && o.specFile == "" {
+			return o, fmt.Errorf("-estimators applies to -run/-spec")
+		}
+		list, err := rlir.ParseEstimatorList(*ests)
+		if err != nil {
+			return o, err
+		}
+		o.estimators = list
 	}
 	return o, nil
 }
@@ -92,6 +109,8 @@ func run(args []string, out io.Writer) error {
 	switch {
 	case o.list:
 		return list(o, out)
+	case o.listEsts:
+		return listEstimators(o, out)
 	case o.describe != "":
 		sc, ok := rlir.ScenarioByName(o.describe)
 		if !ok {
@@ -137,10 +156,31 @@ func list(o options, out io.Writer) error {
 	return nil
 }
 
+// listEstimators prints the measure registry — the CI estimator-matrix
+// input in -json form.
+func listEstimators(o options, out io.Writer) error {
+	names := rlir.EstimatorNames()
+	if o.jsonOut {
+		data, err := json.Marshal(names)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(data))
+		return nil
+	}
+	for _, n := range names {
+		fmt.Fprintln(out, n)
+	}
+	return nil
+}
+
 // execute runs one spec (optionally checked) single- or multi-seed.
 func execute(o options, spec rlir.ScenarioSpec, check func(*rlir.ScenarioResult) error, out io.Writer) error {
 	if o.seed != 0 {
 		spec.Seed = o.seed
+	}
+	if len(o.estimators) > 0 {
+		spec.Deploy.Estimators = o.estimators
 	}
 	if o.seeds > 1 {
 		mr, err := rlir.RunScenarioMulti(spec, rlir.ScenarioMultiOpts{Seeds: o.seeds, Workers: o.parallel})

@@ -24,12 +24,19 @@ func TestParseArgs(t *testing.T) {
 		{"run checked multi", []string{"-run", "incast", "-check", "-seeds", "4", "-parallel", "2"}, ""},
 		{"describe", []string{"-describe", "incast"}, ""},
 		{"spec file", []string{"-spec", "x.json", "-seed", "7"}, ""},
+		{"list estimators", []string{"-list-estimators"}, ""},
+		{"list estimators json", []string{"-list-estimators", "-json"}, ""},
+		{"run with estimators", []string{"-run", "incast", "-estimators", "rli,lda"}, ""},
+		{"spec with estimators", []string{"-spec", "x.json", "-estimators", "netflow-sample"}, ""},
 		{"no mode", []string{}, "exactly one"},
 		{"two modes", []string{"-list", "-run", "incast"}, "exactly one"},
+		{"list and estimator list", []string{"-list", "-list-estimators"}, "exactly one"},
 		{"spec with check", []string{"-spec", "x.json", "-check"}, "no invariant"},
 		{"zero seeds", []string{"-run", "incast", "-seeds", "0"}, "-seeds"},
 		{"unknown flag", []string{"-frobnicate"}, "frobnicate"},
 		{"stray args", []string{"-list", "extra"}, "unexpected arguments"},
+		{"estimators without run", []string{"-list", "-estimators", "lda"}, "-estimators"},
+		{"unknown estimator", []string{"-run", "incast", "-estimators", "bogus"}, "bogus"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -63,6 +70,42 @@ func TestListJSONCoversRegistry(t *testing.T) {
 	for i := range names {
 		if names[i] != want[i] {
 			t.Fatalf("-list -json[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+// TestListEstimatorsJSONCoversRegistry pins the CI estimator-matrix input:
+// -list-estimators -json emits exactly the measure registry, rli first.
+func TestListEstimatorsJSONCoversRegistry(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-list-estimators", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	if err := json.Unmarshal([]byte(buf.String()), &names); err != nil {
+		t.Fatalf("-list-estimators -json output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	want := rlir.EstimatorNames()
+	if len(names) != len(want) || names[0] != "rli" {
+		t.Fatalf("-list-estimators -json = %v, want %v", names, want)
+	}
+	for i := range names {
+		if names[i] != want[i] {
+			t.Fatalf("-list-estimators -json[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+// TestUnknownEstimatorListsRegistry pins the rejection contract for the
+// -estimators flag.
+func TestUnknownEstimatorListsRegistry(t *testing.T) {
+	_, err := parseArgs([]string{"-run", "incast", "-estimators", "nonexistent"})
+	if err == nil {
+		t.Fatal("unknown estimator accepted")
+	}
+	for _, name := range rlir.EstimatorNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list estimator %q", err, name)
 		}
 	}
 }

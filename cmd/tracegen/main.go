@@ -2,19 +2,28 @@
 // paper's CAIDA OC-192 traces, writing them in the repository's binary
 // trace format or as a nanosecond pcap, and summarizing whatever it wrote.
 //
+// Independent runs (statistically uncorrelated traces reproducible from
+// one base seed) are derived through trace/seed.go's SplitMix64 stream
+// derivation — never naive seed+i arithmetic, which hands neighbouring
+// runs nearly identical generator states.
+//
 // Usage:
 //
 //	tracegen -o regular.trc -duration 2s -rate 220e6
 //	tracegen -o cross.pcap -format pcap -seed 2 -src 172.16.0.0/16
+//	tracegen -o sweep.trc -runs 8          # sweep.run0.trc ... sweep.run7.trc
+//	tracegen -o run3.trc -run 3            # just stream 3 of the same sweep
 //	tracegen -summarize regular.trc
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/netmeasure/rlir/internal/packet"
@@ -23,69 +32,161 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tracegen: ")
-	var (
-		out       = flag.String("o", "", "output file (empty: print summary only)")
-		format    = flag.String("format", "binary", "output format: binary | pcap")
-		duration  = flag.Duration("duration", 2*time.Second, "trace duration")
-		rate      = flag.String("rate", "220e6", "target offered load, bits/second")
-		seed      = flag.Int64("seed", 1, "deterministic seed")
-		src       = flag.String("src", "10.1.0.0/16", "source address pool")
-		dst       = flag.String("dst", "10.200.0.0/16", "destination address pool")
-		alpha     = flag.Float64("alpha", 1.15, "flow length tail index")
-		maxFlow   = flag.Int("maxflow", 20000, "max packets per flow")
-		summarize = flag.String("summarize", "", "summarize an existing trace file and exit")
-	)
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
 
-	if *summarize != "" {
-		f, err := os.Open(*summarize)
+// options is the parsed command line.
+type options struct {
+	out       string
+	format    string
+	duration  time.Duration
+	bps       float64
+	seed      int64
+	src, dst  string
+	alpha     float64
+	maxFlow   int
+	runs      int
+	runIdx    int
+	summarize string
+}
+
+// parseArgs parses and validates the command line. Split from run so tests
+// can exercise the flag surface without generating traces.
+func parseArgs(args []string) (options, error) {
+	var o options
+	var rate string
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.StringVar(&o.out, "o", "", "output file (empty: print summary only)")
+	fs.StringVar(&o.format, "format", "binary", "output format: binary | pcap")
+	fs.DurationVar(&o.duration, "duration", 2*time.Second, "trace duration")
+	fs.StringVar(&rate, "rate", "220e6", "target offered load, bits/second")
+	fs.Int64Var(&o.seed, "seed", 1, "deterministic base seed")
+	fs.StringVar(&o.src, "src", "10.1.0.0/16", "source address pool")
+	fs.StringVar(&o.dst, "dst", "10.200.0.0/16", "destination address pool")
+	fs.Float64Var(&o.alpha, "alpha", 1.15, "flow length tail index")
+	fs.IntVar(&o.maxFlow, "maxflow", 20000, "max packets per flow")
+	fs.IntVar(&o.runs, "runs", 1, "independent runs to generate (seeds derived via SplitMix64 streams)")
+	fs.IntVar(&o.runIdx, "run", -1, "generate only this derived stream index of the base seed")
+	fs.StringVar(&o.summarize, "summarize", "", "summarize an existing trace file and exit")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if fs.NArg() > 0 {
+		return o, fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	if o.format != "binary" && o.format != "pcap" {
+		return o, fmt.Errorf("unknown -format %q (valid: binary, pcap)", o.format)
+	}
+	if o.runs < 1 {
+		return o, fmt.Errorf("-runs %d < 1", o.runs)
+	}
+	if o.runIdx < -1 {
+		return o, fmt.Errorf("-run %d is negative (valid: stream indices >= 0)", o.runIdx)
+	}
+	if o.runs > 1 && o.runIdx >= 0 {
+		return o, fmt.Errorf("-runs and -run are exclusive: a batch derives every stream, -run selects one")
+	}
+	if o.runs > 1 && o.out == "" {
+		return o, fmt.Errorf("-runs %d needs -o to name the per-run files", o.runs)
+	}
+	bps, err := strconv.ParseFloat(rate, 64)
+	if err != nil {
+		return o, fmt.Errorf("invalid -rate: %v", err)
+	}
+	o.bps = bps
+	return o, nil
+}
+
+// config builds the generator config for one derived stream. Stream index
+// < 0 uses the base seed directly (a single, stand-alone trace); >= 0
+// routes through trace.DeriveSeed so separate runs are independent yet
+// reproducible.
+func (o options) config(stream int) (trace.Config, error) {
+	cfg := trace.DefaultConfig()
+	cfg.Seed = o.seed
+	if stream >= 0 {
+		cfg.Seed = trace.DeriveSeed(o.seed, uint64(stream))
+	}
+	cfg.Duration = o.duration
+	cfg.TargetBps = o.bps
+	src, err := packet.ParsePrefix(o.src)
+	if err != nil {
+		return cfg, fmt.Errorf("invalid -src: %v", err)
+	}
+	dst, err := packet.ParsePrefix(o.dst)
+	if err != nil {
+		return cfg, fmt.Errorf("invalid -dst: %v", err)
+	}
+	cfg.SrcPrefix = src
+	cfg.DstPrefix = dst
+	cfg.FlowLen.Alpha = o.alpha
+	cfg.FlowLen.Max = o.maxFlow
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// runFile names run i of a batch: base.trc -> base.run0.trc.
+func runFile(out string, i int) string {
+	ext := filepath.Ext(out)
+	return fmt.Sprintf("%s.run%d%s", strings.TrimSuffix(out, ext), i, ext)
+}
+
+func run(args []string, out io.Writer) error {
+	o, err := parseArgs(args)
+	if err != nil {
+		return err
+	}
+
+	if o.summarize != "" {
+		f, err := os.Open(o.summarize)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
 		r := trace.NewReader(f)
-		fmt.Println(trace.Summarize(r))
-		if err := r.Err(); err != nil {
-			log.Fatal(err)
+		fmt.Fprintln(out, trace.Summarize(r))
+		return r.Err()
+	}
+
+	if o.runs > 1 {
+		for i := 0; i < o.runs; i++ {
+			cfg, err := o.config(i)
+			if err != nil {
+				return err
+			}
+			if err := writeTrace(cfg, o.format, runFile(o.out, i), out); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 
-	bps, err := strconv.ParseFloat(*rate, 64)
+	cfg, err := o.config(o.runIdx)
 	if err != nil {
-		log.Fatalf("invalid -rate: %v", err)
+		return err
 	}
-	cfg := trace.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.Duration = *duration
-	cfg.TargetBps = bps
-	cfg.SrcPrefix = packet.MustParsePrefix(*src)
-	cfg.DstPrefix = packet.MustParsePrefix(*dst)
-	cfg.FlowLen.Alpha = *alpha
-	cfg.FlowLen.Max = *maxFlow
-	if err := cfg.Validate(); err != nil {
-		log.Fatal(err)
+	if o.out == "" {
+		fmt.Fprintln(out, trace.Summarize(trace.NewGenerator(cfg)))
+		return nil
 	}
+	return writeTrace(cfg, o.format, o.out, out)
+}
 
-	if *out == "" {
-		fmt.Println(trace.Summarize(trace.NewGenerator(cfg)))
-		return
-	}
-
-	f, err := os.Create(*out)
+// writeTrace generates one trace into path in the requested format.
+func writeTrace(cfg trace.Config, format, path string, out io.Writer) error {
+	f, err := os.Create(path)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	defer func() {
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-	}()
-
 	gen := trace.NewGenerator(cfg)
-	switch *format {
+	var count uint64
+	switch format {
 	case "binary":
 		w := trace.NewWriter(f)
 		for {
@@ -94,13 +195,15 @@ func main() {
 				break
 			}
 			if err := w.Write(rec); err != nil {
-				log.Fatal(err)
+				f.Close()
+				return err
 			}
 		}
 		if err := w.Flush(); err != nil {
-			log.Fatal(err)
+			f.Close()
+			return err
 		}
-		fmt.Printf("wrote %d records to %s\n", w.Count(), *out)
+		count = w.Count()
 	case "pcap":
 		w := pcapio.NewWriter(f)
 		for {
@@ -109,11 +212,15 @@ func main() {
 				break
 			}
 			if err := w.Write(rec); err != nil {
-				log.Fatal(err)
+				f.Close()
+				return err
 			}
 		}
-		fmt.Printf("wrote %d packets to %s\n", w.Count(), *out)
-	default:
-		log.Fatalf("unknown format %q (binary | pcap)", *format)
+		count = w.Count()
 	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %d records to %s\n", count, path)
+	return nil
 }

@@ -1,19 +1,22 @@
 // Telemetry export: using the library as a flow-latency telemetry pipeline
-// with a live collection plane.
+// with a live collection plane and the unified estimator layer.
 //
 // This example wires the full measurement path a deployment would run:
 //
 //	RLI receiver ──per-packet estimates──┐
 //	                                     ├─ binary wire frames ─> collector
-//	NetFlow meter ──expired records──────┘       (sharded, concurrent)
+//	NetFlow meter (Multiflow estimator)──┘       (sharded, concurrent)
 //
-// The receiver's OnEstimate hook and a NetFlow meter at the same
-// measurement point batch their telemetry, encode it with the collector's
-// compact wire codec (what a UDP export packet would carry), and a
-// consumer goroutine decodes the frames into a live sharded collector.
-// When the run ends, the collector's merged snapshot is the operator's
-// fleet view: per-flow latency plus NetFlow byte/packet accounting, printed
-// as CSV on stdout with an aggregate-histogram summary on stderr.
+//	LDA + sampling + Multiflow ── shared tap dispatch ─> comparison table
+//
+// The RLI receiver's OnEstimate hook batches telemetry, encodes it with
+// the collector's compact wire codec (what a UDP export packet would
+// carry), and a consumer goroutine decodes the frames into a live sharded
+// collector. The same run carries every baseline estimator on the shared
+// tap dispatch — one packet stream, N estimators — so when the run ends
+// the operator gets both the fleet flow table (CSV on stdout) and the
+// estimator comparison table (stderr): which mechanism to trust, at what
+// overhead.
 //
 //	go run ./examples/telemetry > flows.csv
 package main
@@ -26,7 +29,6 @@ import (
 
 	rlir "github.com/netmeasure/rlir"
 	"github.com/netmeasure/rlir/internal/collector"
-	"github.com/netmeasure/rlir/internal/netflow"
 	"github.com/netmeasure/rlir/internal/packet"
 	"github.com/netmeasure/rlir/internal/simtime"
 	"github.com/netmeasure/rlir/internal/stats"
@@ -54,9 +56,7 @@ func main() {
 		}
 	}()
 
-	// 2. Exporters. The receiver side batches per-packet estimates; the
-	// NetFlow meter batches expired flow records. Both encode to the same
-	// wire format before handing frames to the consumer.
+	// 2. The RLI export path: per-packet estimates batch into wire frames.
 	var sampleBatch []collector.Sample
 	flushSamples := func() {
 		if len(sampleBatch) == 0 {
@@ -72,60 +72,79 @@ func main() {
 		}
 	}
 
-	exportRecs, flushRecs := netflow.BatchExport(64, func(recs []netflow.Record) {
-		frames <- collector.AppendRecords(nil, recs)
-	})
-	meter := netflow.NewMeter(netflow.Config{
-		IdleTimeout: 50 * time.Millisecond,
-		Export:      exportRecs,
-	})
+	// 3. The estimator layer: every baseline rides the same run through
+	// one shared tap dispatch at the two measurement points.
+	baselines := make([]rlir.MeasureEstimator, 0, 3)
+	for _, name := range rlir.EstimatorNames() {
+		if name == "rli" {
+			continue // RLI is the harness's own receiver below
+		}
+		est, err := rlir.NewEstimator(name, rlir.MeasureConfig{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		baselines = append(baselines, est)
+	}
+	truth := rlir.NewMeasureTruth()
+	shared := rlir.NewMeasureDispatch(truth, baselines...)
 
-	// 3. Measure per-flow latency across the instrumented segment, with the
-	// meter co-located at the receiver's measurement point.
+	// 4. Measure per-flow latency across the instrumented segment.
 	res := rlir.RunTandem(rlir.TandemConfig{
 		Scale:      rlir.DefaultScale(),
 		Scheme:     rlir.DefaultStatic(),
 		Model:      rlir.CrossUniform,
 		TargetUtil: 0.85,
 		OnEstimate: onEstimate,
+		OnSenderPoint: func(p *packet.Packet, now simtime.Time) {
+			if p.Kind == packet.Regular {
+				shared.TapStart(p, now)
+			}
+		},
 		OnReceiverPoint: func(p *packet.Packet, now simtime.Time) {
 			if p.Kind == packet.Regular {
-				meter.Observe(p.Key, p.Size, now)
+				shared.TapEnd(p, now)
 			}
 		},
 	})
-	meter.FlushAll()
-	flushRecs()
 	flushSamples()
 	close(frames)
 	<-consumerDone
 
-	// 4. The operator's fleet view: one snapshot of the merged plane.
+	// 5. The operator's fleet view: one snapshot of the merged plane.
 	snapshot := plane.Snapshot()
-	fmt.Println("src,dst,src_port,dst_port,proto,estimates,mean_latency_us,stddev_us,nf_packets,nf_bytes")
+	fmt.Println("src,dst,src_port,dst_port,proto,estimates,mean_latency_us,stddev_us")
 	for _, a := range snapshot {
 		if a.Est.N() == 0 {
-			continue // NetFlow-only flows (e.g. unestimated) are skipped in this table
+			continue
 		}
 		us := func(ns float64) float64 { return ns / float64(time.Microsecond) }
-		fmt.Printf("%s,%s,%d,%d,%s,%d,%.2f,%.2f,%d,%d\n",
+		fmt.Printf("%s,%s,%d,%d,%s,%d,%.2f,%.2f\n",
 			a.Key.Src, a.Key.Dst, a.Key.SrcPort, a.Key.DstPort, a.Key.Proto,
-			a.Est.N(), us(a.Est.Mean()), us(a.Est.Std()), a.Packets, a.Bytes)
+			a.Est.N(), us(a.Est.Mean()), us(a.Est.Std()))
 	}
 
-	// 5. Operator summary to stderr. The aggregate histogram folds from the
-	// snapshot already in hand rather than re-querying the plane.
+	// 6. Operator summary to stderr: collector stats, then the estimator
+	// comparison — every mechanism on this one pass, scored against the
+	// same ground truth.
 	var hist stats.Histogram
 	for i := range snapshot {
 		hist.Merge(&snapshot[i].Hist)
 	}
-	fmt.Fprintf(os.Stderr, "collector: %d flows, %d samples, %d netflow records over %d shards\n",
-		len(snapshot), plane.SamplesIngested(), plane.RecordsIngested(), plane.Shards())
+	fmt.Fprintf(os.Stderr, "collector: %d flows, %d samples over %d shards\n",
+		len(snapshot), plane.SamplesIngested(), plane.Shards())
 	fmt.Fprintf(os.Stderr, "segment latency: p50<=%v p99<=%v max=%v\n",
 		hist.Quantile(0.5), hist.Quantile(0.99), hist.Max())
-	fmt.Fprintf(os.Stderr, "flows: %d, median relative error: %.2f%%\n",
-		res.Summary.Flows, res.Summary.MedianRelErr*100)
 	fmt.Fprintf(os.Stderr, "bottleneck utilization: %.1f%%, regular loss: %.6f\n",
 		res.AchievedUtil*100, res.LossRate())
+
+	reports := []rlir.MeasureReport{rlir.ReportFromFlowResults("rli", "sw2", res.Results, rlir.MeasureOverhead{
+		InjectedPkts:  res.Sender.Injected,
+		InjectedBytes: res.Sender.Injected * rlir.DefaultRefSize,
+	})}
+	for _, b := range baselines {
+		reports = append(reports, b.Finalize())
+	}
+	fmt.Fprintln(os.Stderr, "estimator comparison (single pass, shared ground truth):")
+	fmt.Fprint(os.Stderr, rlir.RenderEstimatorComparison(rlir.CompareEstimators(truth, reports...)))
 	plane.Close()
 }

@@ -7,12 +7,10 @@ import (
 
 	"github.com/netmeasure/rlir/internal/core"
 	"github.com/netmeasure/rlir/internal/lda"
-	"github.com/netmeasure/rlir/internal/multiflow"
-	"github.com/netmeasure/rlir/internal/netflow"
+	"github.com/netmeasure/rlir/internal/measure"
 	"github.com/netmeasure/rlir/internal/packet"
 	"github.com/netmeasure/rlir/internal/simclock"
 	"github.com/netmeasure/rlir/internal/simtime"
-	"github.com/netmeasure/rlir/internal/stats"
 )
 
 // EstimatorRow is one line of ablation A2.
@@ -107,134 +105,112 @@ func RenderClocks(rows []ClockRow) string {
 	return b.String()
 }
 
-// BaselineResult is B1: RLIR against LDA (aggregate) and Multiflow
-// (two-sample NetFlow) on the identical tandem run.
+// BaselineResult is B1: RLIR against LDA (aggregate), Multiflow
+// (two-sample NetFlow) and 1-in-N packet sampling on the identical tandem
+// run, wired through the unified estimator layer (internal/measure): one
+// shared tap dispatch at the two measurement points, one Compare against
+// shared ground truth.
 type BaselineResult struct {
-	// RLIRMedian is RLIR's per-flow median relative error.
+	// RLIRMedian is RLIR's per-flow median relative error (the receiver's
+	// own summary metric, pinned by the golden fixture).
 	RLIRMedian float64
 	// MultiflowMedian is the Multiflow estimator's per-flow median
 	// relative error over the same flows.
 	MultiflowMedian float64
 	// MultiflowFlows counts flows Multiflow could estimate.
 	MultiflowFlows int
+	// SampledMedian / SampledFlows are the 1-in-N packet-sampling
+	// baseline's per-flow error and coverage.
+	SampledMedian float64
+	SampledFlows  int
 	// LDAMeanErr is LDA's relative error on the aggregate mean delay —
 	// LDA's only deliverable ("only provides aggregate measurements").
 	LDAMeanErr float64
 	// LDAEstimate / TrueAggregate document the aggregate comparison.
 	LDAEstimate   time.Duration
 	TrueAggregate time.Duration
-	// RLIROverheadPkts / MultiflowOverheadPkts: extra packets injected on
-	// the wire (NetFlow and LDA are passive; RLI adds reference packets).
+	// RLIROverheadPkts: extra packets injected on the wire (the baselines
+	// are passive; RLI adds reference packets).
 	RLIROverheadPkts uint64
+	// Comparison is the full estimator-layer table behind the fields
+	// above.
+	Comparison []measure.Comparison
 }
 
-// RunBaselines (B1) co-locates all three mechanisms on one run.
+// RunBaselines (B1) co-locates all four mechanisms on one run through the
+// estimator layer's shared dispatch.
 func RunBaselines(scale Scale, targetUtil float64) BaselineResult {
-	ldaCfg := lda.DefaultConfig()
-	sLDA, rLDA := lda.New(ldaCfg), lda.New(ldaCfg)
-	upMeter := netflow.NewMeter(netflow.Config{})
-	downMeter := netflow.NewMeter(netflow.Config{})
-
-	senderPoint := func(p *packet.Packet, now simtime.Time) {
-		if p.Kind != packet.Regular {
-			return
-		}
-		sLDA.Record(p.ID, now)
-		upMeter.Observe(p.Key, p.Size, now)
-	}
-	receiverPoint := func(p *packet.Packet, now simtime.Time) {
-		if p.Kind != packet.Regular {
-			return
-		}
-		rLDA.Record(p.ID, now)
-		downMeter.Observe(p.Key, p.Size, now)
-	}
+	// Multiflow runs on NetFlow-realistic millisecond (sysUpTime) stamps —
+	// the principal reason the two-sample estimator is crude for
+	// microsecond data-center latencies ([12]); measure.DefaultQuantize
+	// models that. RLI's whole premise is hardware timestamping, so only
+	// the NetFlow side is quantized. The sampling baseline keeps exact
+	// stamps (its handicap is coverage, not resolution).
+	ldaEst := measure.NewLDA(lda.DefaultConfig())
+	mf := measure.NewMultiflow(0)
+	samp := measure.NewSampled(0, scale.Seed)
+	truth := measure.NewTruth()
+	shared := measure.NewDispatch(truth, ldaEst, mf, samp)
 
 	run := RunTandem(TandemConfig{
-		Scale:           scale,
-		Scheme:          core.DefaultStatic(),
-		Model:           CrossUniform,
-		TargetUtil:      targetUtil,
-		OnSenderPoint:   senderPoint,
-		OnReceiverPoint: receiverPoint,
+		Scale:      scale,
+		Scheme:     core.DefaultStatic(),
+		Model:      CrossUniform,
+		TargetUtil: targetUtil,
+		OnSenderPoint: func(p *packet.Packet, now simtime.Time) {
+			if p.Kind == packet.Regular {
+				shared.TapStart(p, now)
+			}
+		},
+		OnReceiverPoint: func(p *packet.Packet, now simtime.Time) {
+			if p.Kind == packet.Regular {
+				shared.TapEnd(p, now)
+			}
+		},
 	})
+
+	rliRep := measure.ReportFromFlowResults("rli", "sw2", run.Results, measure.Overhead{
+		InjectedPkts:  run.Sender.Injected,
+		InjectedBytes: run.Sender.Injected * core.DefaultRefSize,
+	})
+	comps := measure.Compare(truth, rliRep, ldaEst.Finalize(), mf.Finalize(), samp.Finalize())
 
 	res := BaselineResult{
 		RLIRMedian:       run.Summary.MedianRelErr,
 		RLIROverheadPkts: run.Sender.Injected,
+		TrueAggregate:    truth.AggMean(),
+		Comparison:       comps,
 	}
-
-	// Ground truth per flow, from the receiver-side accumulators.
-	truthByFlow := make(map[packet.FlowKey]float64, len(run.Results))
-	var trueWeighted float64
-	var trueN int64
-	for _, fr := range run.Results {
-		truthByFlow[fr.Key] = float64(fr.TrueMean)
-		trueWeighted += float64(fr.TrueMean) * float64(fr.N)
-		trueN += fr.N
-	}
-	if trueN > 0 {
-		res.TrueAggregate = time.Duration(trueWeighted / float64(trueN))
-	}
-
-	// Multiflow, on NetFlow-realistic timestamps: NetFlow records carry
-	// millisecond-resolution (sysUpTime) first/last stamps, which is the
-	// principal reason the two-sample estimator is crude for microsecond
-	// data-center latencies ([12]). RLI's whole premise is hardware
-	// timestamping, so the comparison quantizes only the NetFlow side.
-	mfEst := multiflow.Estimate(
-		quantizeRecords(upMeter.Snapshot(), time.Millisecond),
-		quantizeRecords(downMeter.Snapshot(), time.Millisecond))
-	var mfErrs []float64
-	for _, e := range mfEst {
-		if truth, ok := truthByFlow[e.Key]; ok && truth > 0 {
-			mfErrs = append(mfErrs, stats.RelErr(float64(e.Mean), truth))
+	for _, c := range comps {
+		switch c.Estimator {
+		case "multiflow":
+			res.MultiflowMedian = c.MedianRelErr
+			res.MultiflowFlows = c.Flows
+		case "netflow-sample":
+			res.SampledMedian = c.MedianRelErr
+			res.SampledFlows = c.Flows
+		case "lda":
+			res.LDAMeanErr = c.AggRelErr
+			res.LDAEstimate = c.AggMean
 		}
 	}
-	res.MultiflowFlows = len(mfErrs)
-	if len(mfErrs) > 0 {
-		res.MultiflowMedian = stats.NewCDF(mfErrs).Median()
-	}
-
-	// LDA aggregate.
-	est, err := lda.Extract(sLDA, rLDA)
-	if err != nil {
-		panic(err)
-	}
-	res.LDAEstimate = est.MeanDelay
-	if res.TrueAggregate > 0 {
-		res.LDAMeanErr = stats.RelErr(float64(est.MeanDelay), float64(res.TrueAggregate))
-	}
 	return res
-}
-
-// quantizeRecords rounds flow record timestamps to the given resolution,
-// modelling NetFlow's millisecond clocks.
-func quantizeRecords(recs []netflow.Record, res time.Duration) []netflow.Record {
-	out := make([]netflow.Record, len(recs))
-	for i, r := range recs {
-		r.First = quantize(r.First, res)
-		r.Last = quantize(r.Last, res)
-		out[i] = r
-	}
-	return out
-}
-
-func quantize(t simtime.Time, res time.Duration) simtime.Time {
-	step := int64(res)
-	return simtime.Time((int64(t) + step/2) / step * step)
 }
 
 // Render formats B1.
 func (r BaselineResult) Render() string {
 	var b strings.Builder
-	b.WriteString("== B1: RLIR vs Multiflow vs LDA (same tandem run) ==\n")
+	b.WriteString("== B1: RLIR vs Multiflow vs sampling vs LDA (same tandem run) ==\n")
 	fmt.Fprintf(&b, "%-22s %-16s %-10s\n", "mechanism", "medianRelErr", "scope")
 	fmt.Fprintf(&b, "%-22s %-16.4f %-10s\n", "RLIR (per flow)", r.RLIRMedian, "per-flow")
 	fmt.Fprintf(&b, "%-22s %-16.4f %-10s (%d flows)\n", "Multiflow (2-sample)", r.MultiflowMedian, "per-flow", r.MultiflowFlows)
+	fmt.Fprintf(&b, "%-22s %-16.4f %-10s (%d flows)\n", "NetFlow 1-in-32", r.SampledMedian, "per-flow", r.SampledFlows)
 	fmt.Fprintf(&b, "%-22s %-16.4f %-10s (est %v vs true %v)\n", "LDA", r.LDAMeanErr, "aggregate", r.LDAEstimate, r.TrueAggregate)
 	fmt.Fprintf(&b, "reference packets injected by RLIR: %d (LDA/NetFlow are passive)\n", r.RLIROverheadPkts)
+	b.WriteString("estimator-layer comparison table:\n")
+	b.WriteString(measure.RenderComparisons(r.Comparison))
 	b.WriteString("note: paper §5 — LDA is accurate but aggregate-only; Multiflow is per-flow but crude;\n")
-	b.WriteString("      RLI(R) delivers per-flow fidelity at the cost of active probes\n")
+	b.WriteString("      sampling trades flow coverage for exactness; RLI(R) delivers per-flow fidelity\n")
+	b.WriteString("      at the cost of active probes\n")
 	return b.String()
 }

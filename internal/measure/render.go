@@ -1,0 +1,33 @@
+package measure
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// fmtErr renders a relative error, with "-" for mechanisms that do not
+// produce the metric (NaN).
+func fmtErr(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// RenderComparisons formats the estimator comparison table — the
+// per-scenario view of the paper's §5 claim: per-flow fidelity (relative
+// errors), attribution quality, and what each mechanism costs (injected
+// wire bytes vs sampled collection bytes).
+func RenderComparisons(rows []Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %7s %9s %10s %10s %8s %8s %10s %10s\n",
+		"estimator", "flows", "samples", "medianErr", "p99Err", "aggErr", "misattr", "injBytes", "smpBytes")
+	for _, c := range rows {
+		fmt.Fprintf(&b, "%-16s %7d %9d %10s %10s %8s %8.4f %10d %10d\n",
+			c.Estimator, c.Flows, c.Samples,
+			fmtErr(c.MedianRelErr), fmtErr(c.P99RelErr), fmtErr(c.AggRelErr),
+			c.Misattribution, c.Overhead.InjectedBytes, c.Overhead.SampledBytes)
+	}
+	return b.String()
+}

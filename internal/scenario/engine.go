@@ -9,6 +9,7 @@ import (
 	"github.com/netmeasure/rlir/internal/core"
 	"github.com/netmeasure/rlir/internal/crossinject"
 	"github.com/netmeasure/rlir/internal/eventsim"
+	"github.com/netmeasure/rlir/internal/measure"
 	"github.com/netmeasure/rlir/internal/netsim"
 	"github.com/netmeasure/rlir/internal/packet"
 	"github.com/netmeasure/rlir/internal/runner"
@@ -17,6 +18,19 @@ import (
 	"github.com/netmeasure/rlir/internal/topo"
 	"github.com/netmeasure/rlir/internal/trace"
 )
+
+// baselinesOf strips "rli" from an effective estimator list: RLI is wired
+// into the receiver deployment itself; everything else attaches as passive
+// taps on the shared dispatch.
+func baselinesOf(names []string) []string {
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		if n != "rli" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
 
 // Run executes one scenario at its spec seed.
 func Run(spec Spec) (*Result, error) { return RunSeed(spec, spec.Seed) }
@@ -319,6 +333,48 @@ func runFatTree(spec Spec, seed int64) (*Result, error) {
 	coll := collector.New(collector.Config{Shards: 4})
 	sink := runner.NewSink(coll, 0)
 
+	// --- The unified estimator layer. Every mechanism the spec requests
+	// measures the same downstream (core -> monitored ToR) segment on this
+	// single pass: the RLI receivers below implement the measure API
+	// directly, and the baselines (LDA, sampling, Multiflow) hang off one
+	// shared dispatch fed from the segment-start (core down-ports) and
+	// segment-end (monitored ToR host ports) taps. Baselines are passive,
+	// so the RLI results are bit-identical whether or not they attach.
+	estNames := spec.EffectiveEstimators()
+	baselines, err := measure.NewSet(baselinesOf(estNames), measure.Config{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	truth := measure.NewTruth()
+	shared := measure.NewDispatch(truth, baselines...)
+	monSet := make(map[[2]int]bool, len(monitored))
+	for _, m := range monitored {
+		monSet[m] = true
+	}
+	upAccept := func(pk *packet.Packet) bool {
+		if pk.Kind != packet.Regular {
+			return false
+		}
+		dp, de, _, ok := ft.LocateHost(pk.Key.Dst)
+		if !ok || !monSet[[2]int{dp, de}] {
+			return false
+		}
+		sp, _, _, sok := ft.LocateHost(pk.Key.Src)
+		return sok && sp != dp
+	}
+	for _, p := range monPods {
+		for j := 0; j < h; j++ {
+			for i := 0; i < h; i++ {
+				ft.CoreDownPort(j, i, p).OnTxStart(func(pk *packet.Packet, now simtime.Time) {
+					if upAccept(pk) {
+						shared.TapStart(pk, now)
+					}
+				})
+			}
+		}
+	}
+
+	var rlis []*measure.RLI
 	for _, m := range monitored {
 		p, e := m[0], m[1]
 		rec := &routerRec{}
@@ -328,7 +384,7 @@ func runFatTree(spec Spec, seed int64) (*Result, error) {
 			sp, _, _, ok := ft.LocateHost(pk.Key.Src)
 			return pk.Kind == packet.Regular && ok && sp != p
 		}
-		rx, err := core.NewReceiver(core.ReceiverConfig{
+		rli, err := measure.NewRLI(ft.ToRs[p][e].Name(), core.ReceiverConfig{
 			Demux:  counting,
 			Accept: accept,
 			OnEstimate: func(key packet.FlowKey, est, truth time.Duration) {
@@ -339,13 +395,20 @@ func runFatTree(spec Spec, seed int64) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		rlis = append(rlis, rli)
 		for hh := 0; hh < h; hh++ {
-			ft.ToRHostPort(p, e, hh).OnTxStart(rx.Observe)
+			port := ft.ToRHostPort(p, e, hh)
+			port.OnTxStart(rli.Tap)
+			port.OnTxStart(func(pk *packet.Packet, now simtime.Time) {
+				if accept(pk) {
+					shared.TapEnd(pk, now)
+				}
+			})
 		}
 		routers = append(routers, &routerRx{
 			name:    ft.ToRs[p][e].Name(),
 			segment: "core->tor",
-			rx:      rx,
+			rx:      rli.Receiver(),
 			rec:     rec,
 			tor:     m,
 			down:    true,
@@ -406,6 +469,20 @@ func runFatTree(spec Spec, seed int64) (*Result, error) {
 	res.EstP50, res.EstP99 = estAll.Quantile(0.5), estAll.Quantile(0.99)
 	res.TrueP50, res.TrueP99 = trueAll.Quantile(0.5), trueAll.Quantile(0.99)
 	res.Misattribution = counting.misattribution()
+
+	// The estimator comparison table: one fleet-merged RLI report plus one
+	// report per baseline, all scored against the shared ground truth.
+	rliReps := make([]measure.Report, 0, len(rlis))
+	for _, r := range rlis {
+		rliReps = append(rliReps, r.Finalize())
+	}
+	reports := make([]measure.Report, 0, 1+len(baselines))
+	reports = append(reports, measure.MergeReports("rli", rliReps...))
+	for _, b := range baselines {
+		reports = append(reports, b.Finalize())
+	}
+	res.Comparison = measure.Compare(truth, reports...)
+	res.Comparison[0].Misattribution = counting.misattribution()
 
 	for sk, frs := range segFlows {
 		seg := SegmentStats{

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"github.com/netmeasure/rlir/internal/collector"
@@ -32,8 +33,75 @@ type MultiResult struct {
 	Misattribution Metric
 	HotLinkUtil    Metric
 	EstP99Us       Metric
+	// Estimators aggregates the per-seed comparison tables: one row per
+	// requested mechanism, each metric as its across-seed distribution.
+	Estimators []EstimatorCI
 	// Fleet merges every run's collector snapshot in seed order.
 	Fleet []collector.FlowAgg
+}
+
+// EstimatorCI is one mechanism's across-seed comparison row.
+type EstimatorCI struct {
+	Name string
+	// Flows is the mean number of flows the mechanism estimated per seed.
+	Flows Metric
+	// MedianRelErr / P99RelErr / AggRelErr are the across-seed
+	// distributions of the per-seed error metrics; N = 0 ("n/a") for
+	// metrics the mechanism does not produce.
+	MedianRelErr Metric
+	P99RelErr    Metric
+	AggRelErr    Metric
+	// InjectedBytes / SampledBytes are the across-seed overhead means.
+	InjectedBytes Metric
+	SampledBytes  Metric
+}
+
+// metricOfFinite folds the non-NaN samples into a Metric: a mechanism that
+// never produces a metric (LDA per-flow error) yields N = 0, rendered
+// "n/a", rather than a NaN mean.
+func metricOfFinite(samples []float64) Metric {
+	finite := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		if !math.IsNaN(s) {
+			finite = append(finite, s)
+		}
+	}
+	return experiments.MetricOf(finite)
+}
+
+// estimatorCIs folds the per-seed comparison tables into across-seed rows.
+// Every seed runs the same spec, so the tables have identical shape; the
+// fold is by row index with the name asserted equal.
+func estimatorCIs(perSeed []*Result) []EstimatorCI {
+	if len(perSeed) == 0 || len(perSeed[0].Comparison) == 0 {
+		return nil
+	}
+	rows := make([]EstimatorCI, len(perSeed[0].Comparison))
+	for i, c := range perSeed[0].Comparison {
+		var flows, med, p99, agg, inj, smp []float64
+		for _, r := range perSeed {
+			rc := r.Comparison[i]
+			if rc.Estimator != c.Estimator {
+				panic("scenario: comparison tables diverge across seeds")
+			}
+			flows = append(flows, float64(rc.Flows))
+			med = append(med, rc.MedianRelErr)
+			p99 = append(p99, rc.P99RelErr)
+			agg = append(agg, rc.AggRelErr)
+			inj = append(inj, float64(rc.Overhead.InjectedBytes))
+			smp = append(smp, float64(rc.Overhead.SampledBytes))
+		}
+		rows[i] = EstimatorCI{
+			Name:          c.Estimator,
+			Flows:         experiments.MetricOf(flows),
+			MedianRelErr:  metricOfFinite(med),
+			P99RelErr:     metricOfFinite(p99),
+			AggRelErr:     metricOfFinite(agg),
+			InjectedBytes: experiments.MetricOf(inj),
+			SampledBytes:  experiments.MetricOf(smp),
+		}
+	}
+	return rows
 }
 
 // RunMulti runs the spec at opts.Seeds SplitMix64-derived seeds fanned
@@ -75,6 +143,7 @@ func RunMulti(spec Spec, opts MultiOpts) (*MultiResult, error) {
 	mr.Misattribution = experiments.MetricOf(misattr)
 	mr.HotLinkUtil = experiments.MetricOf(hot)
 	mr.EstP99Us = experiments.MetricOf(p99us)
+	mr.Estimators = estimatorCIs(mr.PerSeed)
 	mr.Fleet = collector.Merge(snaps...)
 	return mr, nil
 }
@@ -100,5 +169,15 @@ func (mr *MultiResult) Render() string {
 	fmt.Fprintf(&b, "hotLinkUtil    %s\n", mr.HotLinkUtil)
 	fmt.Fprintf(&b, "estP99 (µs)    %s\n", mr.EstP99Us)
 	fmt.Fprintf(&b, "fleet flows    %d\n", len(mr.Fleet))
+	if len(mr.Estimators) > 0 {
+		fmt.Fprintf(&b, "estimator comparison (mean ±95%% CI over %d seeds):\n", len(mr.Seeds))
+		fmt.Fprintf(&b, "%-16s %-12s %-18s %-18s %-18s %12s %12s\n",
+			"estimator", "flows", "medianRelErr", "p99RelErr", "aggRelErr", "injBytes", "smpBytes")
+		for _, e := range mr.Estimators {
+			fmt.Fprintf(&b, "%-16s %-12.0f %-18s %-18s %-18s %12.0f %12.0f\n",
+				e.Name, e.Flows.Mean, e.MedianRelErr, e.P99RelErr, e.AggRelErr,
+				e.InjectedBytes.Mean, e.SampledBytes.Mean)
+		}
+	}
 	return b.String()
 }

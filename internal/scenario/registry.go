@@ -98,6 +98,41 @@ func requireAccuracy(r *Result, minFlows int, bound float64) error {
 	return nil
 }
 
+// requireEstimators asserts the unified estimator layer ran: every
+// mechanism the spec requested has a comparison row from this single pass,
+// the RLI row produced per-flow estimates with accounted reference
+// overhead, and at least one passive baseline produced an estimate to
+// compare against.
+func requireEstimators(r *Result) error {
+	want := r.Spec.EffectiveEstimators()
+	if len(r.Comparison) != len(want) {
+		return fmt.Errorf("comparison has %d rows, spec requested %d (%v)", len(r.Comparison), len(want), want)
+	}
+	baselineSamples := int64(0)
+	for i, name := range want {
+		c := r.Comparison[i]
+		if c.Estimator != name {
+			return fmt.Errorf("comparison row %d is %q, want %q", i, c.Estimator, name)
+		}
+		if name == "rli" {
+			if c.Flows == 0 || c.Samples == 0 {
+				return fmt.Errorf("rli comparison row is empty (%d flows, %d samples)", c.Flows, c.Samples)
+			}
+			if c.Overhead.InjectedPkts == 0 {
+				return fmt.Errorf("rli row accounts no injected reference packets")
+			}
+		} else {
+			// AggSamples counts actual observations (LDA's fixed sketch
+			// overhead would make a records-based guard vacuous).
+			baselineSamples += c.Samples + c.AggSamples
+		}
+	}
+	if len(want) > 1 && baselineSamples == 0 {
+		return fmt.Errorf("no baseline estimator observed anything; shared taps are not attached")
+	}
+	return nil
+}
+
 // requireCollector asserts the run streamed its estimates through the
 // sharded collection plane.
 func requireCollector(r *Result) error {
@@ -151,6 +186,9 @@ func init() {
 			if err := requireCollector(r); err != nil {
 				return err
 			}
+			if err := requireEstimators(r); err != nil {
+				return err
+			}
 			if r.HotLinkUtil < 0.80 {
 				return fmt.Errorf("bottleneck utilization %.2f; cross traffic is not congesting the link", r.HotLinkUtil)
 			}
@@ -177,6 +215,9 @@ func init() {
 				return err
 			}
 			if err := requireCollector(r); err != nil {
+				return err
+			}
+			if err := requireEstimators(r); err != nil {
 				return err
 			}
 			if r.Misattribution != 0 {
@@ -211,6 +252,9 @@ func init() {
 				return err
 			}
 			if err := requireCollector(r); err != nil {
+				return err
+			}
+			if err := requireEstimators(r); err != nil {
 				return err
 			}
 			if r.HotLinkUtil < 0.90 {
@@ -258,6 +302,9 @@ func init() {
 			if err := requireCollector(r); err != nil {
 				return err
 			}
+			if err := requireEstimators(r); err != nil {
+				return err
+			}
 			// The microburst signature: average load moderate (the link is
 			// idle between bursts) while the median delay is queue-dominated
 			// (every burst saturates the victim links).
@@ -301,6 +348,9 @@ func init() {
 				return err
 			}
 			if err := requireCollector(r); err != nil {
+				return err
+			}
+			if err := requireEstimators(r); err != nil {
 				return err
 			}
 			faulty, ok := r.Segment("core0.0->tor3.0")
@@ -350,6 +400,9 @@ func init() {
 			if err := requireCollector(r); err != nil {
 				return err
 			}
+			if err := requireEstimators(r); err != nil {
+				return err
+			}
 			if r.Misattribution != 0 {
 				return fmt.Errorf("reverse-ECMP misattribution %.4f, want exactly 0", r.Misattribution)
 			}
@@ -391,6 +444,9 @@ func init() {
 				return err
 			}
 			if err := requireCollector(r); err != nil {
+				return err
+			}
+			if err := requireEstimators(r); err != nil {
 				return err
 			}
 			// The hot ToR is pod 0 (dest pod 3 => hot pod (3+1)%4 = 0), ToR 0.

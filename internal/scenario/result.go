@@ -7,6 +7,7 @@ import (
 
 	"github.com/netmeasure/rlir/internal/collector"
 	"github.com/netmeasure/rlir/internal/core"
+	"github.com/netmeasure/rlir/internal/measure"
 	"github.com/netmeasure/rlir/internal/stats"
 )
 
@@ -75,6 +76,21 @@ type Result struct {
 	Fleet []collector.FlowAgg
 	// Samples counts estimates streamed into the collector.
 	Samples uint64
+	// Comparison is the estimator comparison table: every mechanism the
+	// spec requested (Spec.EffectiveEstimators order, RLI first), measured
+	// on this run's single simulation pass and scored against shared
+	// ground truth.
+	Comparison []measure.Comparison
+}
+
+// Estimator returns the named mechanism's comparison row.
+func (r *Result) Estimator(name string) (measure.Comparison, bool) {
+	for _, c := range r.Comparison {
+		if c.Estimator == name {
+			return c, true
+		}
+	}
+	return measure.Comparison{}, false
 }
 
 // Router returns the named router's stats.
@@ -121,6 +137,10 @@ func (r *Result) Render() string {
 		for _, s := range r.Segments {
 			fmt.Fprintf(&b, "%-22s %8d %10.4f %12v %12v\n", s.Name, s.Flows, s.MedianRelErr, s.EstMean, s.TrueMean)
 		}
+	}
+	if len(r.Comparison) > 0 {
+		b.WriteString("estimator comparison (single pass, shared ground truth):\n")
+		b.WriteString(measure.RenderComparisons(r.Comparison))
 	}
 	return b.String()
 }

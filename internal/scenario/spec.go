@@ -18,8 +18,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
+	"github.com/netmeasure/rlir/internal/measure"
 	"github.com/netmeasure/rlir/internal/topo"
 )
 
@@ -187,6 +189,12 @@ type DeploymentSpec struct {
 	// Demux selects the downstream demultiplexing strategy (default
 	// reverse-ecmp, the paper's computable option).
 	Demux string `json:"demux,omitempty"`
+	// Estimators lists the measurement mechanisms attached to the run's
+	// single simulation pass (internal/measure registry names). Empty runs
+	// the full default comparison set; "rli" — the deployment under test —
+	// is always included. Baseline estimators are passive taps, so adding
+	// them never perturbs the simulation or the RLI results.
+	Estimators []string `json:"estimators,omitempty"`
 	// MaxInstances budgets the deployment: Validate fails when the spec
 	// needs more sender+receiver instances than this. 0 = unlimited.
 	MaxInstances int `json:"max_instances,omitempty"`
@@ -271,6 +279,26 @@ func (s Spec) destPod() int {
 		return s.Topology.K - 1
 	}
 	return s.Workload.DestPod
+}
+
+// EffectiveEstimators resolves the deployment's estimator list: an empty
+// spec list selects the full registered comparison set, and "rli" — the
+// mechanism whose deployment the spec describes — is always present and
+// listed first. Order is deterministic and duplicate-free; it is the order
+// of the result's comparison table.
+func (s Spec) EffectiveEstimators() []string {
+	if len(s.Deploy.Estimators) == 0 {
+		return measure.Names()
+	}
+	out := []string{"rli"}
+	seen := map[string]bool{"rli": true}
+	for _, n := range s.Deploy.Estimators {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // monitoredToRs returns the (pod, tor) pairs carrying downstream receivers.
@@ -480,6 +508,12 @@ func (s Spec) validateDeploy() error {
 	default:
 		return fmt.Errorf("scenario: unknown demux strategy %q (valid: %s, %s, %s, %s)",
 			d.Demux, DemuxReverseECMP, DemuxMark, DemuxOracle, DemuxNone)
+	}
+	for _, name := range d.Estimators {
+		if !measure.Registered(name) {
+			return fmt.Errorf("scenario: unknown estimator %q (valid: %s)",
+				name, strings.Join(measure.Names(), ", "))
+		}
 	}
 	if d.MaxInstances < 0 {
 		return fmt.Errorf("scenario: negative instance budget %d", d.MaxInstances)

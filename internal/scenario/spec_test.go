@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -161,7 +162,8 @@ func TestJSONRoundTrip(t *testing.T) {
 		t.Fatalf("round trip changed the spec:\n in: %+v\nout: %+v", s, got)
 	}
 	if got.Name != s.Name || got.Faults[0] != s.Faults[0] || got.Topology != s.Topology ||
-		got.Workload != s.Workload || got.Deploy != s.Deploy || got.Duration != s.Duration {
+		got.Workload != s.Workload || got.Duration != s.Duration ||
+		!reflect.DeepEqual(got.Deploy, s.Deploy) {
 		t.Fatalf("round trip changed fields:\n in: %+v\nout: %+v", s, got)
 	}
 }

@@ -4,14 +4,19 @@ import (
 	"time"
 
 	"github.com/netmeasure/rlir/internal/collector"
+	"github.com/netmeasure/rlir/internal/core"
 	"github.com/netmeasure/rlir/internal/experiments"
+	"github.com/netmeasure/rlir/internal/measure"
 	"github.com/netmeasure/rlir/internal/packet"
 	"github.com/netmeasure/rlir/internal/runner"
+	"github.com/netmeasure/rlir/internal/simtime"
 )
 
 // runTandem executes a tandem-topology scenario by driving the Figure-3
 // harness with the spec's knobs, streaming estimates through the collector
-// plane like the fat-tree path does.
+// plane like the fat-tree path does. The spec's estimator set attaches to
+// the harness's two measurement points through the shared dispatch, so one
+// pass yields the full comparison table here too.
 func runTandem(spec Spec, seed int64) (*Result, error) {
 	sc := experiments.Scale{
 		LinkBps:          spec.Topology.LinkBps,
@@ -35,6 +40,19 @@ func runTandem(spec Spec, seed int64) (*Result, error) {
 	sink := runner.NewSink(coll, 0)
 	rec := &routerRec{}
 
+	// The unified estimator layer: baselines tap the sender point (segment
+	// start) and the bottleneck transmit point (segment end) of the same
+	// run the RLI receiver measures. Cross traffic also crosses the
+	// bottleneck, so both taps filter to the regular workload — the same
+	// population the receiver estimates.
+	estNames := spec.EffectiveEstimators()
+	baselines, err := measure.NewSet(baselinesOf(estNames), measure.Config{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	truth := measure.NewTruth()
+	shared := measure.NewDispatch(truth, baselines...)
+
 	cfg := experiments.TandemConfig{
 		Scale:       sc,
 		Scheme:      spec.scheme(),
@@ -45,6 +63,16 @@ func runTandem(spec Spec, seed int64) (*Result, error) {
 		OnEstimate: func(key packet.FlowKey, est, truth time.Duration) {
 			rec.record(est, truth)
 			sink.Add(key, est, truth)
+		},
+		OnSenderPoint: func(p *packet.Packet, now simtime.Time) {
+			if p.Kind == packet.Regular {
+				shared.TapStart(p, now)
+			}
+		},
+		OnReceiverPoint: func(p *packet.Packet, now simtime.Time) {
+			if p.Kind == packet.Regular {
+				shared.TapEnd(p, now)
+			}
 		},
 	}
 	tr := experiments.RunTandem(cfg)
@@ -61,6 +89,19 @@ func runTandem(spec Spec, seed int64) (*Result, error) {
 	res.Routers = []RouterStats{rs}
 	res.EstP50, res.EstP99 = rs.EstP50, rs.EstP99
 	res.TrueP50, res.TrueP99 = rs.TrueP50, rs.TrueP99
+
+	// Comparison: the harness owns its receiver, so the RLI row comes from
+	// the run's per-flow results; reference overhead from the sender's own
+	// injection counter.
+	reports := make([]measure.Report, 0, 1+len(baselines))
+	reports = append(reports, measure.ReportFromFlowResults("rli", "sw2", tr.Results, measure.Overhead{
+		InjectedPkts:  tr.Sender.Injected,
+		InjectedBytes: tr.Sender.Injected * core.DefaultRefSize,
+	}))
+	for _, b := range baselines {
+		reports = append(reports, b.Finalize())
+	}
+	res.Comparison = measure.Compare(truth, reports...)
 
 	sink.Flush()
 	coll.Close()

@@ -5,6 +5,7 @@ import (
 
 	"github.com/netmeasure/rlir/internal/core"
 	"github.com/netmeasure/rlir/internal/experiments"
+	"github.com/netmeasure/rlir/internal/measure"
 	"github.com/netmeasure/rlir/internal/packet"
 	"github.com/netmeasure/rlir/internal/scenario"
 	"github.com/netmeasure/rlir/internal/simclock"
@@ -379,6 +380,85 @@ type LocalizationCI = experiments.LocalizationCI
 // MultiLocalization re-records the L1 scenario across seeds.
 func MultiLocalization(cfg LocalizationConfig, opts MultiOpts) LocalizationCI {
 	return experiments.MultiLocalization(cfg, opts)
+}
+
+// ---- Unified estimator layer (internal/measure) ----
+//
+// Every latency-measurement mechanism — RLI interpolation, the LDA
+// aggregate sketch, NetFlow-style packet sampling, the Multiflow
+// two-timestamp estimator — implements one pluggable API: a zero-alloc
+// per-packet Tap plus a Finalize returning a Report with per-flow and
+// per-router estimates and overhead accounting. A scenario spec declares
+// its estimator set and the engine attaches all of them to the same single
+// simulation pass through a shared tap dispatch, scoring every mechanism
+// against shared ground truth in one comparison table.
+
+// MeasureEstimator is one measurement mechanism attached to a segment.
+type MeasureEstimator = measure.Estimator
+
+// MeasureConfig parameterizes estimator construction.
+type MeasureConfig = measure.Config
+
+// MeasureReport is one estimator's deliverable for a finished run.
+type MeasureReport = measure.Report
+
+// MeasureOverhead accounts a mechanism's cost: injected wire bytes vs
+// sampled collection bytes.
+type MeasureOverhead = measure.Overhead
+
+// MeasureTruth is the harness-owned ground-truth table estimators are
+// scored against.
+type MeasureTruth = measure.Truth
+
+// MeasureDispatch is the shared per-packet tap fan-out.
+type MeasureDispatch = measure.Dispatch
+
+// EstimatorComparison is one row of the estimator comparison table.
+type EstimatorComparison = measure.Comparison
+
+// EstimatorNames returns the registered estimator names, "rli" first.
+func EstimatorNames() []string { return measure.Names() }
+
+// EstimatorRegistered reports whether name is a registered estimator.
+func EstimatorRegistered(name string) bool { return measure.Registered(name) }
+
+// ParseEstimatorList splits and validates a comma-separated estimator
+// list (the CLI -estimators flag format); unknown names fail listing the
+// registered ones.
+func ParseEstimatorList(s string) ([]string, error) { return measure.ParseList(s) }
+
+// NewEstimator builds a registered estimator by name.
+func NewEstimator(name string, cfg MeasureConfig) (MeasureEstimator, error) {
+	return measure.New(name, cfg)
+}
+
+// NewMeasureTruth returns an empty ground-truth table.
+func NewMeasureTruth() *MeasureTruth { return measure.NewTruth() }
+
+// NewMeasureDispatch builds the shared tap for a measured segment.
+func NewMeasureDispatch(truth *MeasureTruth, ests ...MeasureEstimator) *MeasureDispatch {
+	return measure.NewDispatch(truth, ests...)
+}
+
+// CompareEstimators scores reports against truth, one comparison row per
+// report.
+func CompareEstimators(truth *MeasureTruth, reports ...MeasureReport) []EstimatorComparison {
+	return measure.Compare(truth, reports...)
+}
+
+// ReportFromFlowResults builds an RLI-shaped report from per-flow receiver
+// results — for harnesses that own their receiver wiring (RunTandem).
+func ReportFromFlowResults(name, router string, results []FlowResult, overhead MeasureOverhead) MeasureReport {
+	return measure.ReportFromFlowResults(name, router, results, overhead)
+}
+
+// DefaultRefSize is the reference packet frame size in bytes (Ethernet
+// minimum — the per-probe unit of RLI's injected-bytes overhead).
+const DefaultRefSize = core.DefaultRefSize
+
+// RenderEstimatorComparison formats the comparison table.
+func RenderEstimatorComparison(rows []EstimatorComparison) string {
+	return measure.RenderComparisons(rows)
 }
 
 // ---- Scenario engine (declarative network-wide workloads) ----

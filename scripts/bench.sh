@@ -11,9 +11,11 @@
 # BenchmarkSimulatorThroughput, the headline figure metrics from
 # BenchmarkScalars (base utilization, adaptive gap, median relative error
 # for static injection at 93% utilization), collector ingest throughput
-# (BenchmarkIngest in internal/collector), and multi-seed runner scaling
+# (BenchmarkIngest in internal/collector), multi-seed runner scaling
 # (BenchmarkRunnerSweep1 vs BenchmarkRunnerSweep4: an 8-seed sweep at 1 vs
-# 4 workers, with the wall-clock speedup ratio).
+# 4 workers, with the wall-clock speedup ratio), and the estimator layer's
+# shared-tap dispatch overhead (BenchmarkSharedTap in internal/measure:
+# per-packet cost of fanning one stream to the full comparison set).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,7 +33,9 @@ raw_collector=$(go test -run '^$' -bench 'BenchmarkIngest$' \
   -benchmem ./internal/collector 2>&1)
 raw_runner=$(go test -run '^$' -bench 'BenchmarkRunnerSweep[14]$' \
   -benchtime 3x . 2>&1)
-raw=$(printf '%s\n%s\n%s\n' "$raw" "$raw_collector" "$raw_runner")
+raw_measure=$(go test -run '^$' -bench 'BenchmarkSharedTap$' \
+  -benchmem ./internal/measure 2>&1)
+raw=$(printf '%s\n%s\n%s\n%s\n' "$raw" "$raw_collector" "$raw_runner" "$raw_measure")
 
 echo "$raw" | grep -E '^Benchmark' >&2
 
@@ -69,10 +73,18 @@ echo "$raw" | awk -v bench="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
       if ($(i + 1) == "medianRelErrCI95") sweepci = $i
     }
   }
+  /^BenchmarkSharedTap/ {
+    for (i = 1; i < NF; i++) {
+      if ($(i + 1) == "pkts/s") tap = $i
+      if ($(i + 1) == "ns/op") tapns = $i
+      if ($(i + 1) == "allocs/op") tapallocs = $i
+    }
+  }
   END {
     if (pkts == "") { print "bench.sh: no throughput result parsed" > "/dev/stderr"; exit 1 }
     if (ingest == "") { print "bench.sh: no collector ingest result parsed" > "/dev/stderr"; exit 1 }
     if (sweep1 == "" || sweep4 == "") { print "bench.sh: no runner scaling result parsed" > "/dev/stderr"; exit 1 }
+    if (tap == "") { print "bench.sh: no shared-tap result parsed" > "/dev/stderr"; exit 1 }
     printf "{\n"
     printf "  \"bench\": %d,\n", bench
     printf "  \"date\": \"%s\",\n", date
@@ -88,6 +100,11 @@ echo "$raw" | awk -v bench="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     printf "  \"collector_ingest\": {\n"
     printf "    \"samples_per_s\": %s,\n", ingest
     printf "    \"ns_per_batch\": %s\n", ingestns
+    printf "  },\n"
+    printf "  \"shared_tap\": {\n"
+    printf "    \"pkts_per_s\": %s,\n", tap
+    printf "    \"ns_per_op\": %s,\n", tapns
+    printf "    \"allocs_per_op\": %s\n", tapallocs
     printf "  },\n"
     printf "  \"runner_scaling\": {\n"
     printf "    \"sweep_seeds\": 8,\n"

@@ -32,9 +32,18 @@ done
 max_drop_pct=25
 
 # pkts_from_json extracts simulator_throughput.pkts_per_s from a bench.sh
-# JSON (no jq dependency).
+# JSON (no jq dependency; the simulator section is the file's first
+# pkts_per_s).
 pkts_from_json() {
   awk '/"pkts_per_s"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2; exit }' "$1"
+}
+
+# tap_from_json extracts shared_tap.pkts_per_s (the estimator layer's
+# shared dispatch throughput). Empty when the baseline predates the
+# estimator layer.
+tap_from_json() {
+  awk '/"shared_tap"/ { intap = 1 }
+       intap && /"pkts_per_s"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2; exit }' "$1"
 }
 
 base_file=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)
@@ -48,8 +57,15 @@ if [ -z "$base" ]; then
   exit 2
 fi
 
+base_tap=$(tap_from_json "$base_file")
+
 if [ -n "$fresh_file" ]; then
   fresh=$(pkts_from_json "$fresh_file")
+  fresh_tap=$(tap_from_json "$fresh_file")
+  if [ -n "$base_tap" ] && [ -z "$fresh_tap" ]; then
+    echo "bench_check: baseline $base_file has shared_tap but $fresh_file does not; refusing to skip the gate" >&2
+    exit 2
+  fi
   src="$fresh_file"
 else
   echo "bench_check: measuring simulator throughput (3 iterations)..." >&2
@@ -58,6 +74,19 @@ else
   fresh=$(echo "$raw" | awk '/^BenchmarkSimulatorThroughput/ {
     for (i = 1; i < NF; i++) if ($(i + 1) == "pkts/s") print $i
   }' | tail -1)
+  fresh_tap=""
+  if [ -n "$base_tap" ]; then
+    echo "bench_check: measuring shared-tap dispatch throughput..." >&2
+    raw_tap=$(go test -run '^$' -bench 'BenchmarkSharedTap$' ./internal/measure 2>&1)
+    echo "$raw_tap" | grep -E '^Benchmark' >&2 || true
+    fresh_tap=$(echo "$raw_tap" | awk '/^BenchmarkSharedTap/ {
+      for (i = 1; i < NF; i++) if ($(i + 1) == "pkts/s") print $i
+    }' | tail -1)
+    if [ -z "$fresh_tap" ]; then
+      echo "bench_check: no shared-tap number parsed from local bench" >&2
+      exit 2
+    fi
+  fi
   src="local bench"
 fi
 if [ -z "$fresh" ]; then
@@ -65,20 +94,33 @@ if [ -z "$fresh" ]; then
   exit 2
 fi
 
-awk -v fresh="$fresh" -v base="$base" -v drop="$max_drop_pct" \
-    -v basefile="$base_file" -v force="$force" 'BEGIN {
-  floor = base * (100 - drop) / 100
-  ratio = base > 0 ? 100 * fresh / base : 0
-  printf "bench_check: fresh %.0f pkts/s vs baseline %.0f pkts/s (%s) = %.1f%%\n",
-    fresh, base, basefile, ratio
-  if (fresh < floor) {
-    printf "bench_check: REGRESSION: below the %d%%-drop floor (%.0f pkts/s)\n", drop, floor
-    if (force == "1") {
-      print "bench_check: override in effect (-f / BENCH_CHECK_FORCE=1); not failing"
-      exit 0
+# compare <label> <fresh> <base>: prints the ratio, returns 1 on a
+# regression past the floor (unless forced).
+compare() {
+  awk -v label="$1" -v fresh="$2" -v base="$3" -v drop="$max_drop_pct" \
+      -v basefile="$base_file" -v force="$force" 'BEGIN {
+    floor = base * (100 - drop) / 100
+    ratio = base > 0 ? 100 * fresh / base : 0
+    printf "bench_check: %s fresh %.0f pkts/s vs baseline %.0f pkts/s (%s) = %.1f%%\n",
+      label, fresh, base, basefile, ratio
+    if (fresh < floor) {
+      printf "bench_check: REGRESSION: %s below the %d%%-drop floor (%.0f pkts/s)\n", label, drop, floor
+      if (force == "1") {
+        print "bench_check: override in effect (-f / BENCH_CHECK_FORCE=1); not failing"
+        exit 0
+      }
+      print "bench_check: if intentional, commit a new BENCH_<N>.json (scripts/bench.sh) or rerun with -f"
+      exit 1
     }
-    print "bench_check: if intentional, commit a new BENCH_<N>.json (scripts/bench.sh) or rerun with -f"
-    exit 1
-  }
-  print "bench_check: ok"
-}'
+  }'
+}
+
+status=0
+compare "simulator" "$fresh" "$base" || status=1
+if [ -n "$base_tap" ] && [ -n "$fresh_tap" ]; then
+  compare "shared-tap" "$fresh_tap" "$base_tap" || status=1
+fi
+if [ "$status" -eq 0 ]; then
+  echo "bench_check: ok"
+fi
+exit "$status"
