@@ -1,0 +1,289 @@
+// Command loadgen soak-tests a running rlird: it captures a scenario's
+// export stream (every per-packet latency sample and NetFlow record the
+// scenario's instruments produced) and replays it as collector wire frames
+// over N concurrent connections at a configurable rate — line rate by
+// default.
+//
+// Flows are partitioned across connections by flow hash with per-flow order
+// preserved, the collector plane's determinism contract, so a replayed run
+// aggregates bit-identically to the batch engine no matter how connections
+// interleave. With -duration the capture loops until the wall clock
+// expires; otherwise it is replayed exactly once (the equivalence mode:
+// the service's /flows table then matches the scenario's own fleet table).
+//
+// Usage:
+//
+//	loadgen -scenario baseline-tandem -addr 127.0.0.1:7171 -conns 4
+//	loadgen -scenario incast -unix /tmp/rlird.sock -rate 2000000 -duration 10s
+//	loadgen -spec my.json -seed 7 -addr 127.0.0.1:7171 -records
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	rlir "github.com/netmeasure/rlir"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// options is the parsed command line.
+type options struct {
+	scenarioName string
+	specFile     string
+	seed         int64
+	addr         string
+	unixPath     string
+	conns        int
+	rate         float64
+	duration     time.Duration
+	batch        int
+	records      bool
+	jsonOut      bool
+}
+
+// parseArgs parses and validates the command line. Split from run so tests
+// can exercise the flag surface without running simulations or sockets.
+func parseArgs(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.StringVar(&o.scenarioName, "scenario", "", "registered scenario to capture and replay (see cmd/scenario -list)")
+	fs.StringVar(&o.specFile, "spec", "", "ad-hoc scenario spec JSON file to capture and replay")
+	fs.Int64Var(&o.seed, "seed", 0, "override the spec seed (0 keeps the spec's)")
+	fs.StringVar(&o.addr, "addr", "", "rlird TCP ingest address")
+	fs.StringVar(&o.unixPath, "unix", "", "rlird Unix-socket ingest path")
+	fs.IntVar(&o.conns, "conns", 4, "concurrent replay connections")
+	fs.Float64Var(&o.rate, "rate", 0, "total samples/s across connections (0 = line rate)")
+	fs.DurationVar(&o.duration, "duration", 0, "loop the capture for this long (0 = one pass)")
+	fs.IntVar(&o.batch, "batch", 512, "samples per wire frame")
+	fs.BoolVar(&o.records, "records", false, "also replay the capture's NetFlow records")
+	fs.BoolVar(&o.jsonOut, "json", false, "print the summary as JSON")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if fs.NArg() > 0 {
+		return o, fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	if (o.scenarioName == "") == (o.specFile == "") {
+		return o, fmt.Errorf("need exactly one of -scenario, -spec")
+	}
+	if o.scenarioName != "" {
+		if _, ok := rlir.ScenarioByName(o.scenarioName); !ok {
+			return o, fmt.Errorf("unknown scenario %q (registered: %s)",
+				o.scenarioName, strings.Join(rlir.ScenarioNames(), ", "))
+		}
+	}
+	if (o.addr == "") == (o.unixPath == "") {
+		return o, fmt.Errorf("need exactly one of -addr, -unix")
+	}
+	if o.conns < 1 {
+		return o, fmt.Errorf("-conns %d < 1", o.conns)
+	}
+	if o.rate < 0 {
+		return o, fmt.Errorf("-rate %v < 0", o.rate)
+	}
+	if o.batch < 1 {
+		return o, fmt.Errorf("-batch %d < 1", o.batch)
+	}
+	return o, nil
+}
+
+// summary is the replay outcome.
+type summary struct {
+	Scenario  string  `json:"scenario"`
+	Seed      int64   `json:"seed"`
+	Conns     int     `json:"conns"`
+	Samples   uint64  `json:"samples_sent"`
+	Records   uint64  `json:"records_sent"`
+	Frames    uint64  `json:"frames_sent"`
+	Passes    uint64  `json:"capture_passes"`
+	Elapsed   float64 `json:"elapsed_s"`
+	PerSecond float64 `json:"samples_per_s"`
+}
+
+func run(args []string, out io.Writer) error {
+	o, err := parseArgs(args)
+	if err != nil {
+		return err
+	}
+
+	var spec rlir.ScenarioSpec
+	if o.scenarioName != "" {
+		sc, _ := rlir.ScenarioByName(o.scenarioName)
+		spec = sc.Spec
+	} else {
+		data, err := os.ReadFile(o.specFile)
+		if err != nil {
+			return err
+		}
+		if spec, err = rlir.DecodeScenarioSpec(data); err != nil {
+			return err
+		}
+	}
+	seed := spec.Seed
+	if o.seed != 0 {
+		seed = o.seed
+	}
+
+	fmt.Fprintf(out, "loadgen: capturing scenario %s (seed %d)...\n", spec.Name, seed)
+	tr, err := rlir.ExportScenarioTrace(spec, seed)
+	if err != nil {
+		return err
+	}
+	if len(tr.Samples) == 0 {
+		return fmt.Errorf("scenario %s produced no samples to replay", spec.Name)
+	}
+	fmt.Fprintf(out, "loadgen: captured %d samples, %d records across %d flows\n",
+		len(tr.Samples), len(tr.Records), len(tr.Result.Fleet))
+
+	sum, err := replay(o, tr)
+	if err != nil {
+		return err
+	}
+	sum.Scenario = spec.Name
+	sum.Seed = seed
+	if o.jsonOut {
+		data, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(data))
+		return nil
+	}
+	fmt.Fprintf(out, "loadgen: sent %d samples (%d records, %d frames, %d passes) over %d conns in %.2fs = %.0f samples/s\n",
+		sum.Samples, sum.Records, sum.Frames, sum.Passes, sum.Conns, sum.Elapsed, sum.PerSecond)
+	return nil
+}
+
+// replay partitions the capture by flow and streams it, looping until the
+// duration expires (or once when unset).
+func replay(o options, tr *rlir.ScenarioTrace) (summary, error) {
+	network, addr := "tcp", o.addr
+	if o.unixPath != "" {
+		network, addr = "unix", o.unixPath
+	}
+
+	// Per-connection partitions: samples by flow hash (order-preserving),
+	// records likewise so a flow's record arrives on the same connection.
+	sampleParts := make([][]rlir.CollectorSample, o.conns)
+	for _, smp := range tr.Samples {
+		i := int(smp.Key.FastHash() % uint64(o.conns))
+		sampleParts[i] = append(sampleParts[i], smp)
+	}
+	recordParts := make([][]rlir.NetFlowRecord, o.conns)
+	if o.records {
+		for _, r := range tr.Records {
+			i := int(r.Key.FastHash() % uint64(o.conns))
+			recordParts[i] = append(recordParts[i], r)
+		}
+	}
+
+	clients := make([]*rlir.ServiceClient, o.conns)
+	for i := range clients {
+		c, err := rlir.DialService(network, addr, o.batch)
+		if err != nil {
+			return summary{}, fmt.Errorf("conn %d: %w", i, err)
+		}
+		clients[i] = c
+		if err := c.Hello(fmt.Sprintf("loadgen-%d", i)); err != nil {
+			return summary{}, fmt.Errorf("conn %d hello: %w", i, err)
+		}
+	}
+
+	deadline := time.Time{}
+	if o.duration > 0 {
+		deadline = time.Now().Add(o.duration)
+	}
+	var samples, records, frames, passes atomic.Uint64
+	errs := make([]error, o.conns)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < o.conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := clients[i]
+			pacer := rlir.NewPacer(o.rate / float64(o.conns))
+			part := sampleParts[i]
+			// With more connections than flows a partition can be empty;
+			// looping it would busy-spin for the whole duration and inflate
+			// the pass counter.
+			if len(part) == 0 && len(recordParts[i]) == 0 {
+				return
+			}
+			for {
+				for off := 0; off < len(part); off += o.batch {
+					end := off + o.batch
+					if end > len(part) {
+						end = len(part)
+					}
+					pacer.Wait(end - off)
+					if err := c.SendSamples(part[off:end]); err != nil {
+						errs[i] = fmt.Errorf("conn %d: %w", i, err)
+						return
+					}
+					samples.Add(uint64(end - off))
+					frames.Add(1)
+					if !deadline.IsZero() && time.Now().After(deadline) {
+						return
+					}
+				}
+				// Records are chunked like samples: one giant frame would
+				// trip the server's per-frame record bound.
+				for off := 0; off < len(recordParts[i]); off += o.batch {
+					end := off + o.batch
+					if end > len(recordParts[i]) {
+						end = len(recordParts[i])
+					}
+					if err := c.SendRecords(recordParts[i][off:end]); err != nil {
+						errs[i] = fmt.Errorf("conn %d: %w", i, err)
+						return
+					}
+					records.Add(uint64(end - off))
+					frames.Add(1)
+				}
+				passes.Add(1)
+				if deadline.IsZero() || time.Now().After(deadline) {
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i := range clients {
+		if err := clients[i].Close(); err != nil && errs[i] == nil {
+			errs[i] = err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return summary{}, err
+		}
+	}
+	s := summary{
+		Conns:   o.conns,
+		Samples: samples.Load(),
+		Records: records.Load(),
+		Frames:  frames.Load(),
+		Passes:  passes.Load(),
+		Elapsed: elapsed.Seconds(),
+	}
+	if elapsed > 0 {
+		s.PerSecond = float64(s.Samples) / elapsed.Seconds()
+	}
+	return s, nil
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	rlir "github.com/netmeasure/rlir"
+)
+
+func TestParseArgs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the expected error; "" = must parse
+	}{
+		{"scenario tcp", []string{"-scenario", "incast", "-addr", "127.0.0.1:7171"}, ""},
+		{"spec unix", []string{"-spec", "x.json", "-unix", "/tmp/r.sock"}, ""},
+		{"rated", []string{"-scenario", "incast", "-addr", "a:1", "-rate", "1e6", "-conns", "8", "-duration", "10s"}, ""},
+		{"records json", []string{"-scenario", "incast", "-addr", "a:1", "-records", "-json"}, ""},
+		{"no source", []string{"-addr", "a:1"}, "exactly one of -scenario, -spec"},
+		{"two sources", []string{"-scenario", "incast", "-spec", "x.json", "-addr", "a:1"}, "exactly one of -scenario, -spec"},
+		{"no target", []string{"-scenario", "incast"}, "exactly one of -addr, -unix"},
+		{"two targets", []string{"-scenario", "incast", "-addr", "a:1", "-unix", "/s"}, "exactly one of -addr, -unix"},
+		{"unknown scenario", []string{"-scenario", "bogus", "-addr", "a:1"}, "unknown scenario"},
+		{"zero conns", []string{"-scenario", "incast", "-addr", "a:1", "-conns", "0"}, "-conns"},
+		{"negative rate", []string{"-scenario", "incast", "-addr", "a:1", "-rate", "-5"}, "-rate"},
+		{"zero batch", []string{"-scenario", "incast", "-addr", "a:1", "-batch", "0"}, "-batch"},
+		{"unknown flag", []string{"-frobnicate"}, "frobnicate"},
+		{"stray args", []string{"-scenario", "incast", "-addr", "a:1", "extra"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseArgs(tc.args)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("parseArgs(%v) = %v, want success", tc.args, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("parseArgs(%v) = %v, want error mentioning %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestUnknownScenarioListsRegistry pins the rejection contract.
+func TestUnknownScenarioListsRegistry(t *testing.T) {
+	_, err := parseArgs([]string{"-scenario", "bogus", "-addr", "a:1"})
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	for _, name := range rlir.ScenarioNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list scenario %q", err, name)
+		}
+	}
+}
+
+// TestReplayAgainstLiveService drives the full path end to end: an
+// in-process service, a real capture, a 4-connection single-pass replay,
+// and the equivalence check — the service's flow table matches the
+// scenario's own fleet table exactly.
+func TestReplayAgainstLiveService(t *testing.T) {
+	s, err := rlir.NewMeasurementService(rlir.ServiceConfig{Listen: "127.0.0.1:0", Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(t.Context())
+
+	var out strings.Builder
+	args := []string{"-scenario", "baseline-tandem", "-addr", s.Addr().String(), "-conns", "4", "-json"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, out.String())
+	}
+	// The summary is the last JSON object in the output.
+	text := out.String()
+	var sum summary
+	if err := json.Unmarshal([]byte(text[strings.Index(text, "{"):]), &sum); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, text)
+	}
+	if sum.Conns != 4 || sum.Samples == 0 || sum.Passes < 4 {
+		t.Fatalf("summary wrong: %+v", sum)
+	}
+
+	// Everything sent must be ingested (sends are synchronous writes, but
+	// the service's reads drain asynchronously).
+	deadlineWait(t, s, sum.Samples)
+	sc, _ := rlir.ScenarioByName("baseline-tandem")
+	tr, err := rlir.ExportScenarioTrace(sc.Spec, sc.Spec.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if len(snap) != len(tr.Result.Fleet) {
+		t.Fatalf("service has %d flows, batch engine %d", len(snap), len(tr.Result.Fleet))
+	}
+	for i := range snap {
+		a, b := snap[i], tr.Result.Fleet[i]
+		if a.Key != b.Key || a.Est != b.Est || a.True != b.True {
+			t.Fatalf("flow %d diverged after replay:\nservice %+v\nbatch   %+v", i, a, b)
+		}
+	}
+}
+
+func deadlineWait(t *testing.T, s *rlir.MeasurementService, want uint64) {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		if s.Collector().SamplesIngested() >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("ingested %d of %d samples", s.Collector().SamplesIngested(), want)
+}

@@ -29,9 +29,10 @@
 //
 // # Layout
 //
-// This root package is the stable public API: thin, documented re-exports
-// of the implementation packages under internal/. Start with Quickstart in
-// the examples directory, or:
+// This root package (rlir.go) is the stable public API: thin, documented
+// re-exports of the implementation packages under internal/. Start with
+// README.md for the repository tour and runnable quickstarts, the examples
+// directory for complete programs, or:
 //
 //	res := rlir.RunTandem(rlir.TandemConfig{
 //	    Scale:      rlir.DefaultScale(),
@@ -41,8 +42,29 @@
 //	})
 //	fmt.Println(res.Summary)
 //
-// The experiment harnesses Fig4a, Fig4b, Fig4c, Fig5, RunScalars,
-// AblationDemux, AblationEstimators, AblationClocks and RunBaselines
-// regenerate every figure and table of the paper's evaluation; see
-// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+// The API groups in rlir.go, in reading order:
+//
+//   - Packet and flow identity (FlowKey, Addr, Prefix) and injection
+//     schemes (Static, Adaptive) — the paper's §3.2 mechanism surface.
+//   - Experiment harnesses (RunTandem, RunFatTree, RunLocalization, the
+//     Fig4*/Fig5/Scalars/Ablation* reproductions) and their Multi* seed
+//     sweeps — every figure and table of §4; EXPERIMENTS.md records the
+//     paper-vs-measured comparison.
+//   - The unified estimator layer (MeasureEstimator, EstimatorNames,
+//     CompareEstimators): every measurement mechanism — RLI, LDA, NetFlow
+//     sampling, Multiflow — on one simulation pass, scored against shared
+//     ground truth.
+//   - The scenario engine (ScenarioSpec, Scenarios, RunScenario): named
+//     network-wide workload/fault scenarios with registry invariants;
+//     cmd/scenario is the CLI.
+//   - The measurement service (MeasurementService, ServiceClient,
+//     ExportScenarioTrace): the long-lived streaming deployment — routers
+//     stream wire frames into cmd/rlird, cmd/loadgen replays captured
+//     scenario traffic at line rate, operators query HTTP endpoints.
+//
+// Command front-ends: cmd/rlirsim (single runs), cmd/experiments (figures
+// and ablations), cmd/scenario (the scenario registry), cmd/tracegen
+// (synthetic traces), cmd/placement (§3.1 deployment arithmetic),
+// cmd/rlird + cmd/loadgen (the streaming service and its load generator).
+// DESIGN.md explains the architecture layer by layer.
 package rlir

@@ -1,7 +1,9 @@
 package rlir_test
 
 import (
+	"context"
 	"fmt"
+	"net"
 	"time"
 
 	rlir "github.com/netmeasure/rlir"
@@ -69,6 +71,71 @@ func ExamplePlacementTable() {
 		r.PairOfInterfaces, r.AllToRPairs, r.FullDeployment)
 	// Output:
 	// k=4: 6 instances for one interface pair, 20 for all ToR pairs, 240 for full deployment
+}
+
+// ExampleEstimatorNames looks up the measurement-mechanism registry: the
+// comparison set every scenario can attach to one simulation pass, with
+// "rli" (the mechanism under test) always first.
+func ExampleEstimatorNames() {
+	for _, name := range rlir.EstimatorNames() {
+		fmt.Println(name, rlir.EstimatorRegistered(name))
+	}
+	_, err := rlir.NewEstimator("bogus", rlir.MeasureConfig{})
+	fmt.Println(err != nil)
+	// Output:
+	// rli true
+	// lda true
+	// multiflow true
+	// netflow-sample true
+	// true
+}
+
+// ExampleScenarioByName looks up the scenario registry — every entry pairs
+// a runnable spec with the invariant CI enforces on it.
+func ExampleScenarioByName() {
+	sc, ok := rlir.ScenarioByName("degraded-link")
+	fmt.Println(ok, sc.Spec.Topology.Kind, len(sc.Spec.Faults))
+	_, ok = rlir.ScenarioByName("nonexistent")
+	fmt.Println(ok)
+	// Output:
+	// true fattree 1
+	// false
+}
+
+// ExampleServiceClient runs the full streaming-service client path in
+// process: a measurement service, a client streaming samples over a pipe
+// (standing in for the TCP/Unix socket cmd/rlird listens on), and the
+// aggregate the service answers queries from.
+func ExampleServiceClient() {
+	svc, err := rlir.NewMeasurementService(rlir.ServiceConfig{Shards: 2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	server, client := net.Pipe()
+	svc.ServeConn(server)
+
+	c := rlir.NewServiceClient(client, 0)
+	c.Hello("tor3.0") // declare this connection's router identity
+	key := rlir.FlowKey{
+		Src: rlir.MustParseAddr("10.0.0.1"), Dst: rlir.MustParseAddr("10.3.0.1"),
+		SrcPort: 4242, DstPort: 443, Proto: 6,
+	}
+	for i := 1; i <= 100; i++ {
+		// In a deployment this hangs off the receiver's OnEstimate hook.
+		c.Add(key, time.Duration(i)*time.Microsecond, time.Duration(i)*time.Microsecond)
+	}
+	c.Close()
+
+	for svc.Collector().SamplesIngested() < 100 {
+		time.Sleep(time.Millisecond)
+	}
+	flows := svc.Snapshot()
+	fmt.Printf("%d flow, %d samples, mean %v\n",
+		len(flows), flows[0].Est.N(), time.Duration(flows[0].Est.Mean()))
+	svc.Shutdown(context.Background())
+	// Output:
+	// 1 flow, 100 samples, mean 50.5µs
 }
 
 // ExampleNewTraceGenerator builds the synthetic CAIDA-stand-in workload.

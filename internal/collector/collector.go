@@ -1,25 +1,3 @@
-// Package collector is the concurrent measurement plane: the aggregation
-// tier that a fleet of RLI receivers and NetFlow exporters stream per-flow
-// telemetry into (the operational story of the paper's §3 — YAF/NetFlow
-// export feeding an operator's collection infrastructure).
-//
-// A Collector hashes flows onto N shards. Each shard is owned by exactly one
-// goroutine draining a bounded channel of batches, so per-flow aggregation
-// needs no locks: all samples of one flow land on one shard, in ingest
-// order. That gives the plane its determinism contract:
-//
-//   - Per-flow aggregates are bit-for-bit identical to single-threaded
-//     sequential aggregation of the same stream, for any shard count, as
-//     long as each flow's samples are ingested by one producer (they never
-//     reorder within a shard).
-//   - Cross-flow output order is canonicalized by sorting snapshots on
-//     packet.FlowKey.Less.
-//   - Merging snapshots from independent collectors (e.g. per-run planes in
-//     a multi-seed sweep) with Merge is associative over disjoint flows and
-//     uses the stats package's mergeable accumulators otherwise.
-//
-// Ingestion accepts native batches ([]Sample, []netflow.Record) or encoded
-// wire frames (wire.go), the compact binary export format.
 package collector
 
 import (
@@ -118,14 +96,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// req is one message to a shard: a data batch, or a snapshot request when
-// snap is non-nil. Requests are processed strictly in channel order, which
-// is what makes Snapshot a consistent cut of everything the caller ingested
-// before it.
+// req is one message to a shard: a data batch, a snapshot request when
+// snap is non-nil, or a flow-count request when count is non-nil. Requests
+// are processed strictly in channel order, which is what makes Snapshot
+// and Flows consistent cuts of everything the caller ingested before them.
 type req struct {
 	samples []Sample
 	records []netflow.Record
 	snap    chan []FlowAgg
+	count   chan int
 }
 
 // shard owns one partition of the flow space. Only its goroutine touches
@@ -141,6 +120,8 @@ func (s *shard) run(wg *sync.WaitGroup) {
 		switch {
 		case q.snap != nil:
 			q.snap <- s.snapshot()
+		case q.count != nil:
+			q.count <- len(s.flows)
 		default:
 			for _, smp := range q.samples {
 				s.agg(smp.Key).addSample(smp)
@@ -219,7 +200,6 @@ func (c *Collector) Ingest(batch []Sample) {
 	if c.closed {
 		panic("collector: Ingest after Close")
 	}
-	c.samples.Add(uint64(len(batch)))
 	parts := make([][]Sample, len(c.shards))
 	for _, s := range batch {
 		i := c.shardOf(s.Key)
@@ -230,6 +210,10 @@ func (c *Collector) Ingest(batch []Sample) {
 			c.shards[i].ch <- req{samples: p}
 		}
 	}
+	// Counted only after every shard send: a goroutine that observes
+	// SamplesIngested() == N may Snapshot and see all N samples, because its
+	// snap requests queue behind the already-sent batches.
+	c.samples.Add(uint64(len(batch)))
 }
 
 // IngestRecords routes one batch of NetFlow records to the owning shards,
@@ -243,7 +227,6 @@ func (c *Collector) IngestRecords(recs []netflow.Record) {
 	if c.closed {
 		panic("collector: IngestRecords after Close")
 	}
-	c.records.Add(uint64(len(recs)))
 	parts := make([][]netflow.Record, len(c.shards))
 	for _, r := range recs {
 		i := c.shardOf(r.Key)
@@ -254,6 +237,8 @@ func (c *Collector) IngestRecords(recs []netflow.Record) {
 			c.shards[i].ch <- req{records: p}
 		}
 	}
+	// After the sends, for the same observe-then-Snapshot reason as Ingest.
+	c.records.Add(uint64(len(recs)))
 }
 
 // IngestFrame decodes one wire frame (samples or records) and ingests it.
@@ -269,8 +254,11 @@ func (c *Collector) IngestFrame(src []byte) (int, error) {
 	return n, nil
 }
 
-// SamplesIngested returns the number of samples accepted by Ingest calls so
-// far (enqueued; a Snapshot from the same goroutine observes all of them).
+// SamplesIngested returns the number of samples enqueued to shards by
+// Ingest calls so far. The count is advanced only after the batch's shard
+// sends complete, so ANY goroutine that observes SamplesIngested() == N and
+// then Snapshots sees at least those N samples — the wait-then-query
+// pattern a streaming consumer uses.
 func (c *Collector) SamplesIngested() uint64 { return c.samples.Load() }
 
 // RecordsIngested returns the number of NetFlow records accepted so far.
@@ -306,20 +294,29 @@ func (c *Collector) Snapshot() []FlowAgg {
 	return out
 }
 
-// Flows returns the number of distinct flows aggregated so far.
+// Flows returns the number of distinct flows aggregated so far: a
+// consistent cut, answered by count requests that queue behind pending
+// batches — O(shards), never a table copy, so periodic health/metrics
+// scrapes stay cheap at millions of flows.
 func (c *Collector) Flows() int {
 	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
 	if c.closed {
-		defer c.mu.RUnlock()
-		n := 0
 		for _, s := range c.shards {
 			n += len(s.flows)
 		}
 		return n
 	}
-	c.mu.RUnlock()
-	// Count via snapshot requests so the answer is a consistent cut.
-	return len(c.Snapshot())
+	replies := make([]chan int, len(c.shards))
+	for i, s := range c.shards {
+		replies[i] = make(chan int, 1)
+		s.ch <- req{count: replies[i]}
+	}
+	for _, ch := range replies {
+		n += <-ch
+	}
+	return n
 }
 
 // AggregateHistogram merges every flow's estimate histogram into one

@@ -1,0 +1,35 @@
+// Package collector is the concurrent measurement plane: the aggregation
+// tier that a fleet of RLI receivers and NetFlow exporters stream per-flow
+// telemetry into (the operational story of the paper's §3 — YAF/NetFlow
+// export feeding an operator's collection infrastructure).
+//
+// A Collector hashes flows onto N shards. Each shard is owned by exactly one
+// goroutine draining a bounded channel of batches, so per-flow aggregation
+// needs no locks: all samples of one flow land on one shard, in ingest
+// order. That gives the plane its determinism contract:
+//
+//   - Per-flow aggregates are bit-for-bit identical to single-threaded
+//     sequential aggregation of the same stream, for any shard count, as
+//     long as each flow's samples are ingested by one producer (they never
+//     reorder within a shard).
+//   - Cross-flow output order is canonicalized by sorting snapshots on
+//     packet.FlowKey.Less.
+//   - Merging snapshots from independent collectors (e.g. per-run planes in
+//     a multi-seed sweep) with Merge is associative over disjoint flows and
+//     uses the stats package's mergeable accumulators otherwise.
+//
+// # Wire format
+//
+// Ingestion accepts native batches ([]Sample, []netflow.Record) or the
+// compact binary export format (wire.go): length-delimited frames carrying
+// sample batches, NetFlow-record batches, or an exporter-identity hello.
+// DecodeFrame consumes frames from an in-memory buffer; FrameReader
+// (stream.go) consumes them from a socket, validating each header's record
+// count against a bound before committing memory — the ingest front-end of
+// the long-lived service in internal/service.
+//
+// Consumers: internal/runner batches per-run estimates into a shared
+// collector for multi-seed sweeps; internal/scenario streams every engine
+// run's estimates through a collector; internal/service keeps one alive
+// behind TCP/Unix listeners and serves its snapshots over HTTP (cmd/rlird).
+package collector

@@ -1,0 +1,95 @@
+package collector
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// DefaultMaxFrameRecords bounds how many records one streamed frame may
+// carry. 64k samples is ~1.9 MB of body — far beyond any sane export batch
+// — so the bound only ever trips on corrupt or hostile counts, before the
+// reader commits memory to them.
+const DefaultMaxFrameRecords = 1 << 16
+
+// FrameReader decodes length-delimited wire frames from a byte stream — the
+// long-lived service's ingest front-end, where frames arrive over a socket
+// and the buffer-oriented DecodeFrame cannot be applied before the frame's
+// length is known. It validates each header before reading the body, so a
+// corrupt count fails with ErrOversizedFrame instead of a huge allocation,
+// and reuses one internal buffer across frames.
+type FrameReader struct {
+	r io.Reader
+	// maxRecords bounds the per-frame record count.
+	maxRecords uint32
+	buf        []byte
+}
+
+// NewFrameReader wraps r. maxRecords <= 0 selects DefaultMaxFrameRecords.
+func NewFrameReader(r io.Reader, maxRecords int) *FrameReader {
+	if maxRecords <= 0 {
+		maxRecords = DefaultMaxFrameRecords
+	}
+	return &FrameReader{r: r, maxRecords: uint32(maxRecords)}
+}
+
+// bodyLen returns the body length implied by a validated header.
+func bodyLen(msgType byte, count uint32) (int, error) {
+	switch msgType {
+	case MsgSamples:
+		return int(count) * SampleWireSize, nil
+	case MsgRecords:
+		return int(count) * RecordWireSize, nil
+	case MsgHello:
+		if count > MaxHelloLen {
+			return 0, fmt.Errorf("%w: hello name %d bytes, max %d", ErrOversizedFrame, count, MaxHelloLen)
+		}
+		return int(count), nil
+	default:
+		return 0, fmt.Errorf("%w: %d", ErrBadMessageType, msgType)
+	}
+}
+
+// Next reads and decodes one frame. It returns io.EOF on a clean end of
+// stream (between frames) and ErrTruncatedFrame when the stream ends inside
+// a frame. The returned Frame's slices are freshly allocated and remain
+// valid across calls; the internal read buffer is reused.
+func (fr *FrameReader) Next() (Frame, error) {
+	var hdr [FrameHeaderSize]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		// The underlying error stays in the chain: a consumer must be able
+		// to tell a force-closed socket (net.ErrClosed) from wire
+		// corruption, both of which surface here.
+		return Frame{}, fmt.Errorf("%w: stream ended inside a frame header: %w", ErrTruncatedFrame, err)
+	}
+	if binary.BigEndian.Uint16(hdr[0:2]) != frameMagic {
+		return Frame{}, ErrBadFrameMagic
+	}
+	if hdr[2] != frameVersion {
+		return Frame{}, ErrBadVersion
+	}
+	msgType := hdr[3]
+	count := binary.BigEndian.Uint32(hdr[4:8])
+	if (msgType == MsgSamples || msgType == MsgRecords) && count > fr.maxRecords {
+		return Frame{}, fmt.Errorf("%w: %d records, bound %d", ErrOversizedFrame, count, fr.maxRecords)
+	}
+	n, err := bodyLen(msgType, count)
+	if err != nil {
+		return Frame{}, err
+	}
+	need := FrameHeaderSize + n
+	if cap(fr.buf) < need {
+		fr.buf = make([]byte, need)
+	}
+	frame := fr.buf[:need]
+	copy(frame, hdr[:])
+	if got, err := io.ReadFull(fr.r, frame[FrameHeaderSize:]); err != nil {
+		return Frame{}, fmt.Errorf("%w: stream ended %d bytes into a %d-byte body: %w",
+			ErrTruncatedFrame, got, n, err)
+	}
+	f, _, err := DecodeFrame(frame)
+	return f, err
+}

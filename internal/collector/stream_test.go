@@ -1,0 +1,198 @@
+package collector
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/netflow"
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/simtime"
+)
+
+func testSamples(n int) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		out[i] = Sample{
+			Key: packet.FlowKey{
+				Src: packet.Addr(0x0a000001 + i), Dst: packet.Addr(0x0a000100 + i),
+				SrcPort: uint16(1000 + i), DstPort: 80, Proto: 6,
+			},
+			Est:  time.Duration(i+1) * time.Microsecond,
+			True: time.Duration(i+2) * time.Microsecond,
+		}
+	}
+	return out
+}
+
+func TestHelloFrameRoundTrip(t *testing.T) {
+	buf := AppendHello(nil, "tor3.0")
+	f, n, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if f.Type != MsgHello || f.Hello != "tor3.0" {
+		t.Fatalf("got type=%d hello=%q", f.Type, f.Hello)
+	}
+}
+
+func TestHelloFrameTruncatesLongName(t *testing.T) {
+	long := strings.Repeat("x", MaxHelloLen+40)
+	buf := AppendHello(nil, long)
+	f, _, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if len(f.Hello) != MaxHelloLen {
+		t.Fatalf("hello length %d, want truncation to %d", len(f.Hello), MaxHelloLen)
+	}
+}
+
+// TestFrameReaderStream decodes a heterogeneous frame sequence from one
+// byte stream, the service's ingest path.
+func TestFrameReaderStream(t *testing.T) {
+	samples := testSamples(5)
+	recs := []netflow.Record{{
+		Key:     samples[0].Key,
+		First:   simtime.FromDuration(time.Millisecond),
+		Last:    simtime.FromDuration(2 * time.Millisecond),
+		Packets: 7, Bytes: 7000,
+	}}
+	var wire []byte
+	wire = AppendHello(wire, "core0.1")
+	wire = AppendSamples(wire, samples)
+	wire = AppendRecords(wire, recs)
+	wire = AppendSamples(wire, nil) // empty frame is valid
+
+	fr := NewFrameReader(bytes.NewReader(wire), 0)
+	f, err := fr.Next()
+	if err != nil || f.Type != MsgHello || f.Hello != "core0.1" {
+		t.Fatalf("frame 1: %+v, %v", f, err)
+	}
+	f, err = fr.Next()
+	if err != nil || len(f.Samples) != 5 {
+		t.Fatalf("frame 2: %+v, %v", f, err)
+	}
+	if f.Samples[3] != samples[3] {
+		t.Fatalf("sample round trip: got %+v want %+v", f.Samples[3], samples[3])
+	}
+	f, err = fr.Next()
+	if err != nil || len(f.Records) != 1 || f.Records[0] != recs[0] {
+		t.Fatalf("frame 3: %+v, %v", f, err)
+	}
+	f, err = fr.Next()
+	if err != nil || f.Type != MsgSamples || len(f.Samples) != 0 {
+		t.Fatalf("frame 4: %+v, %v", f, err)
+	}
+	if _, err = fr.Next(); err != io.EOF {
+		t.Fatalf("end of stream: %v, want io.EOF", err)
+	}
+}
+
+// TestFrameReaderTruncated covers both truncation sites: inside a header
+// and inside a body.
+func TestFrameReaderTruncated(t *testing.T) {
+	full := AppendSamples(nil, testSamples(3))
+	for _, cut := range []int{1, FrameHeaderSize - 1, FrameHeaderSize + 1, len(full) - 1} {
+		fr := NewFrameReader(bytes.NewReader(full[:cut]), 0)
+		if _, err := fr.Next(); !errors.Is(err, ErrTruncatedFrame) {
+			t.Errorf("cut at %d: err %v, want ErrTruncatedFrame", cut, err)
+		}
+	}
+}
+
+// errReader fails with a fixed error after serving its prefix.
+type errReader struct {
+	data []byte
+	err  error
+}
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// TestFrameReaderPreservesReadError pins that the underlying transport
+// error stays in the chain alongside ErrTruncatedFrame — a consumer must
+// be able to tell a force-closed socket from wire corruption.
+func TestFrameReaderPreservesReadError(t *testing.T) {
+	sentinel := errors.New("socket force-closed")
+	full := AppendSamples(nil, testSamples(2))
+	for _, cut := range []int{3, FrameHeaderSize + 5} {
+		fr := NewFrameReader(&errReader{data: full[:cut], err: sentinel}, 0)
+		_, err := fr.Next()
+		if !errors.Is(err, ErrTruncatedFrame) || !errors.Is(err, sentinel) {
+			t.Errorf("cut at %d: err %v must wrap both ErrTruncatedFrame and the read error", cut, err)
+		}
+	}
+}
+
+func TestFrameReaderUnknownType(t *testing.T) {
+	buf := AppendSamples(nil, nil)
+	buf[3] = 99
+	fr := NewFrameReader(bytes.NewReader(buf), 0)
+	if _, err := fr.Next(); !errors.Is(err, ErrBadMessageType) {
+		t.Fatalf("err %v, want ErrBadMessageType", err)
+	}
+	// The buffer-oriented decoder must agree.
+	if _, _, err := DecodeFrame(buf); !errors.Is(err, ErrBadMessageType) {
+		t.Fatalf("DecodeFrame err %v, want ErrBadMessageType", err)
+	}
+}
+
+// TestFrameReaderOversized proves a hostile count fails before the reader
+// commits memory: the stream carries only a header, but the count claims
+// a body far past the bound.
+func TestFrameReaderOversized(t *testing.T) {
+	hdr := AppendSamples(nil, nil)[:FrameHeaderSize]
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(DefaultMaxFrameRecords+1))
+	fr := NewFrameReader(bytes.NewReader(hdr), 0)
+	if _, err := fr.Next(); !errors.Is(err, ErrOversizedFrame) {
+		t.Fatalf("err %v, want ErrOversizedFrame", err)
+	}
+
+	// A tighter bound applies to records frames too.
+	recFrame := AppendRecords(nil, make([]netflow.Record, 9))
+	fr = NewFrameReader(bytes.NewReader(recFrame), 8)
+	if _, err := fr.Next(); !errors.Is(err, ErrOversizedFrame) {
+		t.Fatalf("records err %v, want ErrOversizedFrame", err)
+	}
+
+	// Oversized hello: a count past MaxHelloLen is rejected by both paths.
+	hello := AppendHello(nil, "x")
+	binary.BigEndian.PutUint32(hello[4:8], MaxHelloLen+1)
+	fr = NewFrameReader(bytes.NewReader(hello), 0)
+	if _, err := fr.Next(); !errors.Is(err, ErrOversizedFrame) {
+		t.Fatalf("hello err %v, want ErrOversizedFrame", err)
+	}
+	if _, _, err := DecodeFrame(hello); !errors.Is(err, ErrOversizedFrame) {
+		t.Fatalf("DecodeFrame hello err %v, want ErrOversizedFrame", err)
+	}
+}
+
+func TestFrameReaderBadMagicAndVersion(t *testing.T) {
+	good := AppendSamples(nil, testSamples(1))
+
+	bad := append([]byte(nil), good...)
+	bad[0] = 0xFF
+	if _, err := NewFrameReader(bytes.NewReader(bad), 0).Next(); !errors.Is(err, ErrBadFrameMagic) {
+		t.Fatalf("magic err %v", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[2] = frameVersion + 1
+	if _, err := NewFrameReader(bytes.NewReader(bad), 0).Next(); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("version err %v", err)
+	}
+}

@@ -18,9 +18,9 @@ import (
 //	offset size field
 //	0      2    magic 0x5246 ("RF", "RLIR Flow")
 //	2      1    version (1)
-//	3      1    message type (1 = samples, 2 = flow records)
+//	3      1    message type (1 = samples, 2 = flow records, 3 = hello)
 //	4      4    record count (big endian)
-//	8      ...  count fixed-size records
+//	8      ...  count fixed-size records (hello: count name bytes)
 //
 // Sample record (SampleWireSize = 29 bytes):
 //
@@ -37,9 +37,11 @@ const (
 	frameVersion = 1
 
 	// MsgSamples frames carry []Sample; MsgRecords frames carry
-	// []netflow.Record.
+	// []netflow.Record; MsgHello frames carry the exporter's name (the
+	// count field holds the name's byte length).
 	MsgSamples = 1
 	MsgRecords = 2
+	MsgHello   = 3
 
 	// FrameHeaderSize is the fixed frame prefix.
 	FrameHeaderSize = 8
@@ -49,15 +51,20 @@ const (
 	SampleWireSize = keyWireSize + 16
 	// RecordWireSize is one encoded netflow.Record.
 	RecordWireSize = keyWireSize + 32
+	// MaxHelloLen bounds a hello frame's exporter name: identities are
+	// human-chosen labels, and the bound keeps the frame reader's worst-case
+	// allocation for untrusted hello counts trivial.
+	MaxHelloLen = 255
 )
 
-// Errors returned by DecodeFrame.
+// Errors returned by DecodeFrame and FrameReader.
 var (
 	ErrShortFrame     = errors.New("collector: frame shorter than header")
 	ErrBadFrameMagic  = errors.New("collector: frame has wrong magic")
 	ErrBadVersion     = errors.New("collector: unsupported frame version")
 	ErrBadMessageType = errors.New("collector: unknown frame message type")
 	ErrTruncatedFrame = errors.New("collector: frame truncated mid-batch")
+	ErrOversizedFrame = errors.New("collector: frame exceeds the reader's record bound")
 )
 
 func appendHeader(dst []byte, msgType byte, count int) []byte {
@@ -121,11 +128,30 @@ func AppendRecords(dst []byte, recs []netflow.Record) []byte {
 	return dst
 }
 
-// Frame is one decoded wire frame; exactly one of Samples/Records is
+// AppendHello appends one MsgHello frame declaring the exporter's name to
+// dst and returns the extended slice. Long-lived export connections send it
+// first so the collecting service can attribute everything that follows to
+// a named router; names longer than MaxHelloLen are truncated.
+func AppendHello(dst []byte, name string) []byte {
+	if len(name) > MaxHelloLen {
+		name = name[:MaxHelloLen]
+	}
+	dst = appendHeader(dst, MsgHello, len(name))
+	return append(dst, name...)
+}
+
+// Frame is one decoded wire frame; exactly one of Samples/Records/Hello is
 // populated (matching the message type).
 type Frame struct {
 	Samples []Sample
 	Records []netflow.Record
+	// Hello is the exporter name carried by a MsgHello frame. An empty name
+	// on the wire is indistinguishable from the field's zero value; use Type
+	// to dispatch.
+	Hello string
+	// Type is the decoded frame's message type (MsgSamples, MsgRecords,
+	// MsgHello).
+	Type byte
 }
 
 // DecodeFrame decodes one frame from the front of src and returns it along
@@ -164,7 +190,7 @@ func DecodeFrame(src []byte) (Frame, int, error) {
 				True: time.Duration(int64(binary.BigEndian.Uint64(rec[keyWireSize+8 : keyWireSize+16]))),
 			}
 		}
-		return Frame{Samples: out}, FrameHeaderSize + need, nil
+		return Frame{Samples: out, Type: MsgSamples}, FrameHeaderSize + need, nil
 	case MsgRecords:
 		if uint64(count32) > uint64(len(body)/RecordWireSize) {
 			return Frame{}, 0, fmt.Errorf("%w: %d records need %d body bytes, have %d",
@@ -183,7 +209,16 @@ func DecodeFrame(src []byte) (Frame, int, error) {
 				Bytes:   binary.BigEndian.Uint64(rec[keyWireSize+24 : keyWireSize+32]),
 			}
 		}
-		return Frame{Records: out}, FrameHeaderSize + need, nil
+		return Frame{Records: out, Type: MsgRecords}, FrameHeaderSize + need, nil
+	case MsgHello:
+		if count32 > MaxHelloLen {
+			return Frame{}, 0, fmt.Errorf("%w: hello name %d bytes, max %d", ErrOversizedFrame, count32, MaxHelloLen)
+		}
+		if int(count32) > len(body) {
+			return Frame{}, 0, fmt.Errorf("%w: hello needs %d body bytes, have %d",
+				ErrTruncatedFrame, count32, len(body))
+		}
+		return Frame{Hello: string(body[:count32]), Type: MsgHello}, FrameHeaderSize + int(count32), nil
 	default:
 		return Frame{}, 0, fmt.Errorf("%w: %d", ErrBadMessageType, msgType)
 	}

@@ -1,0 +1,56 @@
+package measure
+
+import (
+	"math"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/collector"
+	"github.com/netmeasure/rlir/internal/stats"
+)
+
+// CompareFlowAggs scores a collector flow table against the ground truth it
+// carries in-band: every ingested Sample ships the simulator's true delay
+// next to the estimate, so a collector aggregate holds matched per-flow
+// estimate and truth accumulators and a comparison row can be computed from
+// a snapshot alone. This is the streaming counterpart of Compare — it is
+// what a long-lived measurement service answers /comparison from, with no
+// access to the simulation that produced the stream — and it is exact: the
+// same samples folded through the same Welford accumulators yield
+// bit-identical means whether they arrived in one batch or over a socket.
+func CompareFlowAggs(name string, aggs []collector.FlowAgg) Comparison {
+	c := Comparison{
+		Estimator:    name,
+		MedianRelErr: math.NaN(),
+		P99RelErr:    math.NaN(),
+		AggRelErr:    math.NaN(),
+	}
+	var estW, trueW float64
+	errs := make([]float64, 0, len(aggs))
+	for i := range aggs {
+		a := &aggs[i]
+		n := a.Est.N()
+		if n == 0 {
+			continue
+		}
+		c.AggSamples += n
+		estW += a.Est.Mean() * float64(n)
+		trueW += a.True.Mean() * float64(n)
+		if trueMean := a.True.Mean(); trueMean > 0 {
+			c.Flows++
+			c.Samples += n
+			errs = append(errs, stats.RelErr(a.Est.Mean(), trueMean))
+		}
+	}
+	if c.AggSamples > 0 {
+		c.AggMean = time.Duration(estW / float64(c.AggSamples))
+		if trueAgg := trueW / float64(c.AggSamples); trueAgg > 0 {
+			c.AggRelErr = stats.RelErr(estW/float64(c.AggSamples), trueAgg)
+		}
+	}
+	if len(errs) > 0 {
+		cdf := stats.NewCDF(errs)
+		c.MedianRelErr = cdf.Median()
+		c.P99RelErr = cdf.Quantile(0.99)
+	}
+	return c
+}

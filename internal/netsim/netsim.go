@@ -1,18 +1,3 @@
-// Package netsim is a store-and-forward packet network simulator built on
-// the discrete-event engine.
-//
-// It models what the paper's in-house trace-driven simulator models (§4.1,
-// Figure 3): packets experience per-switch processing delay, FIFO drop-tail
-// output queueing bounded in bytes, wire serialization at the link rate, and
-// link propagation. Measurement instruments attach through taps — callbacks
-// at transmit-start (egress hardware timestamping semantics), at node
-// ingress, at local delivery, and at drop — and may inject packets into
-// ports, which is how RLI senders emit reference packets.
-//
-// The simulator is deliberately single-threaded and allocation-lean: in a
-// latency study the simulator must never perturb the quantity under
-// measurement, so all instrument effects (added load from reference packets)
-// are explicit packets, never hidden costs.
 package netsim
 
 import (

@@ -1,0 +1,58 @@
+package runner
+
+import (
+	"time"
+)
+
+// Pacer is a wall-clock token bucket: Wait(n) admits n units per call at a
+// sustained target rate, sleeping when the caller runs ahead. It is what
+// cmd/loadgen paces frame batches with when replaying a captured scenario
+// trace against a live service at a configured samples/s — the wall-clock
+// counterpart of the simulation-time pacing everything else in this package
+// does. A Pacer is single-goroutine state; give each replaying connection
+// its own (with its share of the target rate).
+type Pacer struct {
+	perUnit time.Duration
+	// next is the earliest instant the next unit may be admitted.
+	next time.Time
+	// slack bounds how far behind schedule the bucket may fall before the
+	// deficit is forgiven; without it a long stall would be followed by an
+	// unbounded catch-up burst.
+	slack time.Duration
+	now   func() time.Time
+	sleep func(time.Duration)
+}
+
+// NewPacer creates a pacer admitting rate units/second. rate <= 0 returns a
+// nil pacer, and a nil *Pacer admits everything immediately — "unlimited"
+// needs no call-site branching.
+func NewPacer(rate float64) *Pacer {
+	if rate <= 0 {
+		return nil
+	}
+	return &Pacer{
+		perUnit: time.Duration(float64(time.Second) / rate),
+		slack:   100 * time.Millisecond,
+		now:     time.Now,
+		sleep:   time.Sleep,
+	}
+}
+
+// Wait blocks until n more units may be sent at the configured rate.
+func (p *Pacer) Wait(n int) {
+	if p == nil || n <= 0 {
+		return
+	}
+	now := p.now()
+	if p.next.IsZero() {
+		// First admission starts the schedule at now — no free startup
+		// burst; slack is forgiveness for stalls, not an opening credit.
+		p.next = now
+	} else if now.Sub(p.next) > p.slack {
+		p.next = now.Add(-p.slack)
+	}
+	if d := p.next.Sub(now); d > 0 {
+		p.sleep(d)
+	}
+	p.next = p.next.Add(time.Duration(n) * p.perUnit)
+}

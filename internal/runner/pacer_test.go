@@ -1,0 +1,58 @@
+package runner
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Pacer deterministically: sleeps advance virtual time.
+type fakeClock struct {
+	t     time.Time
+	slept time.Duration
+}
+
+func (f *fakeClock) now() time.Time        { return f.t }
+func (f *fakeClock) sleep(d time.Duration) { f.t = f.t.Add(d); f.slept += d }
+
+func testPacer(rate float64) (*Pacer, *fakeClock) {
+	p := NewPacer(rate)
+	fc := &fakeClock{t: time.Unix(0, 0)}
+	p.now = fc.now
+	p.sleep = fc.sleep
+	return p, fc
+}
+
+func TestPacerSustainedRate(t *testing.T) {
+	p, fc := testPacer(1000) // 1ms per unit
+	for i := 0; i < 10; i++ {
+		p.Wait(100) // 100ms of budget per call
+	}
+	// 1000 units at 1000/s = 1s of schedule; the first batch is admitted
+	// against the initial slack, everything else must have slept.
+	if fc.slept < 800*time.Millisecond || fc.slept > time.Second {
+		t.Fatalf("slept %v for 1000 units at 1000/s, want ~0.9s", fc.slept)
+	}
+}
+
+func TestPacerForgivesStalls(t *testing.T) {
+	p, fc := testPacer(1000)
+	p.Wait(50)
+	// The producer stalls far past the schedule; the deficit must be
+	// forgiven instead of admitting an unbounded burst.
+	fc.t = fc.t.Add(10 * time.Second)
+	before := fc.slept
+	p.Wait(1)
+	p.Wait(500) // would be "free" if the 10s deficit were banked
+	p.Wait(1)   // pays the 500-unit schedule from the previous call
+	if burst := fc.slept - before; burst < 300*time.Millisecond {
+		t.Fatalf("slept only %v after a stall; deficit was banked into a burst", burst)
+	}
+}
+
+func TestPacerNilIsUnlimited(t *testing.T) {
+	if p := NewPacer(0); p != nil {
+		t.Fatal("rate 0 should return a nil (unlimited) pacer")
+	}
+	var p *Pacer
+	p.Wait(1 << 20) // must not panic or block
+}

@@ -38,13 +38,19 @@ func Run(spec Spec) (*Result, error) { return RunSeed(spec, spec.Seed) }
 // RunSeed executes one scenario at an explicit seed (multi-seed sweeps
 // derive per-run seeds and call this).
 func RunSeed(spec Spec, seed int64) (*Result, error) {
+	return runSeed(spec, seed, nil)
+}
+
+// runSeed dispatches on topology, optionally capturing the run's export
+// stream (Export passes a capture; normal runs pass nil).
+func runSeed(spec Spec, seed int64, cap *capture) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	if spec.Topology.Kind == TopoTandem {
-		return runTandem(spec, seed)
+		return runTandem(spec, seed, cap)
 	}
-	return runFatTree(spec, seed)
+	return runFatTree(spec, seed, cap)
 }
 
 // scheme builds the injection scheme from the deployment spec.
@@ -166,7 +172,7 @@ type routerRx struct {
 }
 
 // runFatTree composes and executes a fat-tree scenario.
-func runFatTree(spec Spec, seed int64) (*Result, error) {
+func runFatTree(spec Spec, seed int64, cap *capture) (*Result, error) {
 	eng := eventsim.New()
 	nw := netsim.New(eng)
 	tc := topo.DefaultConfig()
@@ -390,6 +396,7 @@ func runFatTree(spec Spec, seed int64) (*Result, error) {
 			OnEstimate: func(key packet.FlowKey, est, truth time.Duration) {
 				rec.record(est, truth)
 				sink.Add(key, est, truth)
+				cap.addSample(key, est, truth)
 			},
 		})
 		if err != nil {
@@ -402,6 +409,7 @@ func runFatTree(spec Spec, seed int64) (*Result, error) {
 			port.OnTxStart(func(pk *packet.Packet, now simtime.Time) {
 				if accept(pk) {
 					shared.TapEnd(pk, now)
+					cap.observe(pk, now)
 				}
 			})
 		}

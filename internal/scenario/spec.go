@@ -1,16 +1,3 @@
-// Package scenario is the declarative scenario engine: one versioned Spec
-// describes a network-wide workload — topology, traffic mix, fault
-// injections, RLIR deployment — and Run composes the existing substrate
-// (topo fat-tree + ECMP, netsim, crossinject, trace, core instruments,
-// collector, runner) into a complete measured simulation.
-//
-// The paper's evaluation (§4) exercises RLI under a single tandem shape
-// with cross traffic; real data centers produce far more diverse latency
-// pathologies — incast, microbursts, degraded links, skewed ECMP paths.
-// Each named scenario in the Registry captures one such pathology as a
-// config value rather than hand-written experiment code, and pairs it with
-// an invariant check so the registry doubles as a correctness harness (CI
-// runs every registered scenario; see TestScenarioRegistrySmoke).
 package scenario
 
 import (

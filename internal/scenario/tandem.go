@@ -17,7 +17,7 @@ import (
 // plane like the fat-tree path does. The spec's estimator set attaches to
 // the harness's two measurement points through the shared dispatch, so one
 // pass yields the full comparison table here too.
-func runTandem(spec Spec, seed int64) (*Result, error) {
+func runTandem(spec Spec, seed int64, cap *capture) (*Result, error) {
 	sc := experiments.Scale{
 		LinkBps:          spec.Topology.LinkBps,
 		Duration:         spec.Duration,
@@ -63,6 +63,7 @@ func runTandem(spec Spec, seed int64) (*Result, error) {
 		OnEstimate: func(key packet.FlowKey, est, truth time.Duration) {
 			rec.record(est, truth)
 			sink.Add(key, est, truth)
+			cap.addSample(key, est, truth)
 		},
 		OnSenderPoint: func(p *packet.Packet, now simtime.Time) {
 			if p.Kind == packet.Regular {
@@ -72,6 +73,7 @@ func runTandem(spec Spec, seed int64) (*Result, error) {
 		OnReceiverPoint: func(p *packet.Packet, now simtime.Time) {
 			if p.Kind == packet.Regular {
 				shared.TapEnd(p, now)
+				cap.observe(p, now)
 			}
 		},
 	}

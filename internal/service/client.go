@@ -1,0 +1,96 @@
+package service
+
+import (
+	"net"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/collector"
+	"github.com/netmeasure/rlir/internal/netflow"
+	"github.com/netmeasure/rlir/internal/packet"
+)
+
+// Client is an exporter-side connection to a running service: it batches
+// samples and records, encodes them with the collector wire codec, and
+// writes frames to the socket. It is what a router's export path (or
+// cmd/loadgen) runs. A Client is single-goroutine state, like runner.Sink;
+// concurrency comes from running one Client per connection.
+type Client struct {
+	conn  net.Conn
+	buf   []collector.Sample
+	wire  []byte
+	batch int
+}
+
+// DefaultClientBatch is the per-frame sample batch size.
+const DefaultClientBatch = 256
+
+// Dial connects to a service ingest listener. network is "tcp" or "unix";
+// batch <= 0 selects DefaultClientBatch.
+func Dial(network, addr string, batch int) (*Client, error) {
+	conn, err := net.DialTimeout(network, addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn, batch), nil
+}
+
+// NewClient wraps an established connection (in-process pipes in tests).
+func NewClient(conn net.Conn, batch int) *Client {
+	if batch <= 0 {
+		batch = DefaultClientBatch
+	}
+	return &Client{conn: conn, buf: make([]collector.Sample, 0, batch), batch: batch}
+}
+
+// Hello declares this connection's router identity. Send it first — frames
+// before a hello are attributed to the connection's remote address.
+func (c *Client) Hello(name string) error {
+	c.wire = collector.AppendHello(c.wire[:0], name)
+	_, err := c.conn.Write(c.wire)
+	return err
+}
+
+// Add buffers one sample; its signature matches core.EstimateFunc so it can
+// hang directly off a receiver's OnEstimate hook.
+func (c *Client) Add(key packet.FlowKey, est, truth time.Duration) error {
+	c.buf = append(c.buf, collector.Sample{Key: key, Est: est, True: truth})
+	if len(c.buf) >= c.batch {
+		return c.Flush()
+	}
+	return nil
+}
+
+// SendSamples writes one samples frame immediately (replay paths that
+// already hold batches).
+func (c *Client) SendSamples(batch []collector.Sample) error {
+	c.wire = collector.AppendSamples(c.wire[:0], batch)
+	_, err := c.conn.Write(c.wire)
+	return err
+}
+
+// SendRecords writes one NetFlow-records frame.
+func (c *Client) SendRecords(recs []netflow.Record) error {
+	c.wire = collector.AppendRecords(c.wire[:0], recs)
+	_, err := c.conn.Write(c.wire)
+	return err
+}
+
+// Flush writes any buffered samples as one frame.
+func (c *Client) Flush() error {
+	if len(c.buf) == 0 {
+		return nil
+	}
+	err := c.SendSamples(c.buf)
+	c.buf = c.buf[:0]
+	return err
+}
+
+// Close flushes and closes the connection.
+func (c *Client) Close() error {
+	flushErr := c.Flush()
+	closeErr := c.conn.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}

@@ -1,0 +1,260 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/collector"
+	"github.com/netmeasure/rlir/internal/measure"
+)
+
+// FlowJSON is one /flows row: a collector flow aggregate flattened for the
+// wire. Durations are nanosecond integers, like the spec JSON front-end.
+type FlowJSON struct {
+	Src     string `json:"src"`
+	Dst     string `json:"dst"`
+	SrcPort uint16 `json:"src_port"`
+	DstPort uint16 `json:"dst_port"`
+	Proto   uint8  `json:"proto"`
+	// Samples counts the per-packet estimates behind the aggregate.
+	Samples int64 `json:"samples"`
+	// EstMeanNs / EstStdNs / EstP50Ns / EstP99Ns summarize the estimated
+	// delay distribution.
+	EstMeanNs float64 `json:"est_mean_ns"`
+	EstStdNs  float64 `json:"est_std_ns"`
+	EstP50Ns  int64   `json:"est_p50_ns"`
+	EstP99Ns  int64   `json:"est_p99_ns"`
+	// TrueMeanNs is the in-band ground-truth mean (zero when the stream
+	// carries no truth, as a real deployment's would not).
+	TrueMeanNs float64 `json:"true_mean_ns"`
+	// Packets / Bytes / FirstNs / LastNs mirror NetFlow record fields (zero
+	// when no exporter mentioned the flow).
+	Packets uint64 `json:"packets"`
+	Bytes   uint64 `json:"bytes"`
+	FirstNs int64  `json:"first_ns,omitempty"`
+	LastNs  int64  `json:"last_ns,omitempty"`
+}
+
+func flowJSON(a *collector.FlowAgg) FlowJSON {
+	return FlowJSON{
+		Src:        a.Key.Src.String(),
+		Dst:        a.Key.Dst.String(),
+		SrcPort:    a.Key.SrcPort,
+		DstPort:    a.Key.DstPort,
+		Proto:      uint8(a.Key.Proto),
+		Samples:    a.Est.N(),
+		EstMeanNs:  a.Est.Mean(),
+		EstStdNs:   a.Est.Std(),
+		EstP50Ns:   int64(a.Hist.Quantile(0.5)),
+		EstP99Ns:   int64(a.Hist.Quantile(0.99)),
+		TrueMeanNs: a.True.Mean(),
+		Packets:    a.Packets,
+		Bytes:      a.Bytes,
+		FirstNs:    int64(a.First),
+		LastNs:     int64(a.Last),
+	}
+}
+
+// RouterJSON is one /routers row: a connected exporter's aggregate view.
+type RouterJSON struct {
+	Router  string `json:"router"`
+	Frames  uint64 `json:"frames"`
+	Samples uint64 `json:"samples"`
+	Records uint64 `json:"records"`
+	Bytes   uint64 `json:"bytes"`
+	// EstMeanNs / EstP50Ns / EstP99Ns summarize the router's streamed
+	// estimates; TrueMeanNs its in-band truth.
+	EstMeanNs  float64 `json:"est_mean_ns"`
+	EstP50Ns   int64   `json:"est_p50_ns"`
+	EstP99Ns   int64   `json:"est_p99_ns"`
+	TrueMeanNs float64 `json:"true_mean_ns"`
+}
+
+// ComparisonJSON is the /comparison response: measure.CompareFlowAggs with
+// NaN (undefined) errors encoded as JSON nulls.
+type ComparisonJSON struct {
+	Estimator    string   `json:"estimator"`
+	Flows        int      `json:"flows"`
+	Samples      int64    `json:"samples"`
+	MedianRelErr *float64 `json:"median_rel_err"`
+	P99RelErr    *float64 `json:"p99_rel_err"`
+	AggMeanNs    int64    `json:"agg_mean_ns"`
+	AggSamples   int64    `json:"agg_samples"`
+	AggRelErr    *float64 `json:"agg_rel_err"`
+}
+
+func comparisonJSON(c measure.Comparison) ComparisonJSON {
+	opt := func(v float64) *float64 {
+		if math.IsNaN(v) {
+			return nil
+		}
+		return &v
+	}
+	return ComparisonJSON{
+		Estimator:    c.Estimator,
+		Flows:        c.Flows,
+		Samples:      c.Samples,
+		MedianRelErr: opt(c.MedianRelErr),
+		P99RelErr:    opt(c.P99RelErr),
+		AggMeanNs:    int64(c.AggMean),
+		AggSamples:   c.AggSamples,
+		AggRelErr:    opt(c.AggRelErr),
+	}
+}
+
+// HealthJSON is the /healthz response.
+type HealthJSON struct {
+	Status        string  `json:"status"`
+	UptimeS       float64 `json:"uptime_s"`
+	Flows         int     `json:"flows"`
+	Samples       uint64  `json:"samples"`
+	Records       uint64  `json:"records"`
+	Frames        uint64  `json:"frames"`
+	Conns         int     `json:"connections_active"`
+	ConnsTotal    uint64  `json:"connections_total"`
+	DecodeErrors  uint64  `json:"decode_errors"`
+	SampleRate1W  float64 `json:"ingest_samples_per_s"`
+	RecordRate1W  float64 `json:"ingest_records_per_s"`
+	WindowSeconds float64 `json:"rate_window_s"`
+}
+
+// Handler returns the query API. It is safe to serve before, during and
+// after Shutdown — post-shutdown it answers from the collector's final
+// state (healthz reports "draining"/"stopped").
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/flows", s.handleFlows)
+	mux.HandleFunc("/routers", s.handleRouters)
+	mux.HandleFunc("/comparison", s.handleComparison)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// handleFlows serves the per-flow table, sorted by flow key. ?limit=N caps
+// the row count (the table can hold millions of flows).
+func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
+	snap := s.coll.Snapshot()
+	limit := len(snap)
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	rows := make([]FlowJSON, 0, limit)
+	for i := 0; i < limit; i++ {
+		rows = append(rows, flowJSON(&snap[i]))
+	}
+	writeJSON(w, http.StatusOK, rows)
+}
+
+func (s *Server) handleRouters(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.routers))
+	for n := range s.routers {
+		names = append(names, n)
+	}
+	aggs := make([]*routerAgg, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		aggs = append(aggs, s.routers[n])
+	}
+	s.mu.Unlock()
+
+	rows := make([]RouterJSON, 0, len(names))
+	for i, agg := range aggs {
+		agg.mu.Lock()
+		rows = append(rows, RouterJSON{
+			Router:     names[i],
+			Frames:     agg.frames,
+			Samples:    agg.samples,
+			Records:    agg.records,
+			Bytes:      agg.bytes,
+			EstMeanNs:  agg.est.Mean(),
+			EstP50Ns:   int64(agg.hist.Quantile(0.5)),
+			EstP99Ns:   int64(agg.hist.Quantile(0.99)),
+			TrueMeanNs: agg.truth.Mean(),
+		})
+		agg.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, rows)
+}
+
+func (s *Server) handleComparison(w http.ResponseWriter, r *http.Request) {
+	cmp := measure.CompareFlowAggs("rli", s.coll.Snapshot())
+	writeJSON(w, http.StatusOK, []ComparisonJSON{comparisonJSON(cmp)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.closed.Load() {
+		status, code = "stopped", http.StatusServiceUnavailable
+	} else if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	sps, rps := s.window.rates()
+	writeJSON(w, code, HealthJSON{
+		Status:        status,
+		UptimeS:       time.Since(s.start).Seconds(),
+		Flows:         s.coll.Flows(),
+		Samples:       s.coll.SamplesIngested(),
+		Records:       s.coll.RecordsIngested(),
+		Frames:        s.frames.Load(),
+		Conns:         s.activeConns(),
+		ConnsTotal:    s.connsTotal.Load(),
+		DecodeErrors:  s.decodeErrs.Load(),
+		SampleRate1W:  sps,
+		RecordRate1W:  rps,
+		WindowSeconds: s.cfg.Window.Seconds(),
+	})
+}
+
+// handleMetrics serves the Prometheus text exposition format: counters for
+// the ingest totals, gauges for the live state and the rolling-window
+// rates.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	sps, rps := s.window.rates()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	p("# HELP rlird_samples_total Latency samples ingested.\n# TYPE rlird_samples_total counter\n")
+	p("rlird_samples_total %d\n", s.coll.SamplesIngested())
+	p("# HELP rlird_records_total NetFlow records ingested.\n# TYPE rlird_records_total counter\n")
+	p("rlird_records_total %d\n", s.coll.RecordsIngested())
+	p("# HELP rlird_frames_total Wire frames decoded.\n# TYPE rlird_frames_total counter\n")
+	p("rlird_frames_total %d\n", s.frames.Load())
+	p("# HELP rlird_decode_errors_total Connections ended by a codec error.\n# TYPE rlird_decode_errors_total counter\n")
+	p("rlird_decode_errors_total %d\n", s.decodeErrs.Load())
+	p("# HELP rlird_connections_total Exporter connections accepted.\n# TYPE rlird_connections_total counter\n")
+	p("rlird_connections_total %d\n", s.connsTotal.Load())
+	p("# HELP rlird_connections_active Exporter connections currently streaming.\n# TYPE rlird_connections_active gauge\n")
+	p("rlird_connections_active %d\n", s.activeConns())
+	p("# HELP rlird_flows Distinct flows aggregated.\n# TYPE rlird_flows gauge\n")
+	p("rlird_flows %d\n", s.coll.Flows())
+	p("# HELP rlird_shards Collector shard goroutines.\n# TYPE rlird_shards gauge\n")
+	p("rlird_shards %d\n", s.coll.Shards())
+	p("# HELP rlird_ingest_samples_per_second Rolling-window sample ingest rate.\n# TYPE rlird_ingest_samples_per_second gauge\n")
+	p("rlird_ingest_samples_per_second %g\n", sps)
+	p("# HELP rlird_ingest_records_per_second Rolling-window record ingest rate.\n# TYPE rlird_ingest_records_per_second gauge\n")
+	p("rlird_ingest_records_per_second %g\n", rps)
+	p("# HELP rlird_uptime_seconds Time since the service started.\n# TYPE rlird_uptime_seconds gauge\n")
+	p("rlird_uptime_seconds %g\n", time.Since(s.start).Seconds())
+}

@@ -1,0 +1,484 @@
+// Package service is the long-lived measurement service behind cmd/rlird:
+// the operational form of the collection tier that everything else in this
+// repository only runs in batch. A fleet of RLI receivers and NetFlow
+// exporters (real ones, or cmd/loadgen replaying captured scenario traffic)
+// connect over TCP or Unix sockets and stream the collector wire frames of
+// internal/collector; the service drains every connection through the
+// sharded collector plane and answers operator queries over HTTP.
+//
+// The data path is deliberately thin — it is the same codec and the same
+// collector the batch engine uses, so a streamed run is bit-identical to
+// its batch counterpart (the equivalence the service tests pin):
+//
+//	exporter conn ──wire frames──> FrameReader ──batches──> collector shards
+//	                     │
+//	                     └──hello──> per-router aggregates (rolling tails)
+//
+// Backpressure is end-to-end: a full shard queue blocks Ingest, which
+// blocks the connection's read loop, which fills the kernel socket buffer,
+// which stalls the exporter — bounding service memory with no drop policy.
+//
+// The HTTP API serves /flows (the per-flow aggregate table), /routers
+// (per-exporter aggregates), /comparison (estimate-vs-truth scoring via
+// measure.CompareFlowAggs, possible because scenario traffic ships ground
+// truth in-band), /healthz, and a Prometheus-style /metrics. Shutdown is
+// graceful: listeners close first, in-flight connections get a drain
+// window, and the collector closes only after every handler has returned,
+// so the final flow table is complete and remains queryable.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/collector"
+	"github.com/netmeasure/rlir/internal/stats"
+)
+
+// Config sizes and addresses the service. The zero value is valid for an
+// in-process server with no listeners (attach connections via ServeConn and
+// the HTTP handler via Handler — what the tests and examples do).
+type Config struct {
+	// Listen is the TCP ingest address ("" disables TCP ingest).
+	Listen string `json:"listen,omitempty"`
+	// Unix is the Unix-socket ingest path ("" disables; the path is removed
+	// on shutdown).
+	Unix string `json:"unix,omitempty"`
+	// HTTP is the query API address ("" disables the built-in HTTP server;
+	// Handler still serves the API in-process).
+	HTTP string `json:"http,omitempty"`
+	// Shards / Depth size the collector plane (collector.Config semantics).
+	Shards int `json:"shards,omitempty"`
+	Depth  int `json:"depth,omitempty"`
+	// MaxFrameRecords bounds one frame's record count (0 = the codec's
+	// DefaultMaxFrameRecords).
+	MaxFrameRecords int `json:"max_frame_records,omitempty"`
+	// Window is the rolling ingest-rate window (default 10s).
+	Window time.Duration `json:"window_ns,omitempty"`
+	// DrainTimeout bounds graceful shutdown: connections still streaming
+	// after this grace are force-closed (default 5s; Shutdown's context may
+	// shorten it further).
+	DrainTimeout time.Duration `json:"drain_timeout_ns,omitempty"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// LoadConfig reads a JSON config file (the -config front-end of cmd/rlird).
+// Unknown fields are rejected so a misspelled knob fails loudly.
+func LoadConfig(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	var c Config
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("service: bad config %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// routerAgg is one exporter's rolling view, keyed by the name its hello
+// frame declared (falling back to the connection's remote address).
+type routerAgg struct {
+	mu      sync.Mutex
+	frames  uint64
+	samples uint64
+	records uint64
+	bytes   uint64
+	est     stats.Welford
+	truth   stats.Welford
+	hist    stats.Histogram
+}
+
+// Server is the running service. Create with New, stop with Shutdown.
+type Server struct {
+	cfg  Config
+	coll *collector.Collector
+
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	routers map[string]*routerAgg
+
+	tcpLn   net.Listener
+	unixLn  net.Listener
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	wg     sync.WaitGroup // connection handlers + accept loops
+	window *rateWindow
+	start  time.Time
+
+	frames     atomic.Uint64
+	connsTotal atomic.Uint64
+	decodeErrs atomic.Uint64
+	draining   atomic.Bool
+	closed     atomic.Bool
+}
+
+// New starts a server: collector shards, the configured ingest listeners,
+// the rolling-rate ticker, and (when cfg.HTTP is set) the query API server.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		coll:    collector.New(collector.Config{Shards: cfg.Shards, Depth: cfg.Depth}),
+		conns:   make(map[net.Conn]struct{}),
+		routers: make(map[string]*routerAgg),
+		start:   time.Now(),
+	}
+	s.window = newRateWindow(cfg.Window, s.ingestTotals)
+
+	// A bind failure must tear down everything already started — the
+	// collector's shard goroutines and the rate ticker — or a caller
+	// retrying "address already in use" leaks goroutines per attempt.
+	fail := func(err error) (*Server, error) {
+		s.closeListeners()
+		s.wg.Wait() // accept loops exit when their listener closes
+		s.window.stop()
+		s.coll.Close()
+		return nil, err
+	}
+	var err error
+	if cfg.Listen != "" {
+		if s.tcpLn, err = net.Listen("tcp", cfg.Listen); err != nil {
+			return fail(err)
+		}
+		s.acceptLoop(s.tcpLn)
+	}
+	if cfg.Unix != "" {
+		_ = os.Remove(cfg.Unix) // a stale socket from a previous run
+		if s.unixLn, err = net.Listen("unix", cfg.Unix); err != nil {
+			return fail(err)
+		}
+		s.acceptLoop(s.unixLn)
+	}
+	if cfg.HTTP != "" {
+		if s.httpLn, err = net.Listen("tcp", cfg.HTTP); err != nil {
+			return fail(err)
+		}
+		s.httpSrv = &http.Server{Handler: s.Handler()}
+		go func() { _ = s.httpSrv.Serve(s.httpLn) }()
+	}
+	return s, nil
+}
+
+// Addr returns the TCP ingest listener's resolved address (nil when TCP
+// ingest is disabled) — how a test or parent process discovers a ":0" port.
+func (s *Server) Addr() net.Addr {
+	if s.tcpLn == nil {
+		return nil
+	}
+	return s.tcpLn.Addr()
+}
+
+// HTTPAddr returns the query API listener's resolved address (nil when the
+// built-in HTTP server is disabled).
+func (s *Server) HTTPAddr() net.Addr {
+	if s.httpLn == nil {
+		return nil
+	}
+	return s.httpLn.Addr()
+}
+
+// Collector exposes the underlying plane (tests and in-process embedding).
+func (s *Server) Collector() *collector.Collector { return s.coll }
+
+func (s *Server) ingestTotals() (uint64, uint64) {
+	return s.coll.SamplesIngested(), s.coll.RecordsIngested()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed (shutdown)
+			}
+			s.trackConn(conn)
+		}
+	}()
+}
+
+// trackConn registers conn and starts its handler.
+func (s *Server) trackConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	s.connsTotal.Add(1)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer func() {
+			conn.Close()
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+		s.serveConn(conn)
+	}()
+}
+
+// ServeConn hands one already-established connection to the service
+// (in-process ingest without a listener) and returns immediately; the
+// stream drains on the connection's own handler goroutine, exactly like a
+// listener-accepted connection. Synchronize on the collector's ingest
+// counters (see SamplesIngested) before reading snapshots.
+func (s *Server) ServeConn(conn net.Conn) {
+	if s.closed.Load() {
+		conn.Close()
+		return
+	}
+	s.trackConn(conn)
+}
+
+// serveConn is the per-connection read loop: frames in, collector batches
+// out. The collector's bounded queues provide the backpressure — a slow
+// plane blocks here, which stalls the peer's writes.
+//
+// The per-router aggregate is resolved lazily on the first data frame: a
+// well-behaved exporter's hello arrives first, so its connection never
+// creates an entry under the fallback remote-address identity — otherwise
+// every reconnect would leave a permanent dead row in s.routers.
+func (s *Server) serveConn(conn net.Conn) {
+	name := remoteName(conn)
+	var router *routerAgg
+	agg := func() *routerAgg {
+		if router == nil {
+			router = s.routerFor(name)
+		}
+		return router
+	}
+	fr := collector.NewFrameReader(conn, s.cfg.MaxFrameRecords)
+	for {
+		f, err := fr.Next()
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.decodeErrs.Add(1)
+			}
+			return
+		}
+		s.frames.Add(1)
+		switch f.Type {
+		case collector.MsgHello:
+			name, router = f.Hello, nil
+			r := agg()
+			r.mu.Lock()
+			r.frames++
+			r.mu.Unlock()
+		case collector.MsgSamples:
+			s.coll.Ingest(f.Samples)
+			r := agg()
+			r.mu.Lock()
+			r.frames++
+			r.samples += uint64(len(f.Samples))
+			for _, smp := range f.Samples {
+				r.est.Add(float64(smp.Est))
+				r.truth.Add(float64(smp.True))
+				r.hist.Record(smp.Est)
+			}
+			r.mu.Unlock()
+		case collector.MsgRecords:
+			s.coll.IngestRecords(f.Records)
+			r := agg()
+			r.mu.Lock()
+			r.frames++
+			r.records += uint64(len(f.Records))
+			for _, rec := range f.Records {
+				r.bytes += rec.Bytes
+			}
+			r.mu.Unlock()
+		}
+	}
+}
+
+// remoteName is the pre-hello router identity: the peer's address, or a
+// stable placeholder for address-less sockets (unnamed Unix peers, pipes).
+func remoteName(conn net.Conn) string {
+	if ra := conn.RemoteAddr(); ra != nil {
+		if n := ra.String(); n != "" && n != "@" {
+			return n
+		}
+	}
+	return "unnamed"
+}
+
+func (s *Server) routerFor(name string) *routerAgg {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.routers[name]
+	if !ok {
+		r = &routerAgg{}
+		s.routers[name] = r
+	}
+	return r
+}
+
+// Snapshot returns the current per-flow aggregate table (sorted by key), a
+// consistent cut of everything ingested before the call.
+func (s *Server) Snapshot() []collector.FlowAgg { return s.coll.Snapshot() }
+
+// Shutdown stops the service gracefully: ingest listeners close first, then
+// in-flight connections get min(ctx, DrainTimeout) to finish streaming
+// before being force-closed; the collector closes only after every handler
+// has returned, and its final flow table stays queryable (Snapshot, the
+// HTTP handler). Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.closeListeners()
+
+	drainCtx, cancel := context.WithTimeout(ctx, s.cfg.DrainTimeout)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		s.connWait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-drainCtx.Done():
+		err = fmt.Errorf("service: drain timeout, force-closing %d connections", s.activeConns())
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+
+	s.wg.Wait() // accept loops + remaining handlers
+	s.window.stop()
+	s.coll.Close()
+	s.closed.Store(true)
+	if s.httpSrv != nil {
+		_ = s.httpSrv.Shutdown(ctx)
+	}
+	if s.cfg.Unix != "" {
+		_ = os.Remove(s.cfg.Unix)
+	}
+	return err
+}
+
+// connWait blocks until every tracked connection's handler removed itself.
+func (s *Server) connWait() {
+	for {
+		if s.activeConns() == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (s *Server) activeConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+func (s *Server) closeListeners() {
+	for _, ln := range []net.Listener{s.tcpLn, s.unixLn} {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+}
+
+// rateWindow samples cumulative ingest counters on a ticker and reports the
+// rolling rate over its window — the "is the plane keeping up right now"
+// number /healthz and /metrics expose, which cumulative totals cannot give
+// a long-lived process.
+type rateWindow struct {
+	mu     sync.Mutex
+	slots  []rateSlot
+	read   func() (samples, records uint64)
+	window time.Duration
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+type rateSlot struct {
+	at               time.Time
+	samples, records uint64
+}
+
+const rateSlots = 20
+
+func newRateWindow(window time.Duration, read func() (uint64, uint64)) *rateWindow {
+	w := &rateWindow{read: read, window: window, stopCh: make(chan struct{})}
+	w.record(time.Now())
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		t := time.NewTicker(window / rateSlots)
+		defer t.Stop()
+		for {
+			select {
+			case now := <-t.C:
+				w.record(now)
+			case <-w.stopCh:
+				return
+			}
+		}
+	}()
+	return w
+}
+
+func (w *rateWindow) record(now time.Time) {
+	samples, records := w.read()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.slots = append(w.slots, rateSlot{at: now, samples: samples, records: records})
+	// Keep one slot older than the window so the rate always spans >= window
+	// once enough history exists.
+	for len(w.slots) > 2 && now.Sub(w.slots[1].at) >= w.window {
+		w.slots = w.slots[1:]
+	}
+}
+
+// rates returns rolling (samples/s, records/s) over the window.
+func (w *rateWindow) rates() (float64, float64) {
+	// A fresh reading makes the rate current even between ticks.
+	w.record(time.Now())
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	first, last := w.slots[0], w.slots[len(w.slots)-1]
+	dt := last.at.Sub(first.at).Seconds()
+	if dt <= 0 {
+		return 0, 0
+	}
+	return float64(last.samples-first.samples) / dt, float64(last.records-first.records) / dt
+}
+
+func (w *rateWindow) stop() {
+	close(w.stopCh)
+	w.wg.Wait()
+}

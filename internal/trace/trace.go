@@ -1,16 +1,3 @@
-// Package trace generates and stores packet traces.
-//
-// The paper's evaluation replays two one-minute CAIDA OC-192 traces (one for
-// regular traffic, one for cross traffic). Those traces are proprietary, so
-// this package supplies the synthetic equivalent (see DESIGN.md,
-// substitutions): a deterministic generator with heavy-tailed flow lengths,
-// an empirical packet-size mix and Poisson flow arrivals. What the
-// experiments actually depend on — a wide spread of per-flow packet counts
-// and a controllable offered load — are explicit knobs here.
-//
-// Traces stream in time order; they can be consumed directly, written to a
-// compact binary format, or exported as pcap (internal/pcapio) for
-// inspection with standard tools.
 package trace
 
 import (

@@ -1,13 +1,18 @@
 package rlir
 
 import (
+	"net"
 	"time"
 
+	"github.com/netmeasure/rlir/internal/collector"
 	"github.com/netmeasure/rlir/internal/core"
 	"github.com/netmeasure/rlir/internal/experiments"
 	"github.com/netmeasure/rlir/internal/measure"
+	"github.com/netmeasure/rlir/internal/netflow"
 	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/runner"
 	"github.com/netmeasure/rlir/internal/scenario"
+	"github.com/netmeasure/rlir/internal/service"
 	"github.com/netmeasure/rlir/internal/simclock"
 	"github.com/netmeasure/rlir/internal/stats"
 	"github.com/netmeasure/rlir/internal/topo"
@@ -317,10 +322,13 @@ func MultiTandem(cfg TandemConfig, opts MultiOpts) MultiTandemResult {
 // MultiFigure is a figure re-recorded as across-seed statistics.
 type MultiFigure = experiments.MultiFigure
 
-// Fig4aMulti / Fig4bMulti / Fig4cMulti re-record Figures 4(a)-4(c) as
-// mean ± CI across seeds.
+// Fig4aMulti re-records Figure 4(a) as mean ± CI across seeds.
 func Fig4aMulti(scale Scale, opts MultiOpts) MultiFigure { return experiments.Fig4aMulti(scale, opts) }
+
+// Fig4bMulti re-records Figure 4(b) as mean ± CI across seeds.
 func Fig4bMulti(scale Scale, opts MultiOpts) MultiFigure { return experiments.Fig4bMulti(scale, opts) }
+
+// Fig4cMulti re-records Figure 4(c) as mean ± CI across seeds.
 func Fig4cMulti(scale Scale, opts MultiOpts) MultiFigure { return experiments.Fig4cMulti(scale, opts) }
 
 // ScalarsCI re-records the §4.2 scalars across seeds.
@@ -513,6 +521,80 @@ func RunScenarioSeed(spec ScenarioSpec, seed int64) (*ScenarioResult, error) {
 func RunScenarioMulti(spec ScenarioSpec, opts ScenarioMultiOpts) (*ScenarioMultiResult, error) {
 	return scenario.RunMulti(spec, opts)
 }
+
+// ---- Measurement service (internal/service, cmd/rlird) ----
+//
+// The long-lived streaming form of the collection tier: routers (or
+// cmd/loadgen replaying a scenario trace) stream collector wire frames over
+// TCP/Unix sockets into a sharded collector, and operators query per-flow
+// aggregates, per-router aggregates, the streaming estimator comparison,
+// health and Prometheus-style metrics over HTTP. Streamed aggregates are
+// bit-identical to the batch engine's for the same sample stream.
+
+// ServiceConfig addresses and sizes the measurement service.
+type ServiceConfig = service.Config
+
+// MeasurementService is a running rlird instance.
+type MeasurementService = service.Server
+
+// ServiceClient is an exporter-side connection streaming wire frames into a
+// service.
+type ServiceClient = service.Client
+
+// FlowTableRow is one /flows row of the service's HTTP API.
+type FlowTableRow = service.FlowJSON
+
+// NewMeasurementService starts a service (listeners, collector shards,
+// query API). Stop it with Shutdown.
+func NewMeasurementService(cfg ServiceConfig) (*MeasurementService, error) { return service.New(cfg) }
+
+// LoadServiceConfig reads a JSON service config file (cmd/rlird -config).
+func LoadServiceConfig(path string) (ServiceConfig, error) { return service.LoadConfig(path) }
+
+// DialService connects a client to a service ingest listener ("tcp" or
+// "unix").
+func DialService(network, addr string, batch int) (*ServiceClient, error) {
+	return service.Dial(network, addr, batch)
+}
+
+// NewServiceClient wraps an established connection as a service client.
+func NewServiceClient(conn net.Conn, batch int) *ServiceClient {
+	return service.NewClient(conn, batch)
+}
+
+// CollectorSample is one exported per-packet latency estimate (the wire
+// unit RLI receivers stream to the collection tier).
+type CollectorSample = collector.Sample
+
+// NetFlowRecord is one exported flow record.
+type NetFlowRecord = netflow.Record
+
+// FlowAggregate is one flow's merged collector state.
+type FlowAggregate = collector.FlowAgg
+
+// ScenarioTrace is a captured scenario export stream: the replay unit of
+// cmd/loadgen and the service equivalence tests.
+type ScenarioTrace = scenario.Trace
+
+// ExportScenarioTrace runs a scenario once and captures the samples and
+// NetFlow records its instruments exported, alongside the normal result.
+func ExportScenarioTrace(spec ScenarioSpec, seed int64) (*ScenarioTrace, error) {
+	return scenario.Export(spec, seed)
+}
+
+// CompareStreamedFlows scores a collector flow table against the ground
+// truth it carries in-band — the streaming counterpart of CompareEstimators.
+func CompareStreamedFlows(name string, aggs []FlowAggregate) EstimatorComparison {
+	return measure.CompareFlowAggs(name, aggs)
+}
+
+// Pacer is a wall-clock token bucket for replaying traffic at a target
+// rate.
+type Pacer = runner.Pacer
+
+// NewPacer creates a pacer admitting rate units/second (rate <= 0 returns
+// the nil, unlimited pacer).
+func NewPacer(rate float64) *Pacer { return runner.NewPacer(rate) }
 
 // ---- Convenience ----
 

@@ -13,9 +13,12 @@
 # for static injection at 93% utilization), collector ingest throughput
 # (BenchmarkIngest in internal/collector), multi-seed runner scaling
 # (BenchmarkRunnerSweep1 vs BenchmarkRunnerSweep4: an 8-seed sweep at 1 vs
-# 4 workers, with the wall-clock speedup ratio), and the estimator layer's
+# 4 workers, with the wall-clock speedup ratio), the estimator layer's
 # shared-tap dispatch overhead (BenchmarkSharedTap in internal/measure:
-# per-packet cost of fanning one stream to the full comparison set).
+# per-packet cost of fanning one stream to the full comparison set), and
+# the streaming service's ingest throughput (BenchmarkServiceIngest4Conns
+# in internal/service: four concurrent connections writing pre-encoded
+# wire frames over loopback TCP through the full rlird path).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,7 +38,9 @@ raw_runner=$(go test -run '^$' -bench 'BenchmarkRunnerSweep[14]$' \
   -benchtime 3x . 2>&1)
 raw_measure=$(go test -run '^$' -bench 'BenchmarkSharedTap$' \
   -benchmem ./internal/measure 2>&1)
-raw=$(printf '%s\n%s\n%s\n%s\n' "$raw" "$raw_collector" "$raw_runner" "$raw_measure")
+raw_service=$(go test -run '^$' -bench 'BenchmarkServiceIngest4Conns$' \
+  -benchtime 2s ./internal/service 2>&1)
+raw=$(printf '%s\n%s\n%s\n%s\n%s\n' "$raw" "$raw_collector" "$raw_runner" "$raw_measure" "$raw_service")
 
 echo "$raw" | grep -E '^Benchmark' >&2
 
@@ -80,11 +85,18 @@ echo "$raw" | awk -v bench="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
       if ($(i + 1) == "allocs/op") tapallocs = $i
     }
   }
+  /^BenchmarkServiceIngest4Conns/ {
+    for (i = 1; i < NF; i++) {
+      if ($(i + 1) == "samples/s") svc = $i
+      if ($(i + 1) == "ns/op") svcns = $i
+    }
+  }
   END {
     if (pkts == "") { print "bench.sh: no throughput result parsed" > "/dev/stderr"; exit 1 }
     if (ingest == "") { print "bench.sh: no collector ingest result parsed" > "/dev/stderr"; exit 1 }
     if (sweep1 == "" || sweep4 == "") { print "bench.sh: no runner scaling result parsed" > "/dev/stderr"; exit 1 }
     if (tap == "") { print "bench.sh: no shared-tap result parsed" > "/dev/stderr"; exit 1 }
+    if (svc == "") { print "bench.sh: no service ingest result parsed" > "/dev/stderr"; exit 1 }
     printf "{\n"
     printf "  \"bench\": %d,\n", bench
     printf "  \"date\": \"%s\",\n", date
@@ -105,6 +117,11 @@ echo "$raw" | awk -v bench="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     printf "    \"pkts_per_s\": %s,\n", tap
     printf "    \"ns_per_op\": %s,\n", tapns
     printf "    \"allocs_per_op\": %s\n", tapallocs
+    printf "  },\n"
+    printf "  \"service_ingest\": {\n"
+    printf "    \"conns\": 4,\n"
+    printf "    \"samples_per_s\": %s,\n", svc
+    printf "    \"ns_per_op\": %s\n", svcns
     printf "  },\n"
     printf "  \"runner_scaling\": {\n"
     printf "    \"sweep_seeds\": 8,\n"

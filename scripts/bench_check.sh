@@ -46,6 +46,14 @@ tap_from_json() {
        intap && /"pkts_per_s"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2; exit }' "$1"
 }
 
+# service_from_json extracts service_ingest.samples_per_s (the streaming
+# service's 4-connection ingest throughput). Empty when the baseline
+# predates the service.
+service_from_json() {
+  awk '/"service_ingest"/ { insvc = 1 }
+       insvc && /"samples_per_s"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2; exit }' "$1"
+}
+
 base_file=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)
 if [ -z "$base_file" ]; then
   echo "bench_check: no committed BENCH_*.json baseline; nothing to compare" >&2
@@ -58,12 +66,18 @@ if [ -z "$base" ]; then
 fi
 
 base_tap=$(tap_from_json "$base_file")
+base_svc=$(service_from_json "$base_file")
 
 if [ -n "$fresh_file" ]; then
   fresh=$(pkts_from_json "$fresh_file")
   fresh_tap=$(tap_from_json "$fresh_file")
+  fresh_svc=$(service_from_json "$fresh_file")
   if [ -n "$base_tap" ] && [ -z "$fresh_tap" ]; then
     echo "bench_check: baseline $base_file has shared_tap but $fresh_file does not; refusing to skip the gate" >&2
+    exit 2
+  fi
+  if [ -n "$base_svc" ] && [ -z "$fresh_svc" ]; then
+    echo "bench_check: baseline $base_file has service_ingest but $fresh_file does not; refusing to skip the gate" >&2
     exit 2
   fi
   src="$fresh_file"
@@ -87,6 +101,19 @@ else
       exit 2
     fi
   fi
+  fresh_svc=""
+  if [ -n "$base_svc" ]; then
+    echo "bench_check: measuring service ingest throughput (4 conns)..." >&2
+    raw_svc=$(go test -run '^$' -bench 'BenchmarkServiceIngest4Conns$' ./internal/service 2>&1)
+    echo "$raw_svc" | grep -E '^Benchmark' >&2 || true
+    fresh_svc=$(echo "$raw_svc" | awk '/^BenchmarkServiceIngest4Conns/ {
+      for (i = 1; i < NF; i++) if ($(i + 1) == "samples/s") print $i
+    }' | tail -1)
+    if [ -z "$fresh_svc" ]; then
+      echo "bench_check: no service ingest number parsed from local bench" >&2
+      exit 2
+    fi
+  fi
   src="local bench"
 fi
 if [ -z "$fresh" ]; then
@@ -94,17 +121,17 @@ if [ -z "$fresh" ]; then
   exit 2
 fi
 
-# compare <label> <fresh> <base>: prints the ratio, returns 1 on a
+# compare <label> <fresh> <base> [unit]: prints the ratio, returns 1 on a
 # regression past the floor (unless forced).
 compare() {
-  awk -v label="$1" -v fresh="$2" -v base="$3" -v drop="$max_drop_pct" \
-      -v basefile="$base_file" -v force="$force" 'BEGIN {
+  awk -v label="$1" -v fresh="$2" -v base="$3" -v unit="${4:-pkts/s}" \
+      -v drop="$max_drop_pct" -v basefile="$base_file" -v force="$force" 'BEGIN {
     floor = base * (100 - drop) / 100
     ratio = base > 0 ? 100 * fresh / base : 0
-    printf "bench_check: %s fresh %.0f pkts/s vs baseline %.0f pkts/s (%s) = %.1f%%\n",
-      label, fresh, base, basefile, ratio
+    printf "bench_check: %s fresh %.0f %s vs baseline %.0f %s (%s) = %.1f%%\n",
+      label, fresh, unit, base, unit, basefile, ratio
     if (fresh < floor) {
-      printf "bench_check: REGRESSION: %s below the %d%%-drop floor (%.0f pkts/s)\n", label, drop, floor
+      printf "bench_check: REGRESSION: %s below the %d%%-drop floor (%.0f %s)\n", label, drop, floor, unit
       if (force == "1") {
         print "bench_check: override in effect (-f / BENCH_CHECK_FORCE=1); not failing"
         exit 0
@@ -119,6 +146,18 @@ status=0
 compare "simulator" "$fresh" "$base" || status=1
 if [ -n "$base_tap" ] && [ -n "$fresh_tap" ]; then
   compare "shared-tap" "$fresh_tap" "$base_tap" || status=1
+fi
+if [ -n "$base_svc" ] && [ -n "$fresh_svc" ]; then
+  compare "service-ingest" "$fresh_svc" "$base_svc" "samples/s" || status=1
+  # The soak acceptance floor is absolute, not relative: the service must
+  # sustain >= 1M samples/s over 4 connections on any box this runs on.
+  awk -v svc="$fresh_svc" -v force="$force" 'BEGIN {
+    if (svc < 1e6) {
+      printf "bench_check: service ingest %.0f samples/s below the 1M samples/s soak floor\n", svc
+      if (force == "1") { print "bench_check: override in effect; not failing"; exit 0 }
+      exit 1
+    }
+  }' || status=1
 fi
 if [ "$status" -eq 0 ]; then
   echo "bench_check: ok"

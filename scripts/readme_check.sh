@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# readme_check.sh — execute the README's quickstart blocks verbatim.
+#
+# Every fenced ```console block in README.md is turned into a bash script:
+# lines starting with "$ " are commands (run in order, from the repository
+# root, under set -euo pipefail); all other lines are illustrative output
+# and are ignored. A block that exits non-zero fails the check — so the
+# README cannot document a command line that does not actually work.
+#
+# Usage:
+#   scripts/readme_check.sh             # check README.md
+#   scripts/readme_check.sh DOC.md      # check another markdown file
+#
+# Exit codes: 0 all blocks pass, 1 a block failed, 2 no blocks found.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+readme="${1:-README.md}"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+# Extract "<block-number>\t<command>" pairs from the console fences.
+awk '
+  /^```console$/ { inblock = 1; n++; next }
+  inblock && /^```$/ { inblock = 0; next }
+  inblock && /^\$ / { print n "\t" substr($0, 3) }
+' "$readme" > "$tmpdir/cmds.tsv"
+
+if [ ! -s "$tmpdir/cmds.tsv" ]; then
+  echo "readme_check: no \`\`\`console blocks with \$-commands found in $readme" >&2
+  exit 2
+fi
+
+blocks=$(cut -f1 "$tmpdir/cmds.tsv" | sort -n | uniq)
+total=$(echo "$blocks" | wc -l)
+fail=0
+for b in $blocks; do
+  script="$tmpdir/block$b.sh"
+  {
+    echo "set -euo pipefail"
+    awk -F'\t' -v b="$b" '$1 == b { print $2 }' "$tmpdir/cmds.tsv"
+  } > "$script"
+  echo "readme_check: block $b/$total:" >&2
+  sed 's/^/    /' "$script" >&2
+  if bash "$script" > "$tmpdir/block$b.log" 2>&1; then
+    echo "readme_check: block $b OK" >&2
+  else
+    echo "readme_check: block $b FAILED; output:" >&2
+    sed 's/^/    /' "$tmpdir/block$b.log" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "readme_check: FAILED — the README documents commands that do not run" >&2
+  exit 1
+fi
+echo "readme_check: all $total blocks pass"
