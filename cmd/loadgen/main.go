@@ -11,11 +11,19 @@
 // expires; otherwise it is replayed exactly once (the equivalence mode:
 // the service's /flows table then matches the scenario's own fleet table).
 //
+// With -reliable the frames travel over the swp sliding-window transport
+// (sequence-numbered segments, acks, retransmission), and -loss interposes
+// a seeded loss model on the outbound segments — a soak that makes rlird
+// recover the stream across an emulated lossy export path. -connect-attempts
+// and -connect-timeout let loadgen start before rlird and retry the dial
+// with exponential backoff and jitter.
+//
 // Usage:
 //
 //	loadgen -scenario baseline-tandem -addr 127.0.0.1:7171 -conns 4
 //	loadgen -scenario incast -unix /tmp/rlird.sock -rate 2000000 -duration 10s
 //	loadgen -spec my.json -seed 7 -addr 127.0.0.1:7171 -records
+//	loadgen -scenario incast -addr 127.0.0.1:7171 -reliable -loss 0.05
 package main
 
 import (
@@ -52,6 +60,12 @@ type options struct {
 	batch        int
 	records      bool
 	jsonOut      bool
+
+	reliable        bool
+	loss            float64
+	lossSeed        int64
+	connectTimeout  time.Duration
+	connectAttempts int
 }
 
 // parseArgs parses and validates the command line. Split from run so tests
@@ -71,6 +85,11 @@ func parseArgs(args []string) (options, error) {
 	fs.IntVar(&o.batch, "batch", 512, "samples per wire frame")
 	fs.BoolVar(&o.records, "records", false, "also replay the capture's NetFlow records")
 	fs.BoolVar(&o.jsonOut, "json", false, "print the summary as JSON")
+	fs.BoolVar(&o.reliable, "reliable", false, "tunnel frames over the swp sliding-window transport")
+	fs.Float64Var(&o.loss, "loss", 0, "drop this fraction of outbound segments (requires -reliable)")
+	fs.Int64Var(&o.lossSeed, "loss-seed", 1, "seed for the -loss impairment streams")
+	fs.DurationVar(&o.connectTimeout, "connect-timeout", 10*time.Second, "per-attempt dial timeout")
+	fs.IntVar(&o.connectAttempts, "connect-attempts", 1, "dial attempts before giving up (backoff with jitter between)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -98,6 +117,18 @@ func parseArgs(args []string) (options, error) {
 	if o.batch < 1 {
 		return o, fmt.Errorf("-batch %d < 1", o.batch)
 	}
+	if o.loss < 0 || o.loss >= 1 {
+		return o, fmt.Errorf("-loss %v outside [0, 1)", o.loss)
+	}
+	if o.loss > 0 && !o.reliable {
+		return o, fmt.Errorf("-loss requires -reliable (raw framing cannot survive dropped frames)")
+	}
+	if o.connectAttempts < 1 {
+		return o, fmt.Errorf("-connect-attempts %d < 1", o.connectAttempts)
+	}
+	if o.connectTimeout <= 0 {
+		return o, fmt.Errorf("-connect-timeout %v <= 0", o.connectTimeout)
+	}
 	return o, nil
 }
 
@@ -112,6 +143,12 @@ type summary struct {
 	Passes    uint64  `json:"capture_passes"`
 	Elapsed   float64 `json:"elapsed_s"`
 	PerSecond float64 `json:"samples_per_s"`
+	// Reliable-transport accounting, aggregated across connections (zero
+	// unless -reliable).
+	Reliable    bool   `json:"reliable,omitempty"`
+	Segments    uint64 `json:"segments_sent,omitempty"`
+	Retransmits uint64 `json:"retransmits,omitempty"`
+	Timeouts    uint64 `json:"timeouts,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -165,6 +202,10 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "loadgen: sent %d samples (%d records, %d frames, %d passes) over %d conns in %.2fs = %.0f samples/s\n",
 		sum.Samples, sum.Records, sum.Frames, sum.Passes, sum.Conns, sum.Elapsed, sum.PerSecond)
+	if sum.Reliable {
+		fmt.Fprintf(out, "loadgen: reliable transport: %d segments, %d retransmits, %d timeouts\n",
+			sum.Segments, sum.Retransmits, sum.Timeouts)
+	}
 	return nil
 }
 
@@ -193,7 +234,21 @@ func replay(o options, tr *rlir.ScenarioTrace) (summary, error) {
 
 	clients := make([]*rlir.ServiceClient, o.conns)
 	for i := range clients {
-		c, err := rlir.DialService(network, addr, o.batch)
+		opts := rlir.ServiceDialOptions{
+			Network:        network,
+			Addr:           addr,
+			Batch:          o.batch,
+			ConnectTimeout: o.connectTimeout,
+			Attempts:       o.connectAttempts,
+			Reliable:       o.reliable,
+		}
+		if o.loss > 0 {
+			// Drop-only impairment, one independent stream per connection:
+			// retransmission recovery is the thing under soak, against a
+			// real service.
+			opts.Impair = &rlir.TransportImpairment{Seed: o.lossSeed + int64(i), Drop: o.loss}
+		}
+		c, err := rlir.DialServiceWith(opts)
 		if err != nil {
 			return summary{}, fmt.Errorf("conn %d: %w", i, err)
 		}
@@ -264,9 +319,15 @@ func replay(o options, tr *rlir.ScenarioTrace) (summary, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var segments, retransmits, timeouts uint64
 	for i := range clients {
 		if err := clients[i].Close(); err != nil && errs[i] == nil {
 			errs[i] = err
+		}
+		if st, ok := clients[i].TransportStats(); ok {
+			segments += st.Segments
+			retransmits += st.Retransmits
+			timeouts += st.Timeouts
 		}
 	}
 	for _, err := range errs {
@@ -275,12 +336,16 @@ func replay(o options, tr *rlir.ScenarioTrace) (summary, error) {
 		}
 	}
 	s := summary{
-		Conns:   o.conns,
-		Samples: samples.Load(),
-		Records: records.Load(),
-		Frames:  frames.Load(),
-		Passes:  passes.Load(),
-		Elapsed: elapsed.Seconds(),
+		Conns:       o.conns,
+		Samples:     samples.Load(),
+		Records:     records.Load(),
+		Frames:      frames.Load(),
+		Passes:      passes.Load(),
+		Elapsed:     elapsed.Seconds(),
+		Reliable:    o.reliable,
+		Segments:    segments,
+		Retransmits: retransmits,
+		Timeouts:    timeouts,
 	}
 	if elapsed > 0 {
 		s.PerSecond = float64(s.Samples) / elapsed.Seconds()

@@ -2,6 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
+	"net"
+	"os"
+	"os/exec"
 	"strings"
 	"testing"
 	"time"
@@ -29,6 +33,14 @@ func TestParseArgs(t *testing.T) {
 		{"zero batch", []string{"-scenario", "incast", "-addr", "a:1", "-batch", "0"}, "-batch"},
 		{"unknown flag", []string{"-frobnicate"}, "frobnicate"},
 		{"stray args", []string{"-scenario", "incast", "-addr", "a:1", "extra"}, "unexpected arguments"},
+		{"reliable", []string{"-scenario", "incast", "-addr", "a:1", "-reliable"}, ""},
+		{"reliable lossy", []string{"-scenario", "incast", "-addr", "a:1", "-reliable", "-loss", "0.05"}, ""},
+		{"retrying", []string{"-scenario", "incast", "-addr", "a:1", "-connect-attempts", "5", "-connect-timeout", "2s"}, ""},
+		{"loss without reliable", []string{"-scenario", "incast", "-addr", "a:1", "-loss", "0.05"}, "-loss requires -reliable"},
+		{"loss out of range", []string{"-scenario", "incast", "-addr", "a:1", "-reliable", "-loss", "1.5"}, "-loss"},
+		{"negative loss", []string{"-scenario", "incast", "-addr", "a:1", "-reliable", "-loss", "-0.1"}, "-loss"},
+		{"zero attempts", []string{"-scenario", "incast", "-addr", "a:1", "-connect-attempts", "0"}, "-connect-attempts"},
+		{"zero connect timeout", []string{"-scenario", "incast", "-addr", "a:1", "-connect-timeout", "0s"}, "-connect-timeout"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -102,6 +114,124 @@ func TestReplayAgainstLiveService(t *testing.T) {
 		if a.Key != b.Key || a.Est != b.Est || a.True != b.True {
 			t.Fatalf("flow %d diverged after replay:\nservice %+v\nbatch   %+v", i, a, b)
 		}
+	}
+}
+
+// TestReliableLossyReplay is the lossy soak in miniature: a replay over the
+// swp transport with 15% of outbound segments dropped must still land the
+// service's flow table bit-identical to the batch engine — and must have
+// actually retransmitted to get there. The small batch keeps frames to
+// roughly one segment each, so the drop model gets ~100 segments to bite.
+func TestReliableLossyReplay(t *testing.T) {
+	s, err := rlir.NewMeasurementService(rlir.ServiceConfig{Listen: "127.0.0.1:0", Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(t.Context())
+
+	var out strings.Builder
+	args := []string{"-scenario", "baseline-tandem", "-addr", s.Addr().String(),
+		"-conns", "2", "-batch", "32", "-reliable", "-loss", "0.15", "-loss-seed", "3", "-json"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	var sum summary
+	if err := json.Unmarshal([]byte(text[strings.Index(text, "{"):]), &sum); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, text)
+	}
+	if !sum.Reliable || sum.Segments == 0 {
+		t.Fatalf("summary lacks transport accounting: %+v", sum)
+	}
+	if sum.Retransmits == 0 {
+		t.Fatalf("8%% loss produced zero retransmits: %+v", sum)
+	}
+
+	deadlineWait(t, s, sum.Samples)
+	sc, _ := rlir.ScenarioByName("baseline-tandem")
+	tr, err := rlir.ExportScenarioTrace(sc.Spec, sc.Spec.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if len(snap) != len(tr.Result.Fleet) {
+		t.Fatalf("service has %d flows, batch engine %d", len(snap), len(tr.Result.Fleet))
+	}
+	for i := range snap {
+		a, b := snap[i], tr.Result.Fleet[i]
+		if a.Key != b.Key || a.Est != b.Est || a.True != b.True {
+			t.Fatalf("flow %d diverged after lossy replay:\nservice %+v\nbatch   %+v", i, a, b)
+		}
+	}
+}
+
+// TestConnectRetryFailurePath re-execs the test binary as a real loadgen
+// process pointed at a dead address: bounded attempts must exhaust, the
+// error must say so, and the process must exit 1.
+func TestConnectRetryFailurePath(t *testing.T) {
+	if os.Getenv("LOADGEN_SUBPROCESS") == "1" {
+		os.Args = []string{"loadgen", "-scenario", "baseline-tandem",
+			"-addr", "127.0.0.1:1", "-connect-attempts", "2", "-connect-timeout", "250ms"}
+		main()
+		return // unreachable: main exits
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestConnectRetryFailurePath$")
+	cmd.Env = append(os.Environ(), "LOADGEN_SUBPROCESS=1")
+	out, err := cmd.CombinedOutput()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("subprocess err = %v (output %q), want non-zero exit", err, out)
+	}
+	if code := exitErr.ExitCode(); code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "2 attempts exhausted") {
+		t.Fatalf("failure output does not mention exhausted attempts:\n%s", out)
+	}
+}
+
+// TestConnectRetrySurvivesLateService starts the service only after the
+// first dial attempt has already failed: retry with backoff must pick it up
+// within the attempt budget.
+func TestConnectRetrySurvivesLateService(t *testing.T) {
+	// Reserve an address, then free it so the first attempts fail.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	started := make(chan *rlir.MeasurementService, 1)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		s, err := rlir.NewMeasurementService(rlir.ServiceConfig{Listen: addr, Shards: 2})
+		if err != nil {
+			started <- nil
+			return
+		}
+		started <- s
+	}()
+
+	c, dialErr := rlir.DialServiceWith(rlir.ServiceDialOptions{
+		Addr:           addr,
+		Attempts:       20,
+		Backoff:        50 * time.Millisecond,
+		ConnectTimeout: time.Second,
+	})
+	s := <-started
+	if s == nil {
+		t.Skip("rebind lost the reserved port to another process")
+	}
+	defer s.Shutdown(t.Context())
+	if dialErr != nil {
+		t.Fatalf("dial never recovered after service came up: %v", dialErr)
+	}
+	if err := c.Hello("late-dialer"); err != nil {
+		t.Fatalf("Hello: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
 	}
 }
 

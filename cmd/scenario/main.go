@@ -12,6 +12,7 @@
 //	scenario -run incast -check    # run one scenario, enforce its invariant
 //	scenario -run incast -seeds 8 -parallel 4
 //	scenario -run incast -estimators rli,lda   # override the comparison set
+//	scenario -run telemetry-loss -telemetry-loss 0.2  # override the export loss rate
 //	scenario -describe incast      # print the spec as JSON
 //	scenario -spec my.json -seed 7 # run an ad-hoc spec file
 package main
@@ -36,17 +37,18 @@ func main() {
 
 // options is the parsed command line.
 type options struct {
-	list       bool
-	listEsts   bool
-	jsonOut    bool
-	runName    string
-	describe   string
-	specFile   string
-	check      bool
-	seed       int64
-	seeds      int
-	parallel   int
-	estimators []string
+	list          bool
+	listEsts      bool
+	jsonOut       bool
+	runName       string
+	describe      string
+	specFile      string
+	check         bool
+	seed          int64
+	seeds         int
+	parallel      int
+	estimators    []string
+	telemetryLoss float64
 }
 
 // parseArgs parses the command line into options, validating the
@@ -67,6 +69,7 @@ func parseArgs(args []string) (options, error) {
 	fs.IntVar(&o.seeds, "seeds", 1, "number of independent derived seeds; > 1 reports mean ± 95% CI")
 	fs.IntVar(&o.parallel, "parallel", 0, "max concurrent runs for multi-seed sweeps (0 = GOMAXPROCS)")
 	ests := fs.String("estimators", "", "comma-separated estimator set for -run/-spec (rli is always included; empty keeps the spec's)")
+	fs.Float64Var(&o.telemetryLoss, "telemetry-loss", -1, "override (or enable) the spec's telemetry export loss rate in [0, 1) for -run/-spec (-1 keeps the spec's)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -87,6 +90,14 @@ func parseArgs(args []string) (options, error) {
 	}
 	if o.check && o.specFile != "" {
 		return o, fmt.Errorf("-check needs a registered scenario (ad-hoc specs carry no invariant)")
+	}
+	if o.telemetryLoss >= 0 {
+		if o.runName == "" && o.specFile == "" {
+			return o, fmt.Errorf("-telemetry-loss applies to -run/-spec")
+		}
+		if o.telemetryLoss >= 1 {
+			return o, fmt.Errorf("-telemetry-loss %v outside [0, 1)", o.telemetryLoss)
+		}
 	}
 	if *ests != "" {
 		if o.runName == "" && o.specFile == "" {
@@ -181,6 +192,14 @@ func execute(o options, spec rlir.ScenarioSpec, check func(*rlir.ScenarioResult)
 	}
 	if len(o.estimators) > 0 {
 		spec.Deploy.Estimators = o.estimators
+	}
+	if o.telemetryLoss >= 0 {
+		t := rlir.ScenarioTelemetrySpec{LossRate: o.telemetryLoss}
+		if spec.Telemetry != nil {
+			t = *spec.Telemetry
+			t.LossRate = o.telemetryLoss
+		}
+		spec.Telemetry = &t
 	}
 	if o.seeds > 1 {
 		mr, err := rlir.RunScenarioMulti(spec, rlir.ScenarioMultiOpts{Seeds: o.seeds, Workers: o.parallel})

@@ -1,0 +1,121 @@
+package collector
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/netflow"
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/simtime"
+)
+
+// fuzzSeedCorpus reuses the wire tests' frame shapes: every message type,
+// empty batches, a multi-frame stream, and classic corruptions.
+func fuzzSeedCorpus() [][]byte {
+	key := packet.FlowKey{
+		Src: 0x0a000001, Dst: 0x0a000002, SrcPort: 443, DstPort: 55000, Proto: 6,
+	}
+	samples := AppendSamples(nil, []Sample{
+		{Key: key, Est: 120 * time.Microsecond, True: 140 * time.Microsecond},
+		{Key: key.Reverse(), Est: time.Millisecond, True: time.Millisecond},
+	})
+	records := AppendRecords(nil, []netflow.Record{
+		{Key: key, First: simtime.Time(1e9), Last: simtime.Time(2e9), Packets: 12, Bytes: 9000},
+	})
+	hello := AppendHello(nil, "tor3.0")
+	stream := append(append(append([]byte(nil), hello...), samples...), records...)
+
+	badMagic := append([]byte(nil), samples...)
+	badMagic[0] = 'X'
+	truncated := samples[:len(samples)-3]
+
+	return [][]byte{
+		samples,
+		records,
+		hello,
+		AppendSamples(nil, nil),
+		AppendRecords(nil, nil),
+		AppendHello(nil, ""),
+		stream,
+		badMagic,
+		truncated,
+		{},
+	}
+}
+
+// FuzzDecodeFrame asserts DecodeFrame's contract on arbitrary bytes: no
+// panics, consumed stays within bounds, and every accepted frame re-encodes
+// to exactly the bytes consumed (decode/encode is a bijection on the
+// accepted set).
+func FuzzDecodeFrame(f *testing.F) {
+	for _, seed := range fuzzSeedCorpus() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, n, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if n < FrameHeaderSize || n > len(data) {
+			t.Fatalf("consumed %d bytes of %d", n, len(data))
+		}
+		var re []byte
+		switch frame.Type {
+		case MsgSamples:
+			re = AppendSamples(nil, frame.Samples)
+		case MsgRecords:
+			re = AppendRecords(nil, frame.Records)
+		case MsgHello:
+			re = AppendHello(nil, frame.Hello)
+		default:
+			t.Fatalf("accepted frame has unknown type %d", frame.Type)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encoding %d consumed bytes produced %d different bytes", n, len(re))
+		}
+	})
+}
+
+// FuzzFrameReader differentially tests the streaming decoder against the
+// buffer decoder: on any byte stream both must accept the same frame
+// sequence, and the reader must terminate without panicking.
+func FuzzFrameReader(f *testing.F) {
+	for _, seed := range fuzzSeedCorpus() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var want []Frame
+		rest := data
+		for {
+			frame, n, err := DecodeFrame(rest)
+			if err != nil {
+				break
+			}
+			want = append(want, frame)
+			rest = rest[n:]
+		}
+
+		fr := NewFrameReader(bytes.NewReader(data), 0)
+		var got []Frame
+		for {
+			frame, err := fr.Next()
+			if err != nil {
+				break
+			}
+			got = append(got, frame)
+		}
+		// The streaming reader bounds record counts harder than the
+		// buffer decoder (DefaultMaxFrameRecords), so it may stop
+		// earlier — but every frame it accepts must match, in order.
+		if len(got) > len(want) {
+			t.Fatalf("reader accepted %d frames, buffer decoder only %d", len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("frame %d diverged between streaming and buffer decoders", i)
+			}
+		}
+	})
+}

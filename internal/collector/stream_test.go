@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 	"time"
+	"unicode/utf8"
 
 	"github.com/netmeasure/rlir/internal/netflow"
 	"github.com/netmeasure/rlir/internal/packet"
@@ -52,6 +53,52 @@ func TestHelloFrameTruncatesLongName(t *testing.T) {
 	}
 	if len(f.Hello) != MaxHelloLen {
 		t.Fatalf("hello length %d, want truncation to %d", len(f.Hello), MaxHelloLen)
+	}
+}
+
+// TestHelloTruncatesAtRuneBoundary pins names so a multi-byte rune
+// straddles the MaxHelloLen cut: the wire must carry valid UTF-8 ending on
+// a whole rune, and HelloName must report exactly what was sent.
+func TestHelloTruncatesAtRuneBoundary(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		// 255 % 3 == 0, so pure 3-byte runes would cut cleanly; the one
+		// ASCII byte up front forces the cut to straddle a rune.
+		{"ascii prefix then 3-byte runes", "x" + strings.Repeat("日", 100)},
+		{"2-byte runes", strings.Repeat("é", 200)},
+		{"4-byte runes", strings.Repeat("\U0001F600", 80)},
+		{"emoji with ascii", strings.Repeat("a", MaxHelloLen-2) + "\U0001F600"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := AppendHello(nil, tc.in)
+			f, _, err := DecodeFrame(buf)
+			if err != nil {
+				t.Fatalf("DecodeFrame: %v", err)
+			}
+			if !utf8.ValidString(f.Hello) {
+				t.Errorf("wire carried a torn rune: %q", f.Hello)
+			}
+			if len(f.Hello) > MaxHelloLen {
+				t.Errorf("hello length %d exceeds MaxHelloLen", len(f.Hello))
+			}
+			if !strings.HasPrefix(tc.in, f.Hello) {
+				t.Errorf("truncation rewrote the name: %q not a prefix of input", f.Hello)
+			}
+			if want := HelloName(tc.in); f.Hello != want {
+				t.Errorf("HelloName = %q but wire carried %q", want, f.Hello)
+			}
+			// The cut must not cost more than one rune's worth of bytes.
+			if len(tc.in) > MaxHelloLen && len(f.Hello) < MaxHelloLen-utf8.UTFMax {
+				t.Errorf("over-truncated: %d bytes, want within %d of %d",
+					len(f.Hello), utf8.UTFMax, MaxHelloLen)
+			}
+		})
+	}
+	if got := HelloName("short"); got != "short" {
+		t.Errorf("HelloName(short) = %q, want unchanged", got)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"time"
+	"unicode/utf8"
 
 	"github.com/netmeasure/rlir/internal/netflow"
 	"github.com/netmeasure/rlir/internal/packet"
@@ -128,14 +129,29 @@ func AppendRecords(dst []byte, recs []netflow.Record) []byte {
 	return dst
 }
 
+// HelloName returns the exporter name AppendHello actually puts on the
+// wire: name unchanged if it fits MaxHelloLen bytes, otherwise truncated at
+// a UTF-8 rune boundary so the wire never carries a torn rune. A name whose
+// first MaxHelloLen bytes are all continuation bytes (malformed UTF-8)
+// truncates to empty.
+func HelloName(name string) string {
+	if len(name) <= MaxHelloLen {
+		return name
+	}
+	cut := MaxHelloLen
+	for cut > 0 && !utf8.RuneStart(name[cut]) {
+		cut--
+	}
+	return name[:cut]
+}
+
 // AppendHello appends one MsgHello frame declaring the exporter's name to
 // dst and returns the extended slice. Long-lived export connections send it
 // first so the collecting service can attribute everything that follows to
-// a named router; names longer than MaxHelloLen are truncated.
+// a named router; names longer than MaxHelloLen are truncated at a rune
+// boundary — HelloName reports what will be sent.
 func AppendHello(dst []byte, name string) []byte {
-	if len(name) > MaxHelloLen {
-		name = name[:MaxHelloLen]
-	}
+	name = HelloName(name)
 	dst = appendHeader(dst, MsgHello, len(name))
 	return append(dst, name...)
 }

@@ -491,6 +491,9 @@ func runFatTree(spec Spec, seed int64, cap *capture) (*Result, error) {
 	}
 	res.Comparison = measure.Compare(truth, reports...)
 	res.Comparison[0].Misattribution = counting.misattribution()
+	if spec.Telemetry != nil {
+		res.Telemetry = applyTelemetry(*spec.Telemetry, seed, truth, res.Comparison, reports)
+	}
 
 	for sk, frs := range segFlows {
 		seg := SegmentStats{

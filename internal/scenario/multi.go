@@ -36,6 +36,10 @@ type MultiResult struct {
 	// Estimators aggregates the per-seed comparison tables: one row per
 	// requested mechanism, each metric as its across-seed distribution.
 	Estimators []EstimatorCI
+	// Telemetry aggregates the per-seed telemetry-loss reports (specs with
+	// Spec.Telemetry only): per mechanism, the across-seed distribution of
+	// degraded accuracy and flow coverage.
+	Telemetry []TelemetryCI
 	// Fleet merges every run's collector snapshot in seed order.
 	Fleet []collector.FlowAgg
 }
@@ -54,6 +58,60 @@ type EstimatorCI struct {
 	// InjectedBytes / SampledBytes are the across-seed overhead means.
 	InjectedBytes Metric
 	SampledBytes  Metric
+}
+
+// TelemetryCI is one mechanism's across-seed telemetry-loss row: how its
+// accuracy and coverage degrade when export frames are dropped, as mean ±
+// 95% CI over the sweep's seeds.
+type TelemetryCI struct {
+	Name string
+	// FramesDropped is the across-seed mean of dropped export frames.
+	FramesDropped Metric
+	// FlowCoverage is the fraction of lossless-scored flows surviving the
+	// loss.
+	FlowCoverage Metric
+	// BaselineMedianRelErr / DegradedMedianRelErr are the per-flow error
+	// distributions before and after loss; DeltaMedianRelErr is their
+	// per-seed difference (N = 0 for aggregate-only mechanisms).
+	BaselineMedianRelErr Metric
+	DegradedMedianRelErr Metric
+	DeltaMedianRelErr    Metric
+	// DegradedAggRelErr scores the surviving aggregate estimate.
+	DegradedAggRelErr Metric
+}
+
+// telemetryCIs folds the per-seed telemetry reports into across-seed rows,
+// nil when the spec ran without telemetry loss.
+func telemetryCIs(perSeed []*Result) []TelemetryCI {
+	if len(perSeed) == 0 || perSeed[0].Telemetry == nil {
+		return nil
+	}
+	rows := make([]TelemetryCI, len(perSeed[0].Telemetry.Rows))
+	for i, first := range perSeed[0].Telemetry.Rows {
+		var dropped, cov, base, deg, delta, agg []float64
+		for _, r := range perSeed {
+			row := r.Telemetry.Rows[i]
+			if row.Estimator != first.Estimator {
+				panic("scenario: telemetry tables diverge across seeds")
+			}
+			dropped = append(dropped, float64(row.FramesDropped))
+			cov = append(cov, row.FlowCoverage())
+			base = append(base, row.Baseline.MedianRelErr)
+			deg = append(deg, row.Degraded.MedianRelErr)
+			delta = append(delta, row.DeltaMedianRelErr())
+			agg = append(agg, row.Degraded.AggRelErr)
+		}
+		rows[i] = TelemetryCI{
+			Name:                 first.Estimator,
+			FramesDropped:        experiments.MetricOf(dropped),
+			FlowCoverage:         experiments.MetricOf(cov),
+			BaselineMedianRelErr: metricOfFinite(base),
+			DegradedMedianRelErr: metricOfFinite(deg),
+			DeltaMedianRelErr:    metricOfFinite(delta),
+			DegradedAggRelErr:    metricOfFinite(agg),
+		}
+	}
+	return rows
 }
 
 // metricOfFinite folds the non-NaN samples into a Metric: a mechanism that
@@ -144,6 +202,7 @@ func RunMulti(spec Spec, opts MultiOpts) (*MultiResult, error) {
 	mr.HotLinkUtil = experiments.MetricOf(hot)
 	mr.EstP99Us = experiments.MetricOf(p99us)
 	mr.Estimators = estimatorCIs(mr.PerSeed)
+	mr.Telemetry = telemetryCIs(mr.PerSeed)
 	mr.Fleet = collector.Merge(snaps...)
 	return mr, nil
 }
@@ -177,6 +236,18 @@ func (mr *MultiResult) Render() string {
 			fmt.Fprintf(&b, "%-16s %-12.0f %-18s %-18s %-18s %12.0f %12.0f\n",
 				e.Name, e.Flows.Mean, e.MedianRelErr, e.P99RelErr, e.AggRelErr,
 				e.InjectedBytes.Mean, e.SampledBytes.Mean)
+		}
+	}
+	if len(mr.Telemetry) > 0 {
+		t := mr.PerSeed[0].Telemetry
+		fmt.Fprintf(&b, "telemetry loss (frame=%d records, p(drop)=%.2f; mean ±95%% CI over %d seeds):\n",
+			t.FrameRecords, t.LossRate, len(mr.Seeds))
+		fmt.Fprintf(&b, "%-16s %-10s %-14s %-18s %-18s %-18s\n",
+			"estimator", "dropped", "coverage", "medianRelErr", "degradedMedian", "degradedAgg")
+		for _, row := range mr.Telemetry {
+			fmt.Fprintf(&b, "%-16s %-10.1f %-14s %-18s %-18s %-18s\n",
+				row.Name, row.FramesDropped.Mean, row.FlowCoverage,
+				row.BaselineMedianRelErr, row.DegradedMedianRelErr, row.DegradedAggRelErr)
 		}
 	}
 	return b.String()

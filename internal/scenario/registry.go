@@ -196,6 +196,79 @@ func init() {
 		},
 	})
 
+	// telemetry-loss: the baseline tandem run re-scored after seeded
+	// export-frame loss. The estimates themselves are untouched — what
+	// degrades is what the collection tier receives, which is exactly the
+	// failure mode the swp reliable transport exists to remove.
+	register(Scenario{
+		Name:      "telemetry-loss",
+		Stresses:  "a lossy telemetry export path: 40% of export frames dropped between measurement and collection",
+		Invariant: "every estimator gains a degraded comparison row; RLI loses flow coverage proportional to dropped frames while the surviving flows keep their lossless accuracy",
+		Spec: Spec{
+			Version: SpecVersion,
+			Topology: TopologySpec{
+				Kind:       TopoTandem,
+				LinkBps:    200e6,
+				QueueBytes: 96 << 10,
+			},
+			Workload: WorkloadSpec{
+				LoadFrac:   0.22,
+				CrossModel: CrossUniform,
+				CrossUtil:  0.93,
+			},
+			Deploy:    DeploymentSpec{Scheme: SchemeStatic, StaticN: 50},
+			Telemetry: &TelemetrySpec{LossRate: 0.4, FrameRecords: 4},
+			Duration:  400 * time.Millisecond,
+			Seed:      1,
+		},
+		Check: func(r *Result) error {
+			if err := requireAccuracy(r, 50, 0.60); err != nil {
+				return err
+			}
+			if err := requireCollector(r); err != nil {
+				return err
+			}
+			if err := requireEstimators(r); err != nil {
+				return err
+			}
+			t := r.Telemetry
+			if t == nil {
+				return fmt.Errorf("spec requested telemetry loss but the result carries no telemetry report")
+			}
+			if len(t.Rows) != len(r.Comparison) {
+				return fmt.Errorf("telemetry report has %d rows, comparison %d", len(t.Rows), len(r.Comparison))
+			}
+			for i, row := range t.Rows {
+				if row.Estimator != r.Comparison[i].Estimator {
+					return fmt.Errorf("telemetry row %d is %q, comparison row is %q", i, row.Estimator, r.Comparison[i].Estimator)
+				}
+				if row.Baseline.Flows != r.Comparison[i].Flows {
+					return fmt.Errorf("%s telemetry baseline (%d flows) diverges from the lossless comparison (%d)",
+						row.Estimator, row.Baseline.Flows, r.Comparison[i].Flows)
+				}
+			}
+			rli, _ := t.Row("rli")
+			if rli.FramesTotal < 10 {
+				return fmt.Errorf("rli exported only %d frames; too few for the loss model to bite", rli.FramesTotal)
+			}
+			if rli.FramesDropped == 0 {
+				return fmt.Errorf("40%% frame loss dropped nothing across %d rli frames", rli.FramesTotal)
+			}
+			if rli.Degraded.Flows >= rli.Baseline.Flows || rli.Degraded.Flows == 0 {
+				return fmt.Errorf("rli flow coverage %d -> %d under loss; want a strict, non-total reduction",
+					rli.Baseline.Flows, rli.Degraded.Flows)
+			}
+			// Loss removes records, it does not corrupt them: the surviving
+			// flows carry their lossless estimates, so the degraded median
+			// error must stay within the scenario's accuracy regime rather
+			// than blow up.
+			if !(rli.Degraded.MedianRelErr >= 0) || rli.Degraded.MedianRelErr > 0.60 {
+				return fmt.Errorf("degraded rli median relative error %.4f outside [0, 0.60]", rli.Degraded.MedianRelErr)
+			}
+			return nil
+		},
+	})
+
 	// fattree-allpairs: uniform inter-pod any-to-any — the "whole fabric
 	// instrumented" deployment with a receiver at every ToR.
 	register(Scenario{

@@ -34,7 +34,7 @@ func TestScenarioRegistrySmoke(t *testing.T) {
 func TestRegistryMetadata(t *testing.T) {
 	required := []string{
 		"baseline-tandem", "fattree-allpairs", "incast",
-		"microburst", "degraded-link", "ecmp-skew",
+		"microburst", "degraded-link", "ecmp-skew", "telemetry-loss",
 	}
 	for _, name := range required {
 		sc, ok := Get(name)

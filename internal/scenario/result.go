@@ -81,6 +81,10 @@ type Result struct {
 	// on this run's single simulation pass and scored against shared
 	// ground truth.
 	Comparison []measure.Comparison
+	// Telemetry, when the spec sets Spec.Telemetry, re-scores every
+	// mechanism after seeded export-frame loss — the accuracy cost of a
+	// lossy collection path, next to the lossless Comparison.
+	Telemetry *TelemetryReport
 }
 
 // Estimator returns the named mechanism's comparison row.
@@ -141,6 +145,9 @@ func (r *Result) Render() string {
 	if len(r.Comparison) > 0 {
 		b.WriteString("estimator comparison (single pass, shared ground truth):\n")
 		b.WriteString(measure.RenderComparisons(r.Comparison))
+	}
+	if r.Telemetry != nil {
+		b.WriteString(r.Telemetry.Render())
 	}
 	return b.String()
 }

@@ -187,6 +187,23 @@ type DeploymentSpec struct {
 	MaxInstances int `json:"max_instances,omitempty"`
 }
 
+// TelemetrySpec models telemetry-export loss applied to a finished run's
+// estimator reports. Per-flow records travel from the measurement points to
+// the collection tier in export frames of FrameRecords records, and each
+// frame is lost independently with probability LossRate; an aggregate-only
+// mechanism (LDA) exports its whole deliverable as one frame. The simulation
+// itself is untouched — the run gains a second comparison table scoring each
+// mechanism's surviving telemetry against the same ground truth, so the
+// result quantifies how every estimator's accuracy degrades when its export
+// path drops data (and what the swp reliable transport buys back).
+type TelemetrySpec struct {
+	// LossRate is the per-frame drop probability in [0, 1).
+	LossRate float64 `json:"loss_rate"`
+	// FrameRecords is how many per-flow records share one export frame
+	// (0 selects DefaultTelemetryFrameRecords).
+	FrameRecords int `json:"frame_records,omitempty"`
+}
+
 // Spec is one complete declarative scenario.
 type Spec struct {
 	Version  int            `json:"version"`
@@ -195,6 +212,9 @@ type Spec struct {
 	Workload WorkloadSpec   `json:"workload"`
 	Faults   []FaultSpec    `json:"faults,omitempty"`
 	Deploy   DeploymentSpec `json:"deploy"`
+	// Telemetry, when set, re-scores every estimator after seeded export
+	// loss (Result.Telemetry carries the degraded comparison).
+	Telemetry *TelemetrySpec `json:"telemetry,omitempty"`
 	// Duration is the trace window length.
 	Duration time.Duration `json:"duration_ns"`
 	// Seed drives every random choice; derived per-run seeds come from it
@@ -370,6 +390,14 @@ func (s Spec) Validate() error {
 	}
 	if err := s.validateFaults(); err != nil {
 		return err
+	}
+	if t := s.Telemetry; t != nil {
+		if t.LossRate < 0 || t.LossRate >= 1 {
+			return fmt.Errorf("scenario: telemetry loss rate %v outside [0, 1)", t.LossRate)
+		}
+		if t.FrameRecords < 0 {
+			return fmt.Errorf("scenario: negative telemetry frame_records %d", t.FrameRecords)
+		}
 	}
 	return s.validateDeploy()
 }

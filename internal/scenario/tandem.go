@@ -104,6 +104,9 @@ func runTandem(spec Spec, seed int64, cap *capture) (*Result, error) {
 		reports = append(reports, b.Finalize())
 	}
 	res.Comparison = measure.Compare(truth, reports...)
+	if spec.Telemetry != nil {
+		res.Telemetry = applyTelemetry(*spec.Telemetry, seed, truth, res.Comparison, reports)
+	}
 
 	sink.Flush()
 	coll.Close()

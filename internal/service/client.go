@@ -1,21 +1,28 @@
 package service
 
 import (
+	"fmt"
+	"io"
+	"math/rand"
 	"net"
 	"time"
 
 	"github.com/netmeasure/rlir/internal/collector"
 	"github.com/netmeasure/rlir/internal/netflow"
 	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/swp"
 )
 
 // Client is an exporter-side connection to a running service: it batches
 // samples and records, encodes them with the collector wire codec, and
-// writes frames to the socket. It is what a router's export path (or
+// writes frames to the socket — directly, or through an swp sender when the
+// connection is reliable. It is what a router's export path (or
 // cmd/loadgen) runs. A Client is single-goroutine state, like runner.Sink;
 // concurrency comes from running one Client per connection.
 type Client struct {
 	conn  net.Conn
+	w     io.Writer // conn, or the swp sender in reliable mode
+	snd   *swp.Sender
 	buf   []collector.Sample
 	wire  []byte
 	batch int
@@ -24,29 +31,137 @@ type Client struct {
 // DefaultClientBatch is the per-frame sample batch size.
 const DefaultClientBatch = 256
 
-// Dial connects to a service ingest listener. network is "tcp" or "unix";
-// batch <= 0 selects DefaultClientBatch.
-func Dial(network, addr string, batch int) (*Client, error) {
-	conn, err := net.DialTimeout(network, addr, 10*time.Second)
-	if err != nil {
-		return nil, err
-	}
-	return NewClient(conn, batch), nil
+// DialOptions configures DialWith. The zero value of every field selects a
+// default, so callers set only what they need.
+type DialOptions struct {
+	// Network ("tcp" or "unix", default "tcp") and Addr name the service
+	// ingest listener.
+	Network string
+	Addr    string
+	// Batch is the per-frame sample batch size (<= 0 selects
+	// DefaultClientBatch).
+	Batch int
+	// ConnectTimeout bounds each dial attempt (default 10s).
+	ConnectTimeout time.Duration
+	// Attempts bounds how many times to dial before giving up (default 1
+	// — no retry). Between failures the dialer sleeps an exponentially
+	// growing backoff with ±25% jitter, so a fleet of exporters starting
+	// before their service does not reconnect in lockstep.
+	Attempts int
+	// Backoff is the initial retry delay (default 200ms), doubling per
+	// failure up to MaxBackoff (default 5s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Reliable selects the swp framing: frames travel in sequence-numbered
+	// segments, acknowledged and retransmitted, and survive a lossy path.
+	Reliable bool
+	// Transport tunes the reliable connection (zero value = swp defaults,
+	// which match what the service's receiver expects).
+	Transport swp.Config
+	// Impair, when non-nil, interposes a seeded loss model on the
+	// reliable connection's outbound segments — cmd/loadgen's -loss soak.
+	Impair *swp.ImpairConfig
 }
 
-// NewClient wraps an established connection (in-process pipes in tests).
+func (o DialOptions) withDefaults() DialOptions {
+	if o.Network == "" {
+		o.Network = "tcp"
+	}
+	if o.ConnectTimeout <= 0 {
+		o.ConnectTimeout = 10 * time.Second
+	}
+	if o.Attempts <= 0 {
+		o.Attempts = 1
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 200 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	return o
+}
+
+// Dial connects to a service ingest listener with one attempt and raw
+// framing. network is "tcp" or "unix"; batch <= 0 selects
+// DefaultClientBatch.
+func Dial(network, addr string, batch int) (*Client, error) {
+	return DialWith(DialOptions{Network: network, Addr: addr, Batch: batch})
+}
+
+// DialWith connects to a service ingest listener per o: bounded dial
+// attempts with exponential backoff and jitter, then raw or reliable
+// framing on the established connection.
+func DialWith(o DialOptions) (*Client, error) {
+	o = o.withDefaults()
+	backoff := o.Backoff
+	var lastErr error
+	for attempt := 1; attempt <= o.Attempts; attempt++ {
+		conn, err := net.DialTimeout(o.Network, o.Addr, o.ConnectTimeout)
+		if err == nil {
+			if o.Reliable {
+				return NewReliableClient(conn, o.Batch, o.Transport, o.Impair), nil
+			}
+			return NewClient(conn, o.Batch), nil
+		}
+		lastErr = err
+		if attempt == o.Attempts {
+			break
+		}
+		// Full jitter on ±25% of the backoff.
+		jitter := time.Duration(rand.Int63n(int64(backoff)/2+1)) - backoff/4
+		time.Sleep(backoff + jitter)
+		backoff *= 2
+		if backoff > o.MaxBackoff {
+			backoff = o.MaxBackoff
+		}
+	}
+	return nil, fmt.Errorf("service: dial %s %s: %d attempts exhausted: %w",
+		o.Network, o.Addr, o.Attempts, lastErr)
+}
+
+// NewClient wraps an established connection (in-process pipes in tests)
+// with raw framing.
 func NewClient(conn net.Conn, batch int) *Client {
 	if batch <= 0 {
 		batch = DefaultClientBatch
 	}
-	return &Client{conn: conn, buf: make([]collector.Sample, 0, batch), batch: batch}
+	return &Client{conn: conn, w: conn, buf: make([]collector.Sample, 0, batch), batch: batch}
+}
+
+// NewReliableClient wraps an established connection with the swp framing:
+// frames are tunneled through a sliding-window sender, and imp (optional)
+// impairs outbound segments for loss soaks.
+func NewReliableClient(conn net.Conn, batch int, cfg swp.Config, imp *swp.ImpairConfig) *Client {
+	c := NewClient(conn, batch)
+	t := swp.SegmentConn(swp.NewStreamConn(conn))
+	if imp != nil {
+		t = swp.Impair(t, *imp)
+	}
+	c.snd = swp.NewSender(t, cfg)
+	c.w = c.snd
+	return c
+}
+
+// Reliable reports whether this client tunnels frames through swp.
+func (c *Client) Reliable() bool { return c.snd != nil }
+
+// TransportStats returns the swp sender's counters; ok is false for a raw
+// client.
+func (c *Client) TransportStats() (st swp.SenderStats, ok bool) {
+	if c.snd == nil {
+		return swp.SenderStats{}, false
+	}
+	return c.snd.Stats(), true
 }
 
 // Hello declares this connection's router identity. Send it first — frames
-// before a hello are attributed to the connection's remote address.
+// before a hello are attributed to the connection's remote address. Names
+// longer than the codec's MaxHelloLen are truncated at a rune boundary
+// (collector.HelloName reports what is actually sent).
 func (c *Client) Hello(name string) error {
 	c.wire = collector.AppendHello(c.wire[:0], name)
-	_, err := c.conn.Write(c.wire)
+	_, err := c.w.Write(c.wire)
 	return err
 }
 
@@ -64,14 +179,14 @@ func (c *Client) Add(key packet.FlowKey, est, truth time.Duration) error {
 // already hold batches).
 func (c *Client) SendSamples(batch []collector.Sample) error {
 	c.wire = collector.AppendSamples(c.wire[:0], batch)
-	_, err := c.conn.Write(c.wire)
+	_, err := c.w.Write(c.wire)
 	return err
 }
 
 // SendRecords writes one NetFlow-records frame.
 func (c *Client) SendRecords(recs []netflow.Record) error {
 	c.wire = collector.AppendRecords(c.wire[:0], recs)
-	_, err := c.conn.Write(c.wire)
+	_, err := c.w.Write(c.wire)
 	return err
 }
 
@@ -85,12 +200,25 @@ func (c *Client) Flush() error {
 	return err
 }
 
-// Close flushes and closes the connection.
+// Close flushes and closes the connection. A reliable close blocks until
+// every segment in flight has been acknowledged (or the retry budget
+// fails), so a returned nil means the service holds every frame sent.
 func (c *Client) Close() error {
 	flushErr := c.Flush()
-	closeErr := c.conn.Close()
+	var sendErr, closeErr error
+	if c.snd != nil {
+		// The sender owns the transport and closes the socket with it;
+		// the extra conn.Close is belt-and-braces, its error meaningless.
+		sendErr = c.snd.Close()
+		_ = c.conn.Close()
+	} else {
+		closeErr = c.conn.Close()
+	}
 	if flushErr != nil {
 		return flushErr
+	}
+	if sendErr != nil {
+		return sendErr
 	}
 	return closeErr
 }

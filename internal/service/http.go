@@ -73,6 +73,15 @@ type RouterJSON struct {
 	EstP50Ns   int64   `json:"est_p50_ns"`
 	EstP99Ns   int64   `json:"est_p99_ns"`
 	TrueMeanNs float64 `json:"true_mean_ns"`
+	// Reliable is true when the exporter connected over the swp transport;
+	// the remaining fields are its receiver-side loss accounting: segments
+	// received, duplicates dropped (retransmissions whose original
+	// arrived), segments reorder-buffered, and gap episodes.
+	Reliable            bool   `json:"reliable,omitempty"`
+	TransportSegments   uint64 `json:"transport_segments,omitempty"`
+	TransportDuplicates uint64 `json:"transport_duplicates,omitempty"`
+	TransportOutOfOrder uint64 `json:"transport_out_of_order,omitempty"`
+	TransportGaps       uint64 `json:"transport_gaps,omitempty"`
 }
 
 // ComparisonJSON is the /comparison response: measure.CompareFlowAggs with
@@ -121,6 +130,16 @@ type HealthJSON struct {
 	SampleRate1W  float64 `json:"ingest_samples_per_s"`
 	RecordRate1W  float64 `json:"ingest_records_per_s"`
 	WindowSeconds float64 `json:"rate_window_s"`
+	// DecodeErrorKinds breaks DecodeErrors down by corruption kind,
+	// summed across exporters (omitted while zero).
+	DecodeErrorKinds map[string]uint64 `json:"decode_error_kinds,omitempty"`
+	// ReliableConns counts connections that spoke the swp framing; the
+	// Transport* fields aggregate their receiver-side loss accounting.
+	ReliableConns       uint64 `json:"reliable_connections_total"`
+	TransportSegments   uint64 `json:"transport_segments"`
+	TransportDuplicates uint64 `json:"transport_duplicates"`
+	TransportOutOfOrder uint64 `json:"transport_out_of_order"`
+	TransportGaps       uint64 `json:"transport_gaps"`
 }
 
 // Handler returns the query API. It is safe to serve before, during and
@@ -183,15 +202,20 @@ func (s *Server) handleRouters(w http.ResponseWriter, r *http.Request) {
 	for i, agg := range aggs {
 		agg.mu.Lock()
 		rows = append(rows, RouterJSON{
-			Router:     names[i],
-			Frames:     agg.frames,
-			Samples:    agg.samples,
-			Records:    agg.records,
-			Bytes:      agg.bytes,
-			EstMeanNs:  agg.est.Mean(),
-			EstP50Ns:   int64(agg.hist.Quantile(0.5)),
-			EstP99Ns:   int64(agg.hist.Quantile(0.99)),
-			TrueMeanNs: agg.truth.Mean(),
+			Router:              names[i],
+			Frames:              agg.frames,
+			Samples:             agg.samples,
+			Records:             agg.records,
+			Bytes:               agg.bytes,
+			EstMeanNs:           agg.est.Mean(),
+			EstP50Ns:            int64(agg.hist.Quantile(0.5)),
+			EstP99Ns:            int64(agg.hist.Quantile(0.99)),
+			TrueMeanNs:          agg.truth.Mean(),
+			Reliable:            agg.reliable,
+			TransportSegments:   agg.tSegments,
+			TransportDuplicates: agg.tDuplicates,
+			TransportOutOfOrder: agg.tOutOfOrder,
+			TransportGaps:       agg.tGaps,
 		})
 		agg.mu.Unlock()
 	}
@@ -211,19 +235,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
 	sps, rps := s.window.rates()
+	var kinds map[string]uint64
+	if by := s.decodeErrKinds(); len(by) > 0 {
+		kinds = make(map[string]uint64, len(by))
+		for k, v := range by {
+			kinds[k.kind] += v
+		}
+	}
 	writeJSON(w, code, HealthJSON{
-		Status:        status,
-		UptimeS:       time.Since(s.start).Seconds(),
-		Flows:         s.coll.Flows(),
-		Samples:       s.coll.SamplesIngested(),
-		Records:       s.coll.RecordsIngested(),
-		Frames:        s.frames.Load(),
-		Conns:         s.activeConns(),
-		ConnsTotal:    s.connsTotal.Load(),
-		DecodeErrors:  s.decodeErrs.Load(),
-		SampleRate1W:  sps,
-		RecordRate1W:  rps,
-		WindowSeconds: s.cfg.Window.Seconds(),
+		Status:              status,
+		UptimeS:             time.Since(s.start).Seconds(),
+		Flows:               s.coll.Flows(),
+		Samples:             s.coll.SamplesIngested(),
+		Records:             s.coll.RecordsIngested(),
+		Frames:              s.frames.Load(),
+		Conns:               s.activeConns(),
+		ConnsTotal:          s.connsTotal.Load(),
+		DecodeErrors:        s.decodeErrs.Load(),
+		SampleRate1W:        sps,
+		RecordRate1W:        rps,
+		WindowSeconds:       s.cfg.Window.Seconds(),
+		DecodeErrorKinds:    kinds,
+		ReliableConns:       s.relConnsTotal.Load(),
+		TransportSegments:   s.tSegments.Load(),
+		TransportDuplicates: s.tDuplicates.Load(),
+		TransportOutOfOrder: s.tOutOfOrder.Load(),
+		TransportGaps:       s.tGaps.Load(),
 	})
 }
 
@@ -243,10 +280,72 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("rlird_frames_total %d\n", s.frames.Load())
 	p("# HELP rlird_decode_errors_total Connections ended by a codec error.\n# TYPE rlird_decode_errors_total counter\n")
 	p("rlird_decode_errors_total %d\n", s.decodeErrs.Load())
+	if by := s.decodeErrKinds(); len(by) > 0 {
+		keys := make([]decodeErrKey, 0, len(by))
+		for k := range by {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].router != keys[j].router {
+				return keys[i].router < keys[j].router
+			}
+			return keys[i].kind < keys[j].kind
+		})
+		p("# HELP rlird_decode_error_kinds_total Decode errors by exporter and corruption kind.\n# TYPE rlird_decode_error_kinds_total counter\n")
+		for _, k := range keys {
+			p("rlird_decode_error_kinds_total{router=%q,kind=%q} %d\n", k.router, k.kind, by[k])
+		}
+	}
 	p("# HELP rlird_connections_total Exporter connections accepted.\n# TYPE rlird_connections_total counter\n")
 	p("rlird_connections_total %d\n", s.connsTotal.Load())
 	p("# HELP rlird_connections_active Exporter connections currently streaming.\n# TYPE rlird_connections_active gauge\n")
 	p("rlird_connections_active %d\n", s.activeConns())
+	p("# HELP rlird_reliable_connections_total Connections that spoke the swp reliable framing.\n# TYPE rlird_reliable_connections_total counter\n")
+	p("rlird_reliable_connections_total %d\n", s.relConnsTotal.Load())
+	p("# HELP rlird_transport_segments_total Data segments received over reliable connections.\n# TYPE rlird_transport_segments_total counter\n")
+	p("rlird_transport_segments_total %d\n", s.tSegments.Load())
+	p("# HELP rlird_transport_duplicates_total Duplicate segments dropped (retransmissions whose original arrived).\n# TYPE rlird_transport_duplicates_total counter\n")
+	p("rlird_transport_duplicates_total %d\n", s.tDuplicates.Load())
+	p("# HELP rlird_transport_out_of_order_total Segments reorder-buffered before in-order delivery.\n# TYPE rlird_transport_out_of_order_total counter\n")
+	p("rlird_transport_out_of_order_total %d\n", s.tOutOfOrder.Load())
+	p("# HELP rlird_transport_gaps_total Sequence-gap episodes observed by reliable receivers.\n# TYPE rlird_transport_gaps_total counter\n")
+	p("rlird_transport_gaps_total %d\n", s.tGaps.Load())
+	s.mu.Lock()
+	names := make([]string, 0, len(s.routers))
+	for n := range s.routers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	perRouter := make([]struct {
+		name             string
+		segs, dups, gaps uint64
+	}, 0, len(names))
+	for _, n := range names {
+		agg := s.routers[n]
+		agg.mu.Lock()
+		if agg.reliable {
+			perRouter = append(perRouter, struct {
+				name             string
+				segs, dups, gaps uint64
+			}{n, agg.tSegments, agg.tDuplicates, agg.tGaps})
+		}
+		agg.mu.Unlock()
+	}
+	s.mu.Unlock()
+	if len(perRouter) > 0 {
+		p("# HELP rlird_router_transport_segments_total Data segments received, by exporter.\n# TYPE rlird_router_transport_segments_total counter\n")
+		for _, r := range perRouter {
+			p("rlird_router_transport_segments_total{router=%q} %d\n", r.name, r.segs)
+		}
+		p("# HELP rlird_router_transport_duplicates_total Duplicate segments dropped, by exporter.\n# TYPE rlird_router_transport_duplicates_total counter\n")
+		for _, r := range perRouter {
+			p("rlird_router_transport_duplicates_total{router=%q} %d\n", r.name, r.dups)
+		}
+		p("# HELP rlird_router_transport_gaps_total Sequence-gap episodes, by exporter.\n# TYPE rlird_router_transport_gaps_total counter\n")
+		for _, r := range perRouter {
+			p("rlird_router_transport_gaps_total{router=%q} %d\n", r.name, r.gaps)
+		}
+	}
 	p("# HELP rlird_flows Distinct flows aggregated.\n# TYPE rlird_flows gauge\n")
 	p("rlird_flows %d\n", s.coll.Flows())
 	p("# HELP rlird_shards Collector shard goroutines.\n# TYPE rlird_shards gauge\n")

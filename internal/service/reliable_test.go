@@ -1,0 +1,180 @@
+package service
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/collector"
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/swp"
+)
+
+func reliableTestSamples(n int) []collector.Sample {
+	out := make([]collector.Sample, n)
+	for i := range out {
+		out[i] = collector.Sample{
+			Key: packet.FlowKey{
+				Src: packet.Addr(0x0a000001 + i%17), Dst: packet.Addr(0x0a000100 + i%13),
+				SrcPort: uint16(2000 + i%31), DstPort: 443, Proto: 6,
+			},
+			Est:  time.Duration(i+1) * time.Microsecond,
+			True: time.Duration(i+2) * time.Microsecond,
+		}
+	}
+	return out
+}
+
+// runExport streams samples into a fresh in-process server through client,
+// waits for full ingestion, and returns the server still running.
+func runExport(t *testing.T, client func(net.Conn) *Client, samples []collector.Sample) *Server {
+	t.Helper()
+	srv, err := New(Config{Shards: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	clientEnd, serverEnd := net.Pipe()
+	srv.ServeConn(serverEnd)
+	c := client(clientEnd)
+	if err := c.Hello("exporter-1"); err != nil {
+		t.Fatalf("Hello: %v", err)
+	}
+	for _, smp := range samples {
+		if err := c.Add(smp.Key, smp.Est, smp.True); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.coll.SamplesIngested() < uint64(len(samples)) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := srv.coll.SamplesIngested(); got != uint64(len(samples)) {
+		t.Fatalf("ingested %d of %d samples", got, len(samples))
+	}
+	return srv
+}
+
+// TestReliableClientEquivalence is the service-level delivery property: a
+// reliable client whose outbound segments are dropped, duplicated and
+// reordered must land the collector in bit-identical state to a raw client
+// on a clean pipe.
+func TestReliableClientEquivalence(t *testing.T) {
+	samples := reliableTestSamples(3000)
+
+	rawSrv := runExport(t, func(conn net.Conn) *Client {
+		return NewClient(conn, 64)
+	}, samples)
+	defer rawSrv.Shutdown(context.Background())
+
+	relSrv := runExport(t, func(conn net.Conn) *Client {
+		return NewReliableClient(conn, 64, swp.Config{
+			MaxPayload: 512,
+			RTO:        10 * time.Millisecond,
+			MaxRTO:     100 * time.Millisecond,
+			MaxRetries: 64,
+		}, &swp.ImpairConfig{Seed: 7, Drop: 0.15, Dup: 0.1, Reorder: 0.1})
+	}, samples)
+	defer relSrv.Shutdown(context.Background())
+
+	want, got := rawSrv.Snapshot(), relSrv.Snapshot()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("collector state diverged: raw %d flows, reliable-lossy %d flows", len(want), len(got))
+	}
+
+	if relSrv.relConnsTotal.Load() != 1 {
+		t.Errorf("reliable connections = %d, want 1", relSrv.relConnsTotal.Load())
+	}
+	if relSrv.tSegments.Load() == 0 {
+		t.Error("no transport segments accounted")
+	}
+	if relSrv.tDuplicates.Load() == 0 {
+		t.Error("lossy run accounted zero duplicates — impairment not exercised")
+	}
+
+	// The per-exporter accounting must surface on the HTTP API.
+	rec := httptest.NewRecorder()
+	relSrv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"rlird_reliable_connections_total 1",
+		"rlird_router_transport_segments_total{router=\"exporter-1\"}",
+		"rlird_router_transport_duplicates_total{router=\"exporter-1\"}",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestDecodeErrorKinds checks a corrupt stream is counted by exporter and
+// corruption kind before the connection drops, and that both /metrics and
+// /healthz expose the breakdown.
+func TestDecodeErrorKinds(t *testing.T) {
+	srv, err := New(Config{Shards: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	send := func(payload []byte) {
+		clientEnd, serverEnd := net.Pipe()
+		srv.ServeConn(serverEnd)
+		if _, err := clientEnd.Write(payload); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		clientEnd.Close()
+	}
+	// Wrong magic entirely.
+	send([]byte("GARBAGE-NOT-A-FRAME"))
+	// A valid hello followed by a frame cut off mid-body.
+	good := collector.AppendHello(nil, "flaky-exporter")
+	frame := collector.AppendSamples(nil, reliableTestSamples(4))
+	send(append(good, frame[:len(frame)-5]...))
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.decodeErrs.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := srv.decodeErrs.Load(); got != 2 {
+		t.Fatalf("decode errors = %d, want 2", got)
+	}
+
+	kinds := map[string]uint64{}
+	for k, v := range srv.decodeErrKinds() {
+		kinds[k.kind] += v
+	}
+	if kinds["bad_magic"] != 1 || kinds["truncated"] != 1 {
+		t.Errorf("kind breakdown = %v, want bad_magic:1 truncated:1", kinds)
+	}
+	// The truncated stream spoke its hello first, so the error must be
+	// attributed to the declared exporter name, not the socket address.
+	found := false
+	for k := range srv.decodeErrKinds() {
+		if k.router == "flaky-exporter" && k.kind == "truncated" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("truncated error not attributed to flaky-exporter: %v", srv.decodeErrKinds())
+	}
+
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if body := rec.Body.String(); !strings.Contains(body, `rlird_decode_error_kinds_total{router="flaky-exporter",kind="truncated"} 1`) {
+		t.Errorf("/metrics missing labeled decode error counter:\n%s", body)
+	}
+
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if body := rec.Body.String(); !strings.Contains(body, `"decode_error_kinds"`) {
+		t.Errorf("/healthz missing decode_error_kinds:\n%s", body)
+	}
+}

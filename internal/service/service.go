@@ -28,6 +28,7 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -43,6 +44,7 @@ import (
 
 	"github.com/netmeasure/rlir/internal/collector"
 	"github.com/netmeasure/rlir/internal/stats"
+	"github.com/netmeasure/rlir/internal/swp"
 )
 
 // Config sizes and addresses the service. The zero value is valid for an
@@ -108,6 +110,22 @@ type routerAgg struct {
 	est     stats.Welford
 	truth   stats.Welford
 	hist    stats.Histogram
+	// Reliable-transport accounting, populated only for exporters that
+	// connect with the swp framing: segments received, duplicates dropped
+	// (retransmissions whose original arrived — the receiver-side signature
+	// of upstream loss), segments reorder-buffered, and gap episodes.
+	reliable    bool
+	tSegments   uint64
+	tDuplicates uint64
+	tOutOfOrder uint64
+	tGaps       uint64
+}
+
+// decodeErrKey labels one decode-error counter: which exporter, which kind
+// of corruption.
+type decodeErrKey struct {
+	router string
+	kind   string
 }
 
 // Server is the running service. Create with New, stop with Shutdown.
@@ -133,6 +151,16 @@ type Server struct {
 	decodeErrs atomic.Uint64
 	draining   atomic.Bool
 	closed     atomic.Bool
+
+	// Reliable-transport totals across all swp connections.
+	relConnsTotal atomic.Uint64
+	tSegments     atomic.Uint64
+	tDuplicates   atomic.Uint64
+	tOutOfOrder   atomic.Uint64
+	tGaps         atomic.Uint64
+
+	errsMu       sync.Mutex
+	decodeErrsBy map[decodeErrKey]uint64
 }
 
 // New starts a server: collector shards, the configured ingest listeners,
@@ -140,11 +168,12 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		coll:    collector.New(collector.Config{Shards: cfg.Shards, Depth: cfg.Depth}),
-		conns:   make(map[net.Conn]struct{}),
-		routers: make(map[string]*routerAgg),
-		start:   time.Now(),
+		cfg:          cfg,
+		coll:         collector.New(collector.Config{Shards: cfg.Shards, Depth: cfg.Depth}),
+		conns:        make(map[net.Conn]struct{}),
+		routers:      make(map[string]*routerAgg),
+		decodeErrsBy: make(map[decodeErrKey]uint64),
+		start:        time.Now(),
 	}
 	s.window = newRateWindow(cfg.Window, s.ingestTotals)
 
@@ -262,6 +291,11 @@ func (s *Server) ServeConn(conn net.Conn) {
 // out. The collector's bounded queues provide the backpressure — a slow
 // plane blocks here, which stalls the peer's writes.
 //
+// The first bytes pick the framing: the swp segment magic selects the
+// reliable transport (an swp.Receiver reassembles the frame stream and acks
+// back over the same socket), anything else is read as raw collector
+// frames. Either way the same FrameReader decodes what arrives.
+//
 // The per-router aggregate is resolved lazily on the first data frame: a
 // well-behaved exporter's hello arrives first, so its connection never
 // creates an entry under the fallback remote-address identity — otherwise
@@ -275,12 +309,60 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		return router
 	}
-	fr := collector.NewFrameReader(conn, s.cfg.MaxFrameRecords)
+
+	br := bufio.NewReader(conn)
+	magic, err := br.Peek(2)
+	if err != nil {
+		return // connection ended before any framing was spoken
+	}
+	src := io.Reader(br)
+	var rel *swp.Receiver
+	var lastTS swp.ReceiverStats
+	if swp.Detect(magic) {
+		// Reads drain the bufio buffer holding the peeked bytes; acks
+		// write straight to the socket.
+		rel = swp.NewReceiver(swp.NewStreamConnPair(br, conn), swp.Config{})
+		defer rel.Close()
+		src = rel
+		s.relConnsTotal.Add(1)
+	}
+	// flushTransport folds the receiver's counter deltas into the global
+	// and per-exporter transport accounting; called per frame so /metrics
+	// tracks a live connection, and once more when the stream ends.
+	flushTransport := func() {
+		if rel == nil {
+			return
+		}
+		cur := rel.Stats()
+		d := swp.ReceiverStats{
+			Segments:   cur.Segments - lastTS.Segments,
+			Duplicates: cur.Duplicates - lastTS.Duplicates,
+			OutOfOrder: cur.OutOfOrder - lastTS.OutOfOrder,
+			Gaps:       cur.Gaps - lastTS.Gaps,
+		}
+		lastTS = cur
+		s.tSegments.Add(d.Segments)
+		s.tDuplicates.Add(d.Duplicates)
+		s.tOutOfOrder.Add(d.OutOfOrder)
+		s.tGaps.Add(d.Gaps)
+		r := agg()
+		r.mu.Lock()
+		r.reliable = true
+		r.tSegments += d.Segments
+		r.tDuplicates += d.Duplicates
+		r.tOutOfOrder += d.OutOfOrder
+		r.tGaps += d.Gaps
+		r.mu.Unlock()
+	}
+	defer flushTransport()
+
+	fr := collector.NewFrameReader(src, s.cfg.MaxFrameRecords)
 	for {
 		f, err := fr.Next()
 		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				s.decodeErrs.Add(1)
+				s.recordDecodeErr(name, err)
 			}
 			return
 		}
@@ -315,7 +397,63 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			r.mu.Unlock()
 		}
+		flushTransport()
 	}
+}
+
+// errKind buckets a read-loop error for the per-exporter decode-error
+// counters. Transport-layer (swp) kinds are matched before codec kinds:
+// FrameReader wraps stream errors in ErrTruncatedFrame, and a reliable
+// connection dying mid-segment should count against the transport, not the
+// codec.
+func errKind(err error) string {
+	switch {
+	case errors.Is(err, swp.ErrMissingSegments):
+		return "missing_segments"
+	case errors.Is(err, swp.ErrRetryBudgetExhausted):
+		return "retry_budget"
+	case errors.Is(err, swp.ErrBadSegmentMagic),
+		errors.Is(err, swp.ErrBadSegmentVersion),
+		errors.Is(err, swp.ErrBadSegmentType),
+		errors.Is(err, swp.ErrOversizedSegment):
+		return "bad_segment"
+	case errors.Is(err, swp.ErrTruncatedSegment):
+		return "truncated_segment"
+	case errors.Is(err, collector.ErrBadFrameMagic):
+		return "bad_magic"
+	case errors.Is(err, collector.ErrBadVersion):
+		return "bad_version"
+	case errors.Is(err, collector.ErrBadMessageType):
+		return "bad_message_type"
+	case errors.Is(err, collector.ErrOversizedFrame):
+		return "oversized"
+	case errors.Is(err, collector.ErrTruncatedFrame):
+		return "truncated"
+	case errors.Is(err, collector.ErrShortFrame):
+		return "short"
+	default:
+		return "other"
+	}
+}
+
+// recordDecodeErr counts one decode error against the exporter it came
+// from, keyed by error kind — so /metrics can say which peer is corrupting
+// its stream and how, before the connection is dropped.
+func (s *Server) recordDecodeErr(router string, err error) {
+	s.errsMu.Lock()
+	s.decodeErrsBy[decodeErrKey{router: router, kind: errKind(err)}]++
+	s.errsMu.Unlock()
+}
+
+// decodeErrKinds returns a copy of the labeled decode-error counters.
+func (s *Server) decodeErrKinds() map[decodeErrKey]uint64 {
+	s.errsMu.Lock()
+	defer s.errsMu.Unlock()
+	out := make(map[decodeErrKey]uint64, len(s.decodeErrsBy))
+	for k, v := range s.decodeErrsBy {
+		out[k] = v
+	}
+	return out
 }
 
 // remoteName is the pre-hello router identity: the peer's address, or a

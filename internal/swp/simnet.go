@@ -1,0 +1,260 @@
+package swp
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// SimNetConfig shapes the loss model of an in-process segment path. All
+// randomness derives from Seed, so a run's drop/duplicate/reorder decisions
+// are reproducible (Delay adds real scheduling nondeterminism to arrival
+// order, which the ARQ layer must absorb anyway).
+type SimNetConfig struct {
+	// Seed fixes the impairment random streams; each direction gets an
+	// independent stream derived from it.
+	Seed int64
+	// Drop, Dup and Reorder are per-segment probabilities in [0, 1].
+	// Reorder holds a segment back until the next one passes, swapping
+	// their arrival order.
+	Drop    float64
+	Dup     float64
+	Reorder float64
+	// Delay is the maximum extra per-segment latency; each delayed
+	// segment sleeps a uniform fraction of it in its own goroutine.
+	Delay time.Duration
+	// Queue bounds each direction's in-flight segments (default 256);
+	// segments arriving at a full queue are tail-dropped.
+	Queue int
+}
+
+// NewSimNet builds an in-process lossy segment path and returns its two
+// endpoints. Segments sent on one endpoint arrive at the other — except
+// when the configured impairments drop, duplicate, reorder or delay them.
+// Closing either endpoint closes the whole path.
+func NewSimNet(cfg SimNetConfig) (SegmentConn, SegmentConn) {
+	queue := cfg.Queue
+	if queue <= 0 {
+		queue = 256
+	}
+	ab := &simDir{ch: make(chan Segment, queue), imp: newImpairState(cfg, cfg.Seed)}
+	ba := &simDir{ch: make(chan Segment, queue), imp: newImpairState(cfg, cfg.Seed+1)}
+	return &simEnd{out: ab, in: ba}, &simEnd{out: ba, in: ab}
+}
+
+// simDir is one direction of a SimNet: a bounded queue with an impairment
+// stage in front of it.
+type simDir struct {
+	mu     sync.Mutex
+	ch     chan Segment
+	closed bool
+	imp    *impairState
+}
+
+func (d *simDir) enqueue(seg Segment) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	select {
+	case d.ch <- seg:
+	default: // full queue: tail drop
+	}
+}
+
+func (d *simDir) send(seg Segment) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	out := d.imp.apply(seg)
+	d.mu.Unlock()
+	for _, dv := range out {
+		if dv.delay > 0 {
+			go func(seg Segment, delay time.Duration) {
+				time.Sleep(delay)
+				d.enqueue(seg)
+			}(dv.seg, dv.delay)
+			continue
+		}
+		d.enqueue(dv.seg)
+	}
+	return nil
+}
+
+func (d *simDir) close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	// Flush a held-back reordered segment so close doesn't turn a swap
+	// into a loss.
+	if seg, ok := d.imp.flush(); ok {
+		select {
+		case d.ch <- seg:
+		default:
+		}
+	}
+	d.closed = true
+	close(d.ch)
+}
+
+type simEnd struct {
+	out *simDir
+	in  *simDir
+}
+
+func (e *simEnd) Send(seg Segment) error { return e.out.send(seg) }
+
+func (e *simEnd) Recv() (Segment, error) {
+	seg, ok := <-e.in.ch
+	if !ok {
+		return Segment{}, io.EOF
+	}
+	return seg, nil
+}
+
+func (e *simEnd) Close() error {
+	e.out.close()
+	e.in.close()
+	return nil
+}
+
+// delivery is one impaired segment plus the extra latency it owes.
+type delivery struct {
+	seg   Segment
+	delay time.Duration
+}
+
+// impairState applies a SimNetConfig's loss model to a stream of segments.
+// Callers must serialize apply/flush (SimNet and Impair guard it with the
+// direction lock).
+type impairState struct {
+	cfg        SimNetConfig
+	rng        *rand.Rand
+	pocket     Segment
+	havePocket bool
+}
+
+func newImpairState(cfg SimNetConfig, seed int64) *impairState {
+	return &impairState{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (im *impairState) apply(seg Segment) []delivery {
+	seg = copySegment(seg)
+	if im.cfg.Drop > 0 && im.rng.Float64() < im.cfg.Drop {
+		return nil
+	}
+	if im.cfg.Reorder > 0 && !im.havePocket && im.rng.Float64() < im.cfg.Reorder {
+		// Hold this one back; it rides out behind the next survivor.
+		im.pocket = seg
+		im.havePocket = true
+		return nil
+	}
+	out := []delivery{{seg: seg, delay: im.delay()}}
+	if im.cfg.Dup > 0 && im.rng.Float64() < im.cfg.Dup {
+		out = append(out, delivery{seg: copySegment(seg), delay: im.delay()})
+	}
+	if im.havePocket {
+		out = append(out, delivery{seg: im.pocket, delay: im.delay()})
+		im.pocket = Segment{}
+		im.havePocket = false
+	}
+	return out
+}
+
+func (im *impairState) delay() time.Duration {
+	if im.cfg.Delay <= 0 {
+		return 0
+	}
+	return time.Duration(im.rng.Int63n(int64(im.cfg.Delay)))
+}
+
+// flush surrenders a held-back segment, if any.
+func (im *impairState) flush() (Segment, bool) {
+	if !im.havePocket {
+		return Segment{}, false
+	}
+	seg := im.pocket
+	im.pocket = Segment{}
+	im.havePocket = false
+	return seg, true
+}
+
+func copySegment(seg Segment) Segment {
+	if seg.Payload != nil {
+		seg.Payload = append([]byte(nil), seg.Payload...)
+	}
+	return seg
+}
+
+// ImpairConfig shapes an Impair wrapper: the same loss model as
+// SimNetConfig, applied to one endpoint's outbound segments.
+type ImpairConfig struct {
+	// Seed fixes the impairment random stream.
+	Seed int64
+	// Drop, Dup and Reorder are per-segment probabilities in [0, 1].
+	Drop    float64
+	Dup     float64
+	Reorder float64
+	// Delay is the maximum extra latency added to a sent segment.
+	Delay time.Duration
+}
+
+// Impair wraps a SegmentConn so outbound segments pass through a seeded
+// loss model — how cmd/loadgen emulates a lossy export path over a real
+// socket: its data segments are dropped/duplicated/reordered before they
+// reach the wire, and the ARQ layer has to recover against a live rlird.
+// Inbound segments are untouched.
+func Impair(c SegmentConn, cfg ImpairConfig) SegmentConn {
+	return &impairConn{
+		inner: c,
+		imp: newImpairState(SimNetConfig{
+			Drop:    cfg.Drop,
+			Dup:     cfg.Dup,
+			Reorder: cfg.Reorder,
+			Delay:   cfg.Delay,
+		}, cfg.Seed),
+	}
+}
+
+type impairConn struct {
+	inner SegmentConn
+	mu    sync.Mutex
+	imp   *impairState
+}
+
+func (c *impairConn) Send(seg Segment) error {
+	c.mu.Lock()
+	out := c.imp.apply(seg)
+	c.mu.Unlock()
+	for _, dv := range out {
+		if dv.delay > 0 {
+			go func(seg Segment, delay time.Duration) {
+				time.Sleep(delay)
+				_ = c.inner.Send(seg)
+			}(dv.seg, dv.delay)
+			continue
+		}
+		if err := c.inner.Send(dv.seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *impairConn) Recv() (Segment, error) { return c.inner.Recv() }
+
+func (c *impairConn) Close() error {
+	c.mu.Lock()
+	seg, ok := c.imp.flush()
+	c.mu.Unlock()
+	if ok {
+		_ = c.inner.Send(seg)
+	}
+	return c.inner.Close()
+}

@@ -1,0 +1,85 @@
+package swp
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// SegmentConn carries whole segments between a sender and a receiver. Send
+// and Recv must be safe to call from different goroutines (one writer, one
+// reader); Close must unblock a pending Recv.
+type SegmentConn interface {
+	// Send transmits one segment.
+	Send(seg Segment) error
+	// Recv blocks for the next segment; io.EOF means the peer closed
+	// cleanly.
+	Recv() (Segment, error)
+	// Close tears the transport down.
+	Close() error
+}
+
+// StreamConn adapts a byte-stream connection (TCP, Unix socket, net.Pipe)
+// into a SegmentConn by length-delimiting segments with the swp header.
+// Reads and writes may come from different goroutines; concurrent writers
+// are serialized so segments never interleave.
+type StreamConn struct {
+	r  io.Reader
+	wc io.WriteCloser
+
+	wmu  sync.Mutex
+	wbuf []byte
+	hdr  [SegmentHeaderSize]byte
+	rbuf []byte
+}
+
+// NewStreamConn wraps a full-duplex byte-stream connection.
+func NewStreamConn(rw io.ReadWriteCloser) *StreamConn {
+	return NewStreamConnPair(rw, rw)
+}
+
+// NewStreamConnPair wraps separate read and write halves — how the service
+// layers a StreamConn over a bufio-wrapped socket (reads go through the
+// buffer that already peeked the first bytes, writes go straight to the
+// socket).
+func NewStreamConnPair(r io.Reader, wc io.WriteCloser) *StreamConn {
+	return &StreamConn{r: r, wc: wc}
+}
+
+// Send writes seg's wire encoding.
+func (c *StreamConn) Send(seg Segment) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wbuf = AppendSegment(c.wbuf[:0], seg)
+	_, err := c.wc.Write(c.wbuf)
+	return err
+}
+
+// Recv reads the next segment. A clean end of stream between segments is
+// io.EOF; a stream ending inside a segment is ErrTruncatedSegment.
+func (c *StreamConn) Recv() (Segment, error) {
+	if _, err := io.ReadFull(c.r, c.hdr[:]); err != nil {
+		if err == io.EOF {
+			return Segment{}, io.EOF
+		}
+		return Segment{}, fmt.Errorf("%w: %w", ErrTruncatedSegment, err)
+	}
+	typ, n, err := decodeSegmentHeader(c.hdr[:])
+	if err != nil {
+		return Segment{}, err
+	}
+	if cap(c.rbuf) < SegmentHeaderSize+n {
+		c.rbuf = make([]byte, SegmentHeaderSize+n)
+	}
+	buf := c.rbuf[:SegmentHeaderSize+n]
+	copy(buf, c.hdr[:])
+	if _, err := io.ReadFull(c.r, buf[SegmentHeaderSize:]); err != nil {
+		return Segment{}, fmt.Errorf("%w: %w", ErrTruncatedSegment, err)
+	}
+	seg, _, err := DecodeSegment(buf)
+	_ = typ
+	return seg, err
+}
+
+// Close closes the write half (the underlying connection, for sockets).
+func (c *StreamConn) Close() error { return c.wc.Close() }

@@ -15,6 +15,7 @@ import (
 	"github.com/netmeasure/rlir/internal/service"
 	"github.com/netmeasure/rlir/internal/simclock"
 	"github.com/netmeasure/rlir/internal/stats"
+	"github.com/netmeasure/rlir/internal/swp"
 	"github.com/netmeasure/rlir/internal/topo"
 	"github.com/netmeasure/rlir/internal/trace"
 )
@@ -486,6 +487,20 @@ type ScenarioSpec = scenario.Spec
 // ScenarioResult is one scenario run's outcome.
 type ScenarioResult = scenario.Result
 
+// ScenarioTelemetrySpec models telemetry-export loss applied to a finished
+// run's estimator reports (ScenarioSpec.Telemetry): export frames of
+// FrameRecords per-flow records are each dropped with probability LossRate
+// before scoring.
+type ScenarioTelemetrySpec = scenario.TelemetrySpec
+
+// ScenarioTelemetryReport is a run's estimator accuracy under telemetry
+// loss: one lossless-vs-degraded row per mechanism (ScenarioResult.Telemetry).
+type ScenarioTelemetryReport = scenario.TelemetryReport
+
+// ScenarioTelemetryRow is one estimator's lossless-vs-degraded comparison
+// under telemetry loss.
+type ScenarioTelemetryRow = scenario.TelemetryRow
+
 // ScenarioMultiOpts sizes a multi-seed scenario sweep.
 type ScenarioMultiOpts = scenario.MultiOpts
 
@@ -560,6 +575,30 @@ func DialService(network, addr string, batch int) (*ServiceClient, error) {
 // NewServiceClient wraps an established connection as a service client.
 func NewServiceClient(conn net.Conn, batch int) *ServiceClient {
 	return service.NewClient(conn, batch)
+}
+
+// ServiceDialOptions configures DialServiceWith: bounded connect attempts
+// with exponential backoff and jitter, and optionally the reliable
+// (sliding-window) framing with a seeded loss model for soaks.
+type ServiceDialOptions = service.DialOptions
+
+// TransportConfig tunes a reliable export connection: window size, segment
+// payload bound, retransmit timeout and backoff, retry budget.
+type TransportConfig = swp.Config
+
+// TransportImpairment is a seeded loss model (drop/duplicate/reorder/delay
+// probabilities) applied to a reliable connection's outbound segments —
+// cmd/loadgen's -loss soak.
+type TransportImpairment = swp.ImpairConfig
+
+// TransportSenderStats counts a reliable sender's first transmissions,
+// retransmits, timeouts and acks.
+type TransportSenderStats = swp.SenderStats
+
+// DialServiceWith connects a client to a service ingest listener per o,
+// retrying failed dials with exponential backoff before giving up.
+func DialServiceWith(o ServiceDialOptions) (*ServiceClient, error) {
+	return service.DialWith(o)
 }
 
 // CollectorSample is one exported per-packet latency estimate (the wire
