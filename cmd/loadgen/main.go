@@ -1,15 +1,17 @@
-// Command loadgen soak-tests a running rlird: it captures a scenario's
-// export stream (every per-packet latency sample and NetFlow record the
-// scenario's instruments produced) and replays it as collector wire frames
-// over N concurrent connections at a configurable rate — line rate by
-// default.
+// Command loadgen soak-tests a running rlird — or a whole fleet of them:
+// it captures a scenario's export stream (every per-packet latency sample
+// and NetFlow record the scenario's instruments produced) and replays it as
+// collector wire frames through the fleet router, -conns connections per
+// endpoint, at a configurable rate — line rate by default.
 //
-// Flows are partitioned across connections by flow hash with per-flow order
-// preserved, the collector plane's determinism contract, so a replayed run
-// aggregates bit-identically to the batch engine no matter how connections
-// interleave. With -duration the capture loops until the wall clock
-// expires; otherwise it is replayed exactly once (the equivalence mode:
-// the service's /flows table then matches the scenario's own fleet table).
+// -addr takes a comma-separated endpoint list. Flows are partitioned across
+// endpoints and connections by flow hash with per-flow order preserved, the
+// collector plane's determinism contract, so a replayed run aggregates
+// bit-identically to the batch engine no matter how connections interleave
+// — and a fleet's merged tables match a single node's. With -duration the
+// capture loops until the wall clock expires; otherwise it is replayed
+// exactly once (the equivalence mode: the service's /flows table then
+// matches the scenario's own fleet table).
 //
 // With -reliable the frames travel over the swp sliding-window transport
 // (sequence-numbered segments, acks, retransmission), and -loss interposes
@@ -24,6 +26,7 @@
 //	loadgen -scenario incast -unix /tmp/rlird.sock -rate 2000000 -duration 10s
 //	loadgen -spec my.json -seed 7 -addr 127.0.0.1:7171 -records
 //	loadgen -scenario incast -addr 127.0.0.1:7171 -reliable -loss 0.05
+//	loadgen -scenario baseline-tandem -addr 127.0.0.1:7171,127.0.0.1:7271 -conns 2
 package main
 
 import (
@@ -33,8 +36,6 @@ import (
 	"io"
 	"os"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	rlir "github.com/netmeasure/rlir"
@@ -77,9 +78,9 @@ func parseArgs(args []string) (options, error) {
 	fs.StringVar(&o.scenarioName, "scenario", "", "registered scenario to capture and replay (see cmd/scenario -list)")
 	fs.StringVar(&o.specFile, "spec", "", "ad-hoc scenario spec JSON file to capture and replay")
 	fs.Int64Var(&o.seed, "seed", 0, "override the spec seed (0 keeps the spec's)")
-	fs.StringVar(&o.addr, "addr", "", "rlird TCP ingest address")
+	fs.StringVar(&o.addr, "addr", "", "rlird TCP ingest address(es), comma-separated for a fleet")
 	fs.StringVar(&o.unixPath, "unix", "", "rlird Unix-socket ingest path")
-	fs.IntVar(&o.conns, "conns", 4, "concurrent replay connections")
+	fs.IntVar(&o.conns, "conns", 4, "concurrent replay connections per endpoint")
 	fs.Float64Var(&o.rate, "rate", 0, "total samples/s across connections (0 = line rate)")
 	fs.DurationVar(&o.duration, "duration", 0, "loop the capture for this long (0 = one pass)")
 	fs.IntVar(&o.batch, "batch", 512, "samples per wire frame")
@@ -107,6 +108,18 @@ func parseArgs(args []string) (options, error) {
 	}
 	if (o.addr == "") == (o.unixPath == "") {
 		return o, fmt.Errorf("need exactly one of -addr, -unix")
+	}
+	if o.addr != "" {
+		seen := map[string]bool{}
+		for _, ep := range strings.Split(o.addr, ",") {
+			if ep == "" {
+				return o, fmt.Errorf("-addr %q has an empty endpoint", o.addr)
+			}
+			if seen[ep] {
+				return o, fmt.Errorf("-addr lists endpoint %q twice", ep)
+			}
+			seen[ep] = true
+		}
 	}
 	if o.conns < 1 {
 		return o, fmt.Errorf("-conns %d < 1", o.conns)
@@ -136,10 +149,12 @@ func parseArgs(args []string) (options, error) {
 type summary struct {
 	Scenario  string  `json:"scenario"`
 	Seed      int64   `json:"seed"`
+	Endpoints int     `json:"endpoints"`
 	Conns     int     `json:"conns"`
 	Samples   uint64  `json:"samples_sent"`
 	Records   uint64  `json:"records_sent"`
 	Frames    uint64  `json:"frames_sent"`
+	Dropped   uint64  `json:"samples_dropped,omitempty"`
 	Passes    uint64  `json:"capture_passes"`
 	Elapsed   float64 `json:"elapsed_s"`
 	PerSecond float64 `json:"samples_per_s"`
@@ -200,8 +215,8 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, string(data))
 		return nil
 	}
-	fmt.Fprintf(out, "loadgen: sent %d samples (%d records, %d frames, %d passes) over %d conns in %.2fs = %.0f samples/s\n",
-		sum.Samples, sum.Records, sum.Frames, sum.Passes, sum.Conns, sum.Elapsed, sum.PerSecond)
+	fmt.Fprintf(out, "loadgen: sent %d samples (%d records, %d frames, %d passes) over %d conns to %d endpoint(s) in %.2fs = %.0f samples/s\n",
+		sum.Samples, sum.Records, sum.Frames, sum.Passes, sum.Conns, sum.Endpoints, sum.Elapsed, sum.PerSecond)
 	if sum.Reliable {
 		fmt.Fprintf(out, "loadgen: reliable transport: %d segments, %d retransmits, %d timeouts\n",
 			sum.Segments, sum.Retransmits, sum.Timeouts)
@@ -209,143 +224,99 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// replay partitions the capture by flow and streams it, looping until the
-// duration expires (or once when unset).
+// replay streams the capture through the fleet router, looping until the
+// duration expires (or once when unset). The router owns partitioning:
+// every flow's samples and records land on one (endpoint, connection) sink
+// in production order — with a single endpoint this is exactly the
+// per-connection split loadgen historically computed inline.
 func replay(o options, tr *rlir.ScenarioTrace) (summary, error) {
-	network, addr := "tcp", o.addr
+	network, endpoints := "tcp", strings.Split(o.addr, ",")
 	if o.unixPath != "" {
-		network, addr = "unix", o.unixPath
+		network, endpoints = "unix", []string{o.unixPath}
 	}
-
-	// Per-connection partitions: samples by flow hash (order-preserving),
-	// records likewise so a flow's record arrives on the same connection.
-	sampleParts := make([][]rlir.CollectorSample, o.conns)
-	for _, smp := range tr.Samples {
-		i := int(smp.Key.FastHash() % uint64(o.conns))
-		sampleParts[i] = append(sampleParts[i], smp)
+	epIndex := make(map[string]int, len(endpoints))
+	for i, ep := range endpoints {
+		epIndex[ep] = i
 	}
-	recordParts := make([][]rlir.NetFlowRecord, o.conns)
-	if o.records {
-		for _, r := range tr.Records {
-			i := int(r.Key.FastHash() % uint64(o.conns))
-			recordParts[i] = append(recordParts[i], r)
-		}
-	}
-
-	clients := make([]*rlir.ServiceClient, o.conns)
-	for i := range clients {
-		opts := rlir.ServiceDialOptions{
-			Network:        network,
-			Addr:           addr,
-			Batch:          o.batch,
-			ConnectTimeout: o.connectTimeout,
-			Attempts:       o.connectAttempts,
-			Reliable:       o.reliable,
-		}
-		if o.loss > 0 {
-			// Drop-only impairment, one independent stream per connection:
-			// retransmission recovery is the thing under soak, against a
-			// real service.
-			opts.Impair = &rlir.TransportImpairment{Seed: o.lossSeed + int64(i), Drop: o.loss}
-		}
-		c, err := rlir.DialServiceWith(opts)
-		if err != nil {
-			return summary{}, fmt.Errorf("conn %d: %w", i, err)
-		}
-		clients[i] = c
-		if err := c.Hello(fmt.Sprintf("loadgen-%d", i)); err != nil {
-			return summary{}, fmt.Errorf("conn %d hello: %w", i, err)
-		}
+	r, err := rlir.NewFleetRouter(rlir.FleetRouterConfig{
+		Endpoints:        endpoints,
+		ConnsPerEndpoint: o.conns,
+		Name:             "loadgen",
+		Batch:            o.batch,
+		Dial: func(endpoint string, conn int) (rlir.FleetSink, error) {
+			opts := rlir.ServiceDialOptions{
+				Network:        network,
+				Addr:           endpoint,
+				Batch:          o.batch,
+				ConnectTimeout: o.connectTimeout,
+				Attempts:       o.connectAttempts,
+				Reliable:       o.reliable,
+			}
+			if o.loss > 0 {
+				// Drop-only impairment, one independent stream per
+				// connection: retransmission recovery is the thing under
+				// soak, against a real service.
+				flat := epIndex[endpoint]*o.conns + conn
+				opts.Impair = &rlir.TransportImpairment{Seed: o.lossSeed + int64(flat), Drop: o.loss}
+			}
+			return rlir.DialServiceWith(opts)
+		},
+	})
+	if err != nil {
+		return summary{}, err
 	}
 
 	deadline := time.Time{}
 	if o.duration > 0 {
 		deadline = time.Now().Add(o.duration)
 	}
-	var samples, records, frames, passes atomic.Uint64
-	errs := make([]error, o.conns)
+	pacer := rlir.NewPacer(o.rate)
+	var passes uint64
 	start := time.Now()
-	var wg sync.WaitGroup
-	for i := 0; i < o.conns; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			c := clients[i]
-			pacer := rlir.NewPacer(o.rate / float64(o.conns))
-			part := sampleParts[i]
-			// With more connections than flows a partition can be empty;
-			// looping it would busy-spin for the whole duration and inflate
-			// the pass counter.
-			if len(part) == 0 && len(recordParts[i]) == 0 {
-				return
+replay:
+	for {
+		for off := 0; off < len(tr.Samples); off += o.batch {
+			end := off + o.batch
+			if end > len(tr.Samples) {
+				end = len(tr.Samples)
 			}
-			for {
-				for off := 0; off < len(part); off += o.batch {
-					end := off + o.batch
-					if end > len(part) {
-						end = len(part)
-					}
-					pacer.Wait(end - off)
-					if err := c.SendSamples(part[off:end]); err != nil {
-						errs[i] = fmt.Errorf("conn %d: %w", i, err)
-						return
-					}
-					samples.Add(uint64(end - off))
-					frames.Add(1)
-					if !deadline.IsZero() && time.Now().After(deadline) {
-						return
-					}
-				}
-				// Records are chunked like samples: one giant frame would
-				// trip the server's per-frame record bound.
-				for off := 0; off < len(recordParts[i]); off += o.batch {
-					end := off + o.batch
-					if end > len(recordParts[i]) {
-						end = len(recordParts[i])
-					}
-					if err := c.SendRecords(recordParts[i][off:end]); err != nil {
-						errs[i] = fmt.Errorf("conn %d: %w", i, err)
-						return
-					}
-					records.Add(uint64(end - off))
-					frames.Add(1)
-				}
-				passes.Add(1)
-				if deadline.IsZero() || time.Now().After(deadline) {
-					return
-				}
+			pacer.Wait(end - off)
+			r.RouteSamples(tr.Samples[off:end])
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				break replay
 			}
-		}(i)
+		}
+		if o.records {
+			r.RouteRecords(tr.Records)
+		}
+		passes++
+		if deadline.IsZero() || time.Now().After(deadline) {
+			break
+		}
 	}
-	wg.Wait()
+	closeErr := r.Close()
 	elapsed := time.Since(start)
-	var segments, retransmits, timeouts uint64
-	for i := range clients {
-		if err := clients[i].Close(); err != nil && errs[i] == nil {
-			errs[i] = err
-		}
-		if st, ok := clients[i].TransportStats(); ok {
-			segments += st.Segments
-			retransmits += st.Retransmits
-			timeouts += st.Timeouts
-		}
-	}
-	for _, err := range errs {
-		if err != nil {
-			return summary{}, err
-		}
-	}
+
 	s := summary{
-		Conns:       o.conns,
-		Samples:     samples.Load(),
-		Records:     records.Load(),
-		Frames:      frames.Load(),
-		Passes:      passes.Load(),
-		Elapsed:     elapsed.Seconds(),
-		Reliable:    o.reliable,
-		Segments:    segments,
-		Retransmits: retransmits,
-		Timeouts:    timeouts,
+		Endpoints: len(endpoints),
+		Conns:     len(endpoints) * o.conns,
+		Passes:    passes,
+		Elapsed:   elapsed.Seconds(),
+		Reliable:  o.reliable,
+	}
+	for _, es := range r.Stats() {
+		s.Samples += es.SamplesSent
+		s.Records += es.RecordsSent
+		s.Frames += es.FramesSent
+		s.Dropped += es.Dropped
+	}
+	if st, ok := r.TransportStats(); ok {
+		s.Segments = st.Segments
+		s.Retransmits = st.Retransmits
+		s.Timeouts = st.Timeouts
+	}
+	if closeErr != nil {
+		return summary{}, closeErr
 	}
 	if elapsed > 0 {
 		s.PerSecond = float64(s.Samples) / elapsed.Seconds()

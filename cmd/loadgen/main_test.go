@@ -11,6 +11,7 @@ import (
 	"time"
 
 	rlir "github.com/netmeasure/rlir"
+	"github.com/netmeasure/rlir/internal/collector"
 )
 
 func TestParseArgs(t *testing.T) {
@@ -33,6 +34,9 @@ func TestParseArgs(t *testing.T) {
 		{"zero batch", []string{"-scenario", "incast", "-addr", "a:1", "-batch", "0"}, "-batch"},
 		{"unknown flag", []string{"-frobnicate"}, "frobnicate"},
 		{"stray args", []string{"-scenario", "incast", "-addr", "a:1", "extra"}, "unexpected arguments"},
+		{"fleet addr", []string{"-scenario", "incast", "-addr", "a:1,b:2", "-conns", "2"}, ""},
+		{"empty endpoint", []string{"-scenario", "incast", "-addr", "a:1,"}, "empty endpoint"},
+		{"duplicate endpoint", []string{"-scenario", "incast", "-addr", "a:1,a:1"}, "twice"},
 		{"reliable", []string{"-scenario", "incast", "-addr", "a:1", "-reliable"}, ""},
 		{"reliable lossy", []string{"-scenario", "incast", "-addr", "a:1", "-reliable", "-loss", "0.05"}, ""},
 		{"retrying", []string{"-scenario", "incast", "-addr", "a:1", "-connect-attempts", "5", "-connect-timeout", "2s"}, ""},
@@ -93,7 +97,7 @@ func TestReplayAgainstLiveService(t *testing.T) {
 	if err := json.Unmarshal([]byte(text[strings.Index(text, "{"):]), &sum); err != nil {
 		t.Fatalf("summary not JSON: %v\n%s", err, text)
 	}
-	if sum.Conns != 4 || sum.Samples == 0 || sum.Passes < 4 {
+	if sum.Endpoints != 1 || sum.Conns != 4 || sum.Samples == 0 || sum.Passes != 1 {
 		t.Fatalf("summary wrong: %+v", sum)
 	}
 
@@ -161,6 +165,97 @@ func TestReliableLossyReplay(t *testing.T) {
 		a, b := snap[i], tr.Result.Fleet[i]
 		if a.Key != b.Key || a.Est != b.Est || a.True != b.True {
 			t.Fatalf("flow %d diverged after lossy replay:\nservice %+v\nbatch   %+v", i, a, b)
+		}
+	}
+}
+
+// TestReplayAcrossFleet replays one capture across two rlird instances via a
+// comma-separated -addr list: each instance must own a strict flow-disjoint
+// partition, and the merged tables must be bit-identical to the batch
+// engine's single-node fleet table.
+func TestReplayAcrossFleet(t *testing.T) {
+	var servers [2]*rlir.MeasurementService
+	for i := range servers {
+		s, err := rlir.NewMeasurementService(rlir.ServiceConfig{Listen: "127.0.0.1:0", Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Shutdown(t.Context())
+		servers[i] = s
+	}
+
+	var out strings.Builder
+	addrs := servers[0].Addr().String() + "," + servers[1].Addr().String()
+	args := []string{"-scenario", "baseline-tandem", "-addr", addrs, "-conns", "2", "-json"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	var sum summary
+	if err := json.Unmarshal([]byte(text[strings.Index(text, "{"):]), &sum); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, text)
+	}
+	if sum.Endpoints != 2 || sum.Conns != 4 || sum.Samples == 0 {
+		t.Fatalf("summary wrong: %+v", sum)
+	}
+
+	// Drain both instances, then prove the partition really split the stream
+	// and that the merge is exact.
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		got := servers[0].Collector().SamplesIngested() + servers[1].Collector().SamplesIngested()
+		if got >= sum.Samples {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ingested %d of %d samples", got, sum.Samples)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snapA, snapB := servers[0].Snapshot(), servers[1].Snapshot()
+	if len(snapA) == 0 || len(snapB) == 0 {
+		t.Fatalf("partition degenerate: instance flows %d / %d", len(snapA), len(snapB))
+	}
+	for _, agg := range snapA {
+		if rlir.FleetPartition(agg.Key, 2) != 0 {
+			t.Fatalf("flow %v landed on instance 0 but partitions elsewhere", agg.Key)
+		}
+	}
+	sc, _ := rlir.ScenarioByName("baseline-tandem")
+	tr, err := rlir.ExportScenarioTrace(sc.Spec, sc.Spec.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := collector.Merge(snapA, snapB)
+	if len(merged) != len(tr.Result.Fleet) {
+		t.Fatalf("merged fleet has %d flows, batch engine %d", len(merged), len(tr.Result.Fleet))
+	}
+	for i := range merged {
+		a, b := merged[i], tr.Result.Fleet[i]
+		if a.Key != b.Key || a.Est != b.Est || a.True != b.True {
+			t.Fatalf("flow %d diverged after fleet replay:\nmerged %+v\nbatch  %+v", i, a, b)
+		}
+	}
+}
+
+// TestHistoricalPartitionPinned pins the dedupe refactor: the fleet router's
+// (endpoint, conn) grid with one endpoint must reproduce loadgen's historical
+// inline per-connection split, int(key.FastHash() % conns), for every sample
+// in a real capture. If this drifts, replayed flow tables stop matching runs
+// recorded before the router existed.
+func TestHistoricalPartitionPinned(t *testing.T) {
+	sc, _ := rlir.ScenarioByName("baseline-tandem")
+	tr, err := rlir.ExportScenarioTrace(sc.Spec, sc.Spec.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, conns := range []int{1, 2, 4, 8} {
+		for _, smp := range tr.Samples {
+			legacy := int(smp.Key.FastHash() % uint64(conns))
+			ep, conn := rlir.FleetSinkIndex(smp.Key, 1, conns)
+			if ep != 0 || conn != legacy {
+				t.Fatalf("conns=%d key=%v: router grid (%d,%d), historical conn %d",
+					conns, smp.Key, ep, conn, legacy)
+			}
 		}
 	}
 }

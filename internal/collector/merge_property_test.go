@@ -1,0 +1,100 @@
+package collector
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/netflow"
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/simtime"
+)
+
+// TestMergeFlowPartitionedExact is the fleet tier's correctness theorem,
+// stated as a property: partition one sample/record stream across M
+// collectors BY FLOW (every flow's traffic lands wholly in one collector —
+// exactly what fleet.Partition guarantees) and Merge the M snapshots; the
+// result must be bit-identical to one collector ingesting the whole stream.
+// Flow-disjoint partitioning means Merge never folds two non-empty same-key
+// Welford accumulators, so no float reassociation ever happens — equality is
+// reflect.DeepEqual, not a tolerance.
+func TestMergeFlowPartitionedExact(t *testing.T) {
+	f := func(seed int64, instanceCount uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + int(instanceCount%5)
+		nFlows := 1 + rng.Intn(40)
+		keys := make([]packet.FlowKey, nFlows)
+		for i := range keys {
+			keys[i] = randKey(rng)
+		}
+		whole := New(Config{Shards: 2})
+		parts := make([]*Collector, m)
+		for i := range parts {
+			parts[i] = New(Config{Shards: 2})
+		}
+		for batch := 0; batch < 20; batch++ {
+			smps := make([]Sample, 1+rng.Intn(50))
+			for i := range smps {
+				smps[i] = Sample{
+					Key:  keys[rng.Intn(nFlows)],
+					Est:  time.Duration(rng.Int63n(int64(time.Second))),
+					True: time.Duration(rng.Int63n(int64(time.Second))),
+				}
+			}
+			recs := make([]netflow.Record, rng.Intn(10))
+			for i := range recs {
+				recs[i] = netflow.Record{
+					Key:     keys[rng.Intn(nFlows)],
+					Packets: uint64(1 + rng.Intn(100)),
+					Bytes:   uint64(64 + rng.Intn(1<<16)),
+					First:   simtime.Time(rng.Int63n(int64(time.Second))),
+					Last:    simtime.Time(rng.Int63n(int64(time.Second))),
+				}
+			}
+			whole.Ingest(smps)
+			whole.IngestRecords(recs)
+			// Flow-disjoint split: instance = hash(key) mod m.
+			sp := make([][]Sample, m)
+			for _, s := range smps {
+				i := int(s.Key.FastHash() % uint64(m))
+				sp[i] = append(sp[i], s)
+			}
+			rp := make([][]netflow.Record, m)
+			for _, r := range recs {
+				i := int(r.Key.FastHash() % uint64(m))
+				rp[i] = append(rp[i], r)
+			}
+			for i := range parts {
+				parts[i].Ingest(sp[i])
+				parts[i].IngestRecords(rp[i])
+			}
+		}
+		whole.Close()
+		want := whole.Snapshot()
+		snaps := make([][]FlowAgg, m)
+		for i, p := range parts {
+			p.Close()
+			snaps[i] = p.Snapshot()
+		}
+		if !reflect.DeepEqual(Merge(snaps...), want) {
+			return false
+		}
+		// Order invariance: flow-disjoint inputs never co-merge a key, so any
+		// argument order gives the same (sorted) result bit-for-bit.
+		rng.Shuffle(m, func(i, j int) { snaps[i], snaps[j] = snaps[j], snaps[i] })
+		if !reflect.DeepEqual(Merge(snaps...), want) {
+			return false
+		}
+		// Associativity: pairwise left fold equals one flat Merge.
+		acc := Merge(snaps[0])
+		for _, s := range snaps[1:] {
+			acc = Merge(acc, s)
+		}
+		return reflect.DeepEqual(acc, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package fleet_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/collector"
+	"github.com/netmeasure/rlir/internal/fleet"
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/service"
+)
+
+// benchSamples builds n samples spread over nFlows distinct flows.
+func benchSamples(n, nFlows int) []collector.Sample {
+	out := make([]collector.Sample, n)
+	for i := range out {
+		f := i % nFlows
+		out[i] = collector.Sample{
+			Key: packet.FlowKey{
+				Src: packet.Addr(0x0a000000 + f), Dst: packet.Addr(0x0a800000 + f),
+				SrcPort: uint16(1024 + f), DstPort: 7171, Proto: 6,
+			},
+			Est:  time.Duration(50+i%400) * time.Microsecond,
+			True: time.Duration(60+i%400) * time.Microsecond,
+		}
+	}
+	return out
+}
+
+// BenchmarkFleetIngest4x measures aggregate ingest throughput of a fleet of
+// four rlird instances fed through fleet.Router (partition + frame + send +
+// shard ingest), reported as samples/s.
+func BenchmarkFleetIngest4x(b *testing.B) {
+	const (
+		instances = 4
+		batch     = 4096
+	)
+	servers := make([]*service.Server, instances)
+	endpoints := make([]string, instances)
+	for i := range servers {
+		s, err := service.New(service.Config{Listen: "127.0.0.1:0", Shards: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		servers[i] = s
+		endpoints[i] = s.Addr().String()
+	}
+	r, err := fleet.NewRouter(fleet.Config{
+		Endpoints:        endpoints,
+		ConnsPerEndpoint: 2,
+		Name:             "bench",
+		Batch:            512,
+		Dial: func(endpoint string, conn int) (fleet.Sink, error) {
+			return service.Dial("tcp", endpoint, 0)
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	smps := benchSamples(batch, 64)
+	total := uint64(b.N) * batch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RouteSamples(smps)
+	}
+	if err := r.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	for {
+		var got uint64
+		for _, s := range servers {
+			got += s.Collector().SamplesIngested()
+		}
+		if got >= total {
+			break
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "samples/s")
+	if err := r.Close(); err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range servers {
+		_ = s.Shutdown(context.Background())
+	}
+}
+
+// BenchmarkFleetScatterGather measures the front-end's /flows query latency
+// over a populated fleet of four instances, reported as ms/query: one
+// fan-out to four /snapshot endpoints, an exact merge, and the render.
+func BenchmarkFleetScatterGather(b *testing.B) {
+	const instances = 4
+	servers := make([]*service.Server, instances)
+	urls := make([]string, instances)
+	endpoints := make([]string, instances)
+	for i := range servers {
+		s, err := service.New(service.Config{Listen: "127.0.0.1:0", HTTP: "127.0.0.1:0", Shards: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		servers[i] = s
+		endpoints[i] = s.Addr().String()
+		urls[i] = "http://" + s.HTTPAddr().String()
+	}
+	r, err := fleet.NewRouter(fleet.Config{
+		Endpoints: endpoints,
+		Name:      "bench",
+		Dial: func(endpoint string, conn int) (fleet.Sink, error) {
+			return service.Dial("tcp", endpoint, 0)
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nSamples = 1 << 15
+	r.RouteSamples(benchSamples(nSamples, 256))
+	if err := r.Close(); err != nil {
+		b.Fatal(err)
+	}
+	for {
+		var got uint64
+		for _, s := range servers {
+			got += s.Collector().SamplesIngested()
+		}
+		if got >= nSamples {
+			break
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	front, err := fleet.NewFrontend(fleet.FrontendConfig{Instances: urls})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Drive the handler through a real HTTP round trip like a client would.
+	ts := httptest.NewServer(front.Handler())
+	defer ts.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(ts.URL + "/flows")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("/flows status %d", resp.StatusCode)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(b.Elapsed().Seconds()*1e3/float64(b.N), "ms/query")
+	for _, s := range servers {
+		_ = s.Shutdown(context.Background())
+	}
+}

@@ -1,0 +1,345 @@
+package fleet_test
+
+// The fleet acceptance pin: a fleet of N rlird instances fed through
+// fleet.Router must answer — through the scatter-gather front-end — with
+// exactly the flow table and comparison a single node (the batch engine)
+// produces for the same export stream, for N = 1, 2 and 4. This package is
+// an external test (fleet_test) so it may import internal/service and
+// internal/scenario; the fleet package itself must not (scenario imports
+// fleet, and the service tests import scenario).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/fleet"
+	"github.com/netmeasure/rlir/internal/measure"
+	"github.com/netmeasure/rlir/internal/queryapi"
+	"github.com/netmeasure/rlir/internal/scenario"
+	"github.com/netmeasure/rlir/internal/service"
+)
+
+// testFleet is N live rlird instances plus the front-end serving them.
+type testFleet struct {
+	servers []*service.Server
+	front   *httptest.Server
+}
+
+// startFleet boots n service instances (TCP ingest + HTTP query API, both
+// on ephemeral ports) and a scatter-gather front-end over them.
+func startFleet(t testing.TB, n int) *testFleet {
+	t.Helper()
+	tf := &testFleet{}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		s, err := service.New(service.Config{Listen: "127.0.0.1:0", HTTP: "127.0.0.1:0", Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tf.servers = append(tf.servers, s)
+		urls[i] = "http://" + s.HTTPAddr().String()
+	}
+	front, err := fleet.NewFrontend(fleet.FrontendConfig{Instances: urls, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf.front = httptest.NewServer(front.Handler())
+	t.Cleanup(func() {
+		tf.front.Close()
+		for _, s := range tf.servers {
+			_ = s.Shutdown(context.Background())
+		}
+	})
+	return tf
+}
+
+// ingestAddrs returns the instances' wire-ingest addresses in order.
+func (tf *testFleet) ingestAddrs() []string {
+	out := make([]string, len(tf.servers))
+	for i, s := range tf.servers {
+		out[i] = s.Addr().String()
+	}
+	return out
+}
+
+// waitIngested blocks until the fleet as a whole holds want samples.
+func (tf *testFleet) waitIngested(t testing.TB, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var got uint64
+		for _, s := range tf.servers {
+			got += s.Collector().SamplesIngested()
+		}
+		if got >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet ingested %d of %d samples before timeout", got, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// routeTrace streams a captured export through a fleet.Router into the
+// fleet, two connections per endpoint, and waits for full ingestion.
+func (tf *testFleet) routeTrace(t testing.TB, tr *scenario.Trace) {
+	t.Helper()
+	r, err := fleet.NewRouter(fleet.Config{
+		Endpoints:        tf.ingestAddrs(),
+		ConnsPerEndpoint: 2,
+		Name:             "replay",
+		Dial: func(endpoint string, conn int) (fleet.Sink, error) {
+			return service.Dial("tcp", endpoint, 0)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 300
+	for off := 0; off < len(tr.Samples); off += chunk {
+		end := off + chunk
+		if end > len(tr.Samples) {
+			end = len(tr.Samples)
+		}
+		r.RouteSamples(tr.Samples[off:end])
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tf.waitIngested(t, uint64(len(tr.Samples)))
+}
+
+func getJSON(t testing.TB, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("decode %s: %v\n%s", url, err, body)
+	}
+	return resp.StatusCode
+}
+
+func exportBaseline(t testing.TB) *scenario.Trace {
+	t.Helper()
+	sc, ok := scenario.Get("baseline-tandem")
+	if !ok {
+		t.Fatal("baseline-tandem not registered")
+	}
+	tr, err := scenario.Export(sc.Spec, sc.Spec.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) == 0 {
+		t.Fatal("empty export")
+	}
+	return tr
+}
+
+func floatPtrEq(a, b *float64) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || *a == *b
+}
+
+// TestFleetOfNMatchesSingleNode is the acceptance criterion: for N = 1, 2
+// and 4, the front-end's /flows and /comparison over a partitioned fleet
+// are field-for-field identical to the batch engine's single-node answer
+// for the same export stream.
+func TestFleetOfNMatchesSingleNode(t *testing.T) {
+	tr := exportBaseline(t)
+	batch := tr.Result.Fleet // the single-node reference flow table
+
+	for _, n := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("N=%d", n), func(t *testing.T) {
+			tf := startFleet(t, n)
+			tf.routeTrace(t, tr)
+
+			var flows []queryapi.FlowJSON
+			if code := getJSON(t, tf.front.URL+"/flows", &flows); code != http.StatusOK {
+				t.Fatalf("/flows status %d", code)
+			}
+			if len(flows) != len(batch) {
+				t.Fatalf("fleet /flows has %d rows, single node has %d", len(flows), len(batch))
+			}
+			for i := range batch {
+				want := queryapi.FlowRow(&batch[i])
+				if flows[i] != want {
+					t.Fatalf("N=%d flow %d diverged:\nfleet  %+v\nsingle %+v", n, i, flows[i], want)
+				}
+			}
+
+			var got []queryapi.ComparisonJSON
+			if code := getJSON(t, tf.front.URL+"/comparison", &got); code != http.StatusOK {
+				t.Fatalf("/comparison status %d", code)
+			}
+			want := queryapi.ComparisonRow(measure.CompareFlowAggs("rli", batch))
+			if len(got) != 1 {
+				t.Fatalf("/comparison has %d rows", len(got))
+			}
+			if got[0].Estimator != want.Estimator || got[0].Flows != want.Flows ||
+				got[0].Samples != want.Samples || got[0].AggMeanNs != want.AggMeanNs ||
+				got[0].AggSamples != want.AggSamples ||
+				!floatPtrEq(got[0].MedianRelErr, want.MedianRelErr) ||
+				!floatPtrEq(got[0].P99RelErr, want.P99RelErr) ||
+				!floatPtrEq(got[0].AggRelErr, want.AggRelErr) {
+				t.Fatalf("N=%d /comparison diverged:\nfleet  %+v\nsingle %+v", n, got[0], want)
+			}
+		})
+	}
+}
+
+// TestFrontendAnnotatesRouters checks /routers carries every exporter
+// identity the router announced, tagged with the instance that saw it.
+func TestFrontendAnnotatesRouters(t *testing.T) {
+	tr := exportBaseline(t)
+	tf := startFleet(t, 2)
+	tf.routeTrace(t, tr)
+
+	var rows []queryapi.RouterJSON
+	if code := getJSON(t, tf.front.URL+"/routers", &rows); code != http.StatusOK {
+		t.Fatalf("/routers status %d", code)
+	}
+	if len(rows) != 4 { // 2 endpoints x 2 conns, one hello identity each
+		t.Fatalf("/routers has %d rows, want 4", len(rows))
+	}
+	var samples uint64
+	for _, r := range rows {
+		if r.Instance == "" {
+			t.Fatalf("row %q missing instance annotation", r.Router)
+		}
+		samples += r.Samples
+	}
+	if samples != uint64(len(tr.Samples)) {
+		t.Fatalf("/routers accounts %d samples, want %d", samples, len(tr.Samples))
+	}
+}
+
+// TestFrontendDegradedMode kills one instance of two: the merged table must
+// shrink to the surviving partition (not error), health must degrade, and
+// killing the second instance turns queries into 502 and health into 503.
+func TestFrontendDegradedMode(t *testing.T) {
+	tr := exportBaseline(t)
+	tf := startFleet(t, 2)
+	tf.routeTrace(t, tr)
+
+	if err := tf.servers[1].Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	var flows []queryapi.FlowJSON
+	if code := getJSON(t, tf.front.URL+"/flows", &flows); code != http.StatusOK {
+		t.Fatalf("/flows status %d after one instance down", code)
+	}
+	want := tf.servers[0].Snapshot()
+	if len(flows) != len(want) {
+		t.Fatalf("degraded /flows has %d rows, surviving instance holds %d", len(flows), len(want))
+	}
+	for i := range want {
+		if flows[i] != queryapi.FlowRow(&want[i]) {
+			t.Fatalf("degraded flow %d diverged", i)
+		}
+	}
+
+	var h fleet.HealthJSON
+	if code := getJSON(t, tf.front.URL+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("/healthz status %d, want 200 while degraded", code)
+	}
+	if h.Status != "degraded" || h.InstancesOK != 1 || h.Instances != 2 {
+		t.Fatalf("health %+v, want degraded 1/2", h)
+	}
+
+	if err := tf.servers[0].Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(tf.front.URL + "/flows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("/flows status %d with the whole fleet down, want 502", resp.StatusCode)
+	}
+	code := getJSON(t, tf.front.URL+"/healthz", &h)
+	if code != http.StatusServiceUnavailable || h.Status != "down" {
+		t.Fatalf("/healthz %d %q with the whole fleet down, want 503 down", code, h.Status)
+	}
+}
+
+// TestFrontendConfigErrors pins NewFrontend's validation.
+func TestFrontendConfigErrors(t *testing.T) {
+	if _, err := fleet.NewFrontend(fleet.FrontendConfig{}); err == nil {
+		t.Fatal("empty instance list accepted")
+	}
+	for _, bad := range []string{"127.0.0.1:7172", "ftp://host", "http://"} {
+		if _, err := fleet.NewFrontend(fleet.FrontendConfig{Instances: []string{bad}}); err == nil {
+			t.Fatalf("bad instance URL %q accepted", bad)
+		}
+	}
+}
+
+// TestRouterOverReliableTransport runs the same equivalence with swp-framed
+// sinks — the Router is framing-agnostic because the dialer chooses — and
+// checks the aggregated transport counters survive Close.
+func TestRouterOverReliableTransport(t *testing.T) {
+	tr := exportBaseline(t)
+	tf := startFleet(t, 2)
+	r, err := fleet.NewRouter(fleet.Config{
+		Endpoints: tf.ingestAddrs(),
+		Name:      "rel",
+		Dial: func(endpoint string, conn int) (fleet.Sink, error) {
+			return service.DialWith(service.DialOptions{Addr: endpoint, Reliable: true})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 400
+	for off := 0; off < len(tr.Samples); off += chunk {
+		end := off + chunk
+		if end > len(tr.Samples) {
+			end = len(tr.Samples)
+		}
+		r.RouteSamples(tr.Samples[off:end])
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := r.TransportStats()
+	if !ok || st.Segments == 0 {
+		t.Fatalf("no transport stats from reliable sinks: %+v ok=%v", st, ok)
+	}
+	tf.waitIngested(t, uint64(len(tr.Samples)))
+
+	var flows []queryapi.FlowJSON
+	getJSON(t, tf.front.URL+"/flows", &flows)
+	batch := tr.Result.Fleet
+	if len(flows) != len(batch) {
+		t.Fatalf("reliable fleet /flows has %d rows, want %d", len(flows), len(batch))
+	}
+	for i := range batch {
+		if flows[i] != queryapi.FlowRow(&batch[i]) {
+			t.Fatalf("reliable flow %d diverged", i)
+		}
+	}
+	// Sanity: the partitions really were disjoint and non-trivial for N=2.
+	a := tf.servers[0].Collector().SamplesIngested()
+	b := tf.servers[1].Collector().SamplesIngested()
+	if a == 0 || b == 0 {
+		t.Fatalf("degenerate partition: %d / %d samples", a, b)
+	}
+}

@@ -1,0 +1,247 @@
+// Package queryapi holds the JSON row types and renderers of the measurement
+// query API — the /flows, /routers, /comparison and /healthz shapes — plus
+// the raw-state snapshot codec the fleet tier merges through.
+//
+// The package exists so that a single rlird instance (internal/service) and
+// the scatter-gather front-end (internal/fleet, cmd/rlirfleet) render rows
+// through the same code: a fleet-of-N answer is byte-identical to the
+// single-node answer not by convention but because both call these
+// functions. The snapshot codec is the exact half: FlowState carries the
+// full internal accumulator state (stats.WelfordState, stats.HistogramState)
+// rather than derived summaries, and Go's JSON float encoding is shortest
+// round-trip, so instance state crosses the HTTP boundary bit-identically.
+package queryapi
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+
+	"github.com/netmeasure/rlir/internal/collector"
+	"github.com/netmeasure/rlir/internal/measure"
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/simtime"
+	"github.com/netmeasure/rlir/internal/stats"
+)
+
+// FlowJSON is one /flows row: a collector flow aggregate flattened for the
+// wire. Durations are nanosecond integers, like the spec JSON front-end.
+type FlowJSON struct {
+	Src     string `json:"src"`
+	Dst     string `json:"dst"`
+	SrcPort uint16 `json:"src_port"`
+	DstPort uint16 `json:"dst_port"`
+	Proto   uint8  `json:"proto"`
+	// Samples counts the per-packet estimates behind the aggregate.
+	Samples int64 `json:"samples"`
+	// EstMeanNs / EstStdNs / EstP50Ns / EstP99Ns summarize the estimated
+	// delay distribution.
+	EstMeanNs float64 `json:"est_mean_ns"`
+	EstStdNs  float64 `json:"est_std_ns"`
+	EstP50Ns  int64   `json:"est_p50_ns"`
+	EstP99Ns  int64   `json:"est_p99_ns"`
+	// TrueMeanNs is the in-band ground-truth mean (zero when the stream
+	// carries no truth, as a real deployment's would not).
+	TrueMeanNs float64 `json:"true_mean_ns"`
+	// Packets / Bytes / FirstNs / LastNs mirror NetFlow record fields (zero
+	// when no exporter mentioned the flow).
+	Packets uint64 `json:"packets"`
+	Bytes   uint64 `json:"bytes"`
+	FirstNs int64  `json:"first_ns,omitempty"`
+	LastNs  int64  `json:"last_ns,omitempty"`
+}
+
+// FlowRow renders one flow aggregate as its /flows row.
+func FlowRow(a *collector.FlowAgg) FlowJSON {
+	return FlowJSON{
+		Src:        a.Key.Src.String(),
+		Dst:        a.Key.Dst.String(),
+		SrcPort:    a.Key.SrcPort,
+		DstPort:    a.Key.DstPort,
+		Proto:      uint8(a.Key.Proto),
+		Samples:    a.Est.N(),
+		EstMeanNs:  a.Est.Mean(),
+		EstStdNs:   a.Est.Std(),
+		EstP50Ns:   int64(a.Hist.Quantile(0.5)),
+		EstP99Ns:   int64(a.Hist.Quantile(0.99)),
+		TrueMeanNs: a.True.Mean(),
+		Packets:    a.Packets,
+		Bytes:      a.Bytes,
+		FirstNs:    int64(a.First),
+		LastNs:     int64(a.Last),
+	}
+}
+
+// RouterJSON is one /routers row: a connected exporter's aggregate view.
+type RouterJSON struct {
+	Router  string `json:"router"`
+	Frames  uint64 `json:"frames"`
+	Samples uint64 `json:"samples"`
+	Records uint64 `json:"records"`
+	Bytes   uint64 `json:"bytes"`
+	// EstMeanNs / EstP50Ns / EstP99Ns summarize the router's streamed
+	// estimates; TrueMeanNs its in-band truth.
+	EstMeanNs  float64 `json:"est_mean_ns"`
+	EstP50Ns   int64   `json:"est_p50_ns"`
+	EstP99Ns   int64   `json:"est_p99_ns"`
+	TrueMeanNs float64 `json:"true_mean_ns"`
+	// Reliable is true when the exporter connected over the swp transport;
+	// the remaining fields are its receiver-side loss accounting: segments
+	// received, duplicates dropped (retransmissions whose original
+	// arrived), segments reorder-buffered, and gap episodes.
+	Reliable            bool   `json:"reliable,omitempty"`
+	TransportSegments   uint64 `json:"transport_segments,omitempty"`
+	TransportDuplicates uint64 `json:"transport_duplicates,omitempty"`
+	TransportOutOfOrder uint64 `json:"transport_out_of_order,omitempty"`
+	TransportGaps       uint64 `json:"transport_gaps,omitempty"`
+	// Instance names which fleet instance reported the row. A single rlird
+	// omits it; the fleet front-end annotates gathered rows with it.
+	Instance string `json:"instance,omitempty"`
+}
+
+// ComparisonJSON is the /comparison response: measure.CompareFlowAggs with
+// NaN (undefined) errors encoded as JSON nulls.
+type ComparisonJSON struct {
+	Estimator    string   `json:"estimator"`
+	Flows        int      `json:"flows"`
+	Samples      int64    `json:"samples"`
+	MedianRelErr *float64 `json:"median_rel_err"`
+	P99RelErr    *float64 `json:"p99_rel_err"`
+	AggMeanNs    int64    `json:"agg_mean_ns"`
+	AggSamples   int64    `json:"agg_samples"`
+	AggRelErr    *float64 `json:"agg_rel_err"`
+}
+
+// ComparisonRow renders one streaming comparison as its /comparison row.
+func ComparisonRow(c measure.Comparison) ComparisonJSON {
+	opt := func(v float64) *float64 {
+		if math.IsNaN(v) {
+			return nil
+		}
+		return &v
+	}
+	return ComparisonJSON{
+		Estimator:    c.Estimator,
+		Flows:        c.Flows,
+		Samples:      c.Samples,
+		MedianRelErr: opt(c.MedianRelErr),
+		P99RelErr:    opt(c.P99RelErr),
+		AggMeanNs:    int64(c.AggMean),
+		AggSamples:   c.AggSamples,
+		AggRelErr:    opt(c.AggRelErr),
+	}
+}
+
+// HealthJSON is a single instance's /healthz response.
+type HealthJSON struct {
+	Status        string  `json:"status"`
+	UptimeS       float64 `json:"uptime_s"`
+	Flows         int     `json:"flows"`
+	Samples       uint64  `json:"samples"`
+	Records       uint64  `json:"records"`
+	Frames        uint64  `json:"frames"`
+	Conns         int     `json:"connections_active"`
+	ConnsTotal    uint64  `json:"connections_total"`
+	DecodeErrors  uint64  `json:"decode_errors"`
+	SampleRate1W  float64 `json:"ingest_samples_per_s"`
+	RecordRate1W  float64 `json:"ingest_records_per_s"`
+	WindowSeconds float64 `json:"rate_window_s"`
+	// DecodeErrorKinds breaks DecodeErrors down by corruption kind,
+	// summed across exporters (omitted while zero).
+	DecodeErrorKinds map[string]uint64 `json:"decode_error_kinds,omitempty"`
+	// ReliableConns counts connections that spoke the swp framing; the
+	// Transport* fields aggregate their receiver-side loss accounting.
+	ReliableConns       uint64 `json:"reliable_connections_total"`
+	TransportSegments   uint64 `json:"transport_segments"`
+	TransportDuplicates uint64 `json:"transport_duplicates"`
+	TransportOutOfOrder uint64 `json:"transport_out_of_order"`
+	TransportGaps       uint64 `json:"transport_gaps"`
+}
+
+// WriteJSON writes v as indented JSON with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// FlowState is one flow aggregate's complete internal state, the /snapshot
+// wire row. Unlike FlowJSON it loses nothing: the Welford and histogram
+// accumulators travel as their exact field values, and the 5-tuple travels
+// numerically, so DecodeSnapshot rebuilds collector.FlowAgg values
+// bit-identical to the instance's own.
+type FlowState struct {
+	Src     uint32 `json:"src"`
+	Dst     uint32 `json:"dst"`
+	SrcPort uint16 `json:"src_port"`
+	DstPort uint16 `json:"dst_port"`
+	Proto   uint8  `json:"proto"`
+
+	Est  stats.WelfordState   `json:"est"`
+	True stats.WelfordState   `json:"true"`
+	Hist stats.HistogramState `json:"hist"`
+
+	Packets uint64 `json:"packets,omitempty"`
+	Bytes   uint64 `json:"bytes,omitempty"`
+	FirstNs int64  `json:"first_ns,omitempty"`
+	LastNs  int64  `json:"last_ns,omitempty"`
+}
+
+// Snapshot is the /snapshot response: the full flow table as raw state plus
+// the instance's ingest totals.
+type Snapshot struct {
+	Samples uint64      `json:"samples"`
+	Records uint64      `json:"records"`
+	Flows   []FlowState `json:"flows"`
+}
+
+// SnapshotOf packs a collector snapshot (and its ingest totals) for the
+// wire.
+func SnapshotOf(aggs []collector.FlowAgg, samples, records uint64) Snapshot {
+	s := Snapshot{Samples: samples, Records: records, Flows: make([]FlowState, len(aggs))}
+	for i := range aggs {
+		a := &aggs[i]
+		s.Flows[i] = FlowState{
+			Src:     uint32(a.Key.Src),
+			Dst:     uint32(a.Key.Dst),
+			SrcPort: a.Key.SrcPort,
+			DstPort: a.Key.DstPort,
+			Proto:   uint8(a.Key.Proto),
+			Est:     a.Est.State(),
+			True:    a.True.State(),
+			Hist:    a.Hist.State(),
+			Packets: a.Packets,
+			Bytes:   a.Bytes,
+			FirstNs: int64(a.First),
+			LastNs:  int64(a.Last),
+		}
+	}
+	return s
+}
+
+// Aggs unpacks the snapshot back into collector flow aggregates, in wire
+// order (instances send them sorted by flow key).
+func (s Snapshot) Aggs() []collector.FlowAgg {
+	out := make([]collector.FlowAgg, len(s.Flows))
+	for i, f := range s.Flows {
+		out[i] = collector.FlowAgg{
+			Key: packet.FlowKey{
+				Src:     packet.Addr(f.Src),
+				Dst:     packet.Addr(f.Dst),
+				SrcPort: f.SrcPort,
+				DstPort: f.DstPort,
+				Proto:   packet.Proto(f.Proto),
+			},
+			Est:     stats.WelfordFromState(f.Est),
+			True:    stats.WelfordFromState(f.True),
+			Hist:    stats.HistogramFromState(f.Hist),
+			Packets: f.Packets,
+			Bytes:   f.Bytes,
+			First:   simtime.Time(f.FirstNs),
+			Last:    simtime.Time(f.LastNs),
+		}
+	}
+	return out
+}

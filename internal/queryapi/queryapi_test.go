@@ -1,0 +1,120 @@
+package queryapi
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/collector"
+	"github.com/netmeasure/rlir/internal/netflow"
+	"github.com/netmeasure/rlir/internal/packet"
+	"github.com/netmeasure/rlir/internal/simtime"
+)
+
+// buildSnapshot runs a real collector over a random stream and returns its
+// final sorted flow table.
+func buildSnapshot(t *testing.T, seed int64) []collector.FlowAgg {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]packet.FlowKey, 1+rng.Intn(30))
+	for i := range keys {
+		keys[i] = packet.FlowKey{
+			Src:     packet.Addr(rng.Uint32()),
+			Dst:     packet.Addr(rng.Uint32()),
+			SrcPort: uint16(rng.Intn(1 << 16)),
+			DstPort: uint16(rng.Intn(1 << 16)),
+			Proto:   packet.ProtoTCP,
+		}
+	}
+	coll := collector.New(collector.Config{Shards: 2})
+	for b := 0; b < 10; b++ {
+		smps := make([]collector.Sample, 1+rng.Intn(80))
+		for i := range smps {
+			smps[i] = collector.Sample{
+				Key:  keys[rng.Intn(len(keys))],
+				Est:  time.Duration(rng.Int63n(int64(time.Second))),
+				True: time.Duration(rng.Int63n(int64(time.Second))),
+			}
+		}
+		coll.Ingest(smps)
+		if rng.Intn(2) == 0 {
+			coll.IngestRecords([]netflow.Record{{
+				Key:     keys[rng.Intn(len(keys))],
+				Packets: uint64(1 + rng.Intn(50)),
+				Bytes:   uint64(64 * (1 + rng.Intn(100))),
+				First:   simtime.Time(rng.Int63n(int64(time.Second))),
+				Last:    simtime.Time(rng.Int63n(int64(time.Second))),
+			}})
+		}
+	}
+	coll.Close()
+	return coll.Snapshot()
+}
+
+// TestSnapshotRoundTripExact is the fleet wire contract: a collector
+// snapshot, packed, marshalled to JSON, unmarshalled and unpacked, is
+// bit-identical to the original — including the unexported Welford and
+// histogram internals, via their State round-trips.
+func TestSnapshotRoundTripExact(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		aggs := buildSnapshot(t, seed)
+		data, err := json.Marshal(SnapshotOf(aggs, 123, 45))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			t.Fatal(err)
+		}
+		if snap.Samples != 123 || snap.Records != 45 {
+			t.Fatalf("totals lost: %d/%d", snap.Samples, snap.Records)
+		}
+		got := snap.Aggs()
+		if !reflect.DeepEqual(got, aggs) {
+			t.Fatalf("seed %d: snapshot round-trip diverged (%d flows)", seed, len(aggs))
+		}
+	}
+}
+
+// TestSnapshotMergeMatchesDirectMerge pins that decoded per-instance
+// snapshots merge exactly like the in-process aggregates they came from.
+func TestSnapshotMergeMatchesDirectMerge(t *testing.T) {
+	a := buildSnapshot(t, 3)
+	b := buildSnapshot(t, 4)
+	want := collector.Merge(a, b)
+
+	through := func(aggs []collector.FlowAgg) []collector.FlowAgg {
+		data, err := json.Marshal(SnapshotOf(aggs, 0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s Snapshot
+		if err := json.Unmarshal(data, &s); err != nil {
+			t.Fatal(err)
+		}
+		return s.Aggs()
+	}
+	got := collector.Merge(through(a), through(b))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("merge through the wire diverged from direct merge")
+	}
+}
+
+// TestFlowRowMatchesAggDerivation spot-checks the row renderer against the
+// aggregate's own accessors.
+func TestFlowRowMatchesAggDerivation(t *testing.T) {
+	aggs := buildSnapshot(t, 5)
+	for i := range aggs {
+		a := &aggs[i]
+		row := FlowRow(a)
+		if row.Samples != a.Est.N() || row.EstMeanNs != a.Est.Mean() ||
+			row.EstStdNs != a.Est.Std() || row.TrueMeanNs != a.True.Mean() ||
+			row.EstP50Ns != int64(a.Hist.Quantile(0.5)) ||
+			row.EstP99Ns != int64(a.Hist.Quantile(0.99)) ||
+			row.Packets != a.Packets || row.Bytes != a.Bytes {
+			t.Fatalf("row %d diverges from aggregate: %+v", i, row)
+		}
+	}
+}

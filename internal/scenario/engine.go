@@ -47,6 +47,12 @@ func runSeed(spec Spec, seed int64, cap *capture) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	// A fleet spec needs the export stream even when the caller is not
+	// exporting: the fleet report replays the captured samples through
+	// partitioned collectors.
+	if spec.Fleet != nil && cap == nil {
+		cap = newCapture()
+	}
 	if spec.Topology.Kind == TopoTandem {
 		return runTandem(spec, seed, cap)
 	}
@@ -532,6 +538,9 @@ func runFatTree(spec Spec, seed int64, cap *capture) (*Result, error) {
 	coll.Close()
 	res.Fleet = coll.Snapshot()
 	res.Samples = coll.SamplesIngested()
+	if spec.Fleet != nil {
+		res.FleetReport = applyFleet(*spec.Fleet, cap, truth, res.Comparison, reports, res)
+	}
 	return res, nil
 }
 

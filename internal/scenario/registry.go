@@ -80,6 +80,9 @@ func (sc Scenario) RunCheck() (*Result, error) {
 
 // ---- invariant helpers ----
 
+// intPtr is a literal-pointer helper for spec fields.
+func intPtr(i int) *int { return &i }
+
 // requireAccuracy asserts the overall downstream accuracy is sane and
 // paper-comparable: estimates exist and the median per-flow relative error
 // stays under bound (the repository's small-scale runs sit well above the
@@ -262,6 +265,132 @@ func init() {
 			// flows carry their lossless estimates, so the degraded median
 			// error must stay within the scenario's accuracy regime rather
 			// than blow up.
+			if !(rli.Degraded.MedianRelErr >= 0) || rli.Degraded.MedianRelErr > 0.60 {
+				return fmt.Errorf("degraded rli median relative error %.4f outside [0, 0.60]", rli.Degraded.MedianRelErr)
+			}
+			return nil
+		},
+	})
+
+	// fleet-partition: the baseline tandem stream collected by a fleet of
+	// four flow-partitioned instances instead of one node. The invariant is
+	// the distributed tier's whole correctness claim: merging the four
+	// partition snapshots reproduces the single-node flow table bit-for-bit.
+	register(Scenario{
+		Name:      "fleet-partition",
+		Stresses:  "distributed collection: the export stream flow-partitioned across a 4-instance rlird fleet",
+		Invariant: "the merged fleet flow table is bit-identical to the single-node table and every partition carries traffic",
+		Spec: Spec{
+			Version: SpecVersion,
+			Topology: TopologySpec{
+				Kind:       TopoTandem,
+				LinkBps:    200e6,
+				QueueBytes: 96 << 10,
+			},
+			Workload: WorkloadSpec{
+				LoadFrac:   0.22,
+				CrossModel: CrossUniform,
+				CrossUtil:  0.93,
+			},
+			Deploy:   DeploymentSpec{Scheme: SchemeStatic, StaticN: 50},
+			Fleet:    &FleetSpec{Instances: 4},
+			Duration: 400 * time.Millisecond,
+			Seed:     1,
+		},
+		Check: func(r *Result) error {
+			if err := requireCollector(r); err != nil {
+				return err
+			}
+			f := r.FleetReport
+			if f == nil {
+				return fmt.Errorf("spec requested a fleet but the result carries no fleet report")
+			}
+			if !f.MergeExact {
+				return fmt.Errorf("merged fleet flow table diverged from the single-node table")
+			}
+			if f.Instances != 4 || len(f.PerInstance) != 4 {
+				return fmt.Errorf("fleet report covers %d/%d instances, want 4", f.Instances, len(f.PerInstance))
+			}
+			if f.MergedFlows != len(r.Fleet) {
+				return fmt.Errorf("merged table has %d flows, single node %d", f.MergedFlows, len(r.Fleet))
+			}
+			var samples uint64
+			for _, in := range f.PerInstance {
+				if in.Samples == 0 || in.Flows == 0 {
+					return fmt.Errorf("instance %d collected nothing; partitioning is degenerate", in.Instance)
+				}
+				samples += in.Samples
+			}
+			if samples != r.Samples {
+				return fmt.Errorf("partitions hold %d samples, the run produced %d", samples, r.Samples)
+			}
+			if len(f.Rows) != 0 || f.FailInstance != -1 {
+				return fmt.Errorf("no failure was injected but the report carries one")
+			}
+			return nil
+		},
+	})
+
+	// fleet-instance-loss: the same partitioned fleet with instance 1 killed
+	// mid-collection. Its partition is gone; the scenario must keep working
+	// and quantify the per-estimator accuracy cost against unchanged ground
+	// truth rather than erroring.
+	register(Scenario{
+		Name:      "fleet-instance-loss",
+		Stresses:  "a collection-tier instance failure: one of four partitions dies with its share of the stream",
+		Invariant: "the degraded fleet still answers; RLI loses exactly the dead partition's flows while surviving flows keep their lossless accuracy",
+		Spec: Spec{
+			Version: SpecVersion,
+			Topology: TopologySpec{
+				Kind:       TopoTandem,
+				LinkBps:    200e6,
+				QueueBytes: 96 << 10,
+			},
+			Workload: WorkloadSpec{
+				LoadFrac:   0.22,
+				CrossModel: CrossUniform,
+				CrossUtil:  0.93,
+			},
+			Deploy:   DeploymentSpec{Scheme: SchemeStatic, StaticN: 50},
+			Fleet:    &FleetSpec{Instances: 4, FailInstance: intPtr(1)},
+			Duration: 400 * time.Millisecond,
+			Seed:     1,
+		},
+		Check: func(r *Result) error {
+			if err := requireCollector(r); err != nil {
+				return err
+			}
+			f := r.FleetReport
+			if f == nil {
+				return fmt.Errorf("spec requested a fleet but the result carries no fleet report")
+			}
+			if !f.MergeExact {
+				return fmt.Errorf("merged fleet flow table diverged from the single-node table")
+			}
+			if f.FailInstance != 1 || !f.PerInstance[1].Failed {
+				return fmt.Errorf("fail_instance 1 was requested but the report marks %d", f.FailInstance)
+			}
+			if want := f.MergedFlows - f.PerInstance[1].Flows; f.DegradedFlows != want {
+				return fmt.Errorf("degraded table has %d flows, want %d (full %d minus the dead partition's %d)",
+					f.DegradedFlows, want, f.MergedFlows, f.PerInstance[1].Flows)
+			}
+			if len(f.Rows) != len(r.Comparison) {
+				return fmt.Errorf("fleet report has %d estimator rows, comparison %d", len(f.Rows), len(r.Comparison))
+			}
+			rli, ok := f.Row("rli")
+			if !ok {
+				return fmt.Errorf("no rli row in the fleet report")
+			}
+			if rli.FlowsLost == 0 {
+				return fmt.Errorf("instance 1 held no rli flows; the failure scenario is vacuous")
+			}
+			if rli.Degraded.Flows != rli.Baseline.Flows-rli.FlowsLost || rli.Degraded.Flows == 0 {
+				return fmt.Errorf("rli flow coverage %d -> %d losing %d; want a strict, non-total reduction",
+					rli.Baseline.Flows, rli.Degraded.Flows, rli.FlowsLost)
+			}
+			// Instance loss removes whole flows, it does not corrupt the
+			// survivors: the degraded accuracy must stay in the scenario's
+			// lossless regime — a quantified loss, not an error.
 			if !(rli.Degraded.MedianRelErr >= 0) || rli.Degraded.MedianRelErr > 0.60 {
 				return fmt.Errorf("degraded rli median relative error %.4f outside [0, 0.60]", rli.Degraded.MedianRelErr)
 			}

@@ -35,6 +35,7 @@ func TestRegistryMetadata(t *testing.T) {
 	required := []string{
 		"baseline-tandem", "fattree-allpairs", "incast",
 		"microburst", "degraded-link", "ecmp-skew", "telemetry-loss",
+		"fleet-partition", "fleet-instance-loss",
 	}
 	for _, name := range required {
 		sc, ok := Get(name)

@@ -85,6 +85,10 @@ type Result struct {
 	// mechanism after seeded export-frame loss — the accuracy cost of a
 	// lossy collection path, next to the lossless Comparison.
 	Telemetry *TelemetryReport
+	// FleetReport, when the spec sets Spec.Fleet, proves the partitioned
+	// collection tier's exact-merge equivalence and (with a failure
+	// injected) quantifies per-estimator accuracy under instance loss.
+	FleetReport *FleetReport
 }
 
 // Estimator returns the named mechanism's comparison row.
@@ -148,6 +152,9 @@ func (r *Result) Render() string {
 	}
 	if r.Telemetry != nil {
 		b.WriteString(r.Telemetry.Render())
+	}
+	if r.FleetReport != nil {
+		b.WriteString(r.FleetReport.Render())
 	}
 	return b.String()
 }

@@ -204,6 +204,22 @@ type TelemetrySpec struct {
 	FrameRecords int `json:"frame_records,omitempty"`
 }
 
+// FleetSpec replays the run's export stream across an in-process fleet of
+// Instances collection partitions, flow-partitioned exactly the way
+// fleet.Router shards traffic across rlird endpoints. The simulation is
+// untouched; the run gains a FleetReport proving the merged fleet flow table
+// bit-identical to the single-node one, and — when FailInstance is set —
+// quantifying what every estimator loses when that partition dies with its
+// data (scored against the unchanged ground truth).
+type FleetSpec struct {
+	// Instances is the fleet size (>= 1).
+	Instances int `json:"instances"`
+	// FailInstance, when set, kills that partition: its share of the
+	// collected stream is absent from the degraded view and every estimator
+	// is re-scored on what the surviving instances hold.
+	FailInstance *int `json:"fail_instance,omitempty"`
+}
+
 // Spec is one complete declarative scenario.
 type Spec struct {
 	Version  int            `json:"version"`
@@ -215,6 +231,9 @@ type Spec struct {
 	// Telemetry, when set, re-scores every estimator after seeded export
 	// loss (Result.Telemetry carries the degraded comparison).
 	Telemetry *TelemetrySpec `json:"telemetry,omitempty"`
+	// Fleet, when set, partitions the collected stream across an in-process
+	// fleet and verifies exact-merge equivalence (Result.FleetReport).
+	Fleet *FleetSpec `json:"fleet,omitempty"`
 	// Duration is the trace window length.
 	Duration time.Duration `json:"duration_ns"`
 	// Seed drives every random choice; derived per-run seeds come from it
@@ -397,6 +416,14 @@ func (s Spec) Validate() error {
 		}
 		if t.FrameRecords < 0 {
 			return fmt.Errorf("scenario: negative telemetry frame_records %d", t.FrameRecords)
+		}
+	}
+	if f := s.Fleet; f != nil {
+		if f.Instances < 1 {
+			return fmt.Errorf("scenario: fleet instances %d < 1", f.Instances)
+		}
+		if fi := f.FailInstance; fi != nil && (*fi < 0 || *fi >= f.Instances) {
+			return fmt.Errorf("scenario: fleet fail_instance %d outside [0, %d)", *fi, f.Instances)
 		}
 	}
 	return s.validateDeploy()

@@ -112,5 +112,8 @@ func runTandem(spec Spec, seed int64, cap *capture) (*Result, error) {
 	coll.Close()
 	res.Fleet = coll.Snapshot()
 	res.Samples = coll.SamplesIngested()
+	if spec.Fleet != nil {
+		res.FleetReport = applyFleet(*spec.Fleet, cap, truth, res.Comparison, reports, res)
+	}
 	return res, nil
 }

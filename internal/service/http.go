@@ -1,9 +1,7 @@
 package service
 
 import (
-	"encoding/json"
 	"fmt"
-	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -11,136 +9,27 @@ import (
 
 	"github.com/netmeasure/rlir/internal/collector"
 	"github.com/netmeasure/rlir/internal/measure"
+	"github.com/netmeasure/rlir/internal/queryapi"
 )
 
-// FlowJSON is one /flows row: a collector flow aggregate flattened for the
-// wire. Durations are nanosecond integers, like the spec JSON front-end.
-type FlowJSON struct {
-	Src     string `json:"src"`
-	Dst     string `json:"dst"`
-	SrcPort uint16 `json:"src_port"`
-	DstPort uint16 `json:"dst_port"`
-	Proto   uint8  `json:"proto"`
-	// Samples counts the per-packet estimates behind the aggregate.
-	Samples int64 `json:"samples"`
-	// EstMeanNs / EstStdNs / EstP50Ns / EstP99Ns summarize the estimated
-	// delay distribution.
-	EstMeanNs float64 `json:"est_mean_ns"`
-	EstStdNs  float64 `json:"est_std_ns"`
-	EstP50Ns  int64   `json:"est_p50_ns"`
-	EstP99Ns  int64   `json:"est_p99_ns"`
-	// TrueMeanNs is the in-band ground-truth mean (zero when the stream
-	// carries no truth, as a real deployment's would not).
-	TrueMeanNs float64 `json:"true_mean_ns"`
-	// Packets / Bytes / FirstNs / LastNs mirror NetFlow record fields (zero
-	// when no exporter mentioned the flow).
-	Packets uint64 `json:"packets"`
-	Bytes   uint64 `json:"bytes"`
-	FirstNs int64  `json:"first_ns,omitempty"`
-	LastNs  int64  `json:"last_ns,omitempty"`
-}
+// The JSON row types live in internal/queryapi so the fleet front-end
+// (cmd/rlirfleet) renders merged answers through exactly the same code
+// paths a single rlird uses. The aliases keep this package's — and the
+// root package's — historical names working.
+type (
+	// FlowJSON is one /flows row.
+	FlowJSON = queryapi.FlowJSON
+	// RouterJSON is one /routers row.
+	RouterJSON = queryapi.RouterJSON
+	// ComparisonJSON is the /comparison row shape.
+	ComparisonJSON = queryapi.ComparisonJSON
+	// HealthJSON is the /healthz response.
+	HealthJSON = queryapi.HealthJSON
+)
 
-func flowJSON(a *collector.FlowAgg) FlowJSON {
-	return FlowJSON{
-		Src:        a.Key.Src.String(),
-		Dst:        a.Key.Dst.String(),
-		SrcPort:    a.Key.SrcPort,
-		DstPort:    a.Key.DstPort,
-		Proto:      uint8(a.Key.Proto),
-		Samples:    a.Est.N(),
-		EstMeanNs:  a.Est.Mean(),
-		EstStdNs:   a.Est.Std(),
-		EstP50Ns:   int64(a.Hist.Quantile(0.5)),
-		EstP99Ns:   int64(a.Hist.Quantile(0.99)),
-		TrueMeanNs: a.True.Mean(),
-		Packets:    a.Packets,
-		Bytes:      a.Bytes,
-		FirstNs:    int64(a.First),
-		LastNs:     int64(a.Last),
-	}
-}
+func flowJSON(a *collector.FlowAgg) FlowJSON { return queryapi.FlowRow(a) }
 
-// RouterJSON is one /routers row: a connected exporter's aggregate view.
-type RouterJSON struct {
-	Router  string `json:"router"`
-	Frames  uint64 `json:"frames"`
-	Samples uint64 `json:"samples"`
-	Records uint64 `json:"records"`
-	Bytes   uint64 `json:"bytes"`
-	// EstMeanNs / EstP50Ns / EstP99Ns summarize the router's streamed
-	// estimates; TrueMeanNs its in-band truth.
-	EstMeanNs  float64 `json:"est_mean_ns"`
-	EstP50Ns   int64   `json:"est_p50_ns"`
-	EstP99Ns   int64   `json:"est_p99_ns"`
-	TrueMeanNs float64 `json:"true_mean_ns"`
-	// Reliable is true when the exporter connected over the swp transport;
-	// the remaining fields are its receiver-side loss accounting: segments
-	// received, duplicates dropped (retransmissions whose original
-	// arrived), segments reorder-buffered, and gap episodes.
-	Reliable            bool   `json:"reliable,omitempty"`
-	TransportSegments   uint64 `json:"transport_segments,omitempty"`
-	TransportDuplicates uint64 `json:"transport_duplicates,omitempty"`
-	TransportOutOfOrder uint64 `json:"transport_out_of_order,omitempty"`
-	TransportGaps       uint64 `json:"transport_gaps,omitempty"`
-}
-
-// ComparisonJSON is the /comparison response: measure.CompareFlowAggs with
-// NaN (undefined) errors encoded as JSON nulls.
-type ComparisonJSON struct {
-	Estimator    string   `json:"estimator"`
-	Flows        int      `json:"flows"`
-	Samples      int64    `json:"samples"`
-	MedianRelErr *float64 `json:"median_rel_err"`
-	P99RelErr    *float64 `json:"p99_rel_err"`
-	AggMeanNs    int64    `json:"agg_mean_ns"`
-	AggSamples   int64    `json:"agg_samples"`
-	AggRelErr    *float64 `json:"agg_rel_err"`
-}
-
-func comparisonJSON(c measure.Comparison) ComparisonJSON {
-	opt := func(v float64) *float64 {
-		if math.IsNaN(v) {
-			return nil
-		}
-		return &v
-	}
-	return ComparisonJSON{
-		Estimator:    c.Estimator,
-		Flows:        c.Flows,
-		Samples:      c.Samples,
-		MedianRelErr: opt(c.MedianRelErr),
-		P99RelErr:    opt(c.P99RelErr),
-		AggMeanNs:    int64(c.AggMean),
-		AggSamples:   c.AggSamples,
-		AggRelErr:    opt(c.AggRelErr),
-	}
-}
-
-// HealthJSON is the /healthz response.
-type HealthJSON struct {
-	Status        string  `json:"status"`
-	UptimeS       float64 `json:"uptime_s"`
-	Flows         int     `json:"flows"`
-	Samples       uint64  `json:"samples"`
-	Records       uint64  `json:"records"`
-	Frames        uint64  `json:"frames"`
-	Conns         int     `json:"connections_active"`
-	ConnsTotal    uint64  `json:"connections_total"`
-	DecodeErrors  uint64  `json:"decode_errors"`
-	SampleRate1W  float64 `json:"ingest_samples_per_s"`
-	RecordRate1W  float64 `json:"ingest_records_per_s"`
-	WindowSeconds float64 `json:"rate_window_s"`
-	// DecodeErrorKinds breaks DecodeErrors down by corruption kind,
-	// summed across exporters (omitted while zero).
-	DecodeErrorKinds map[string]uint64 `json:"decode_error_kinds,omitempty"`
-	// ReliableConns counts connections that spoke the swp framing; the
-	// Transport* fields aggregate their receiver-side loss accounting.
-	ReliableConns       uint64 `json:"reliable_connections_total"`
-	TransportSegments   uint64 `json:"transport_segments"`
-	TransportDuplicates uint64 `json:"transport_duplicates"`
-	TransportOutOfOrder uint64 `json:"transport_out_of_order"`
-	TransportGaps       uint64 `json:"transport_gaps"`
-}
+func comparisonJSON(c measure.Comparison) ComparisonJSON { return queryapi.ComparisonRow(c) }
 
 // Handler returns the query API. It is safe to serve before, during and
 // after Shutdown — post-shutdown it answers from the collector's final
@@ -150,17 +39,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/flows", s.handleFlows)
 	mux.HandleFunc("/routers", s.handleRouters)
 	mux.HandleFunc("/comparison", s.handleComparison)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	queryapi.WriteJSON(w, status, v)
 }
 
 // handleFlows serves the per-flow table, sorted by flow key. ?limit=N caps
@@ -225,6 +111,15 @@ func (s *Server) handleRouters(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleComparison(w http.ResponseWriter, r *http.Request) {
 	cmp := measure.CompareFlowAggs("rli", s.coll.Snapshot())
 	writeJSON(w, http.StatusOK, []ComparisonJSON{comparisonJSON(cmp)})
+}
+
+// handleSnapshot serves the raw flow-table state (full accumulator
+// internals, not derived summaries) — the endpoint the fleet front-end
+// gathers and merges exactly. See queryapi.FlowState.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap := s.coll.Snapshot()
+	writeJSON(w, http.StatusOK,
+		queryapi.SnapshotOf(snap, s.coll.SamplesIngested(), s.coll.RecordsIngested()))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -47,6 +47,47 @@ func (h *Histogram) Record(d time.Duration) {
 	h.sum += int64(d)
 }
 
+// HistogramState is the exported internal state of a Histogram: the prefix
+// of the log2 buckets up to the last non-empty one, plus the exact
+// count/sum/min/max scalars. Like stats.WelfordState it exists for the fleet
+// raw-snapshot wire: State → JSON → HistogramFromState is bit-identical.
+type HistogramState struct {
+	Buckets []uint64 `json:"buckets,omitempty"`
+	Count   uint64   `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+}
+
+// State returns the histogram's exact internal state; Buckets is trimmed at
+// the last non-zero bucket.
+func (h *Histogram) State() HistogramState {
+	last := -1
+	for i, c := range h.buckets {
+		if c != 0 {
+			last = i
+		}
+	}
+	s := HistogramState{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if last >= 0 {
+		s.Buckets = append([]uint64(nil), h.buckets[:last+1]...)
+	}
+	return s
+}
+
+// HistogramFromState rebuilds a histogram bit-identical to the one State was
+// called on. State slices longer than the 64 log2 buckets are truncated.
+func HistogramFromState(s HistogramState) Histogram {
+	var h Histogram
+	n := len(s.Buckets)
+	if n > len(h.buckets) {
+		n = len(h.buckets)
+	}
+	copy(h.buckets[:n], s.Buckets[:n])
+	h.count, h.sum, h.min, h.max = s.Count, s.Sum, s.Min, s.Max
+	return h
+}
+
 // Count returns the number of recorded durations.
 func (h *Histogram) Count() uint64 { return h.count }
 

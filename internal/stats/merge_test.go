@@ -120,6 +120,68 @@ func TestCDFMergeEquivalence(t *testing.T) {
 	}
 }
 
+// cdfBitsEqual compares two CDFs sample-for-sample at the bit level (so NaN
+// payloads and signed zeros count too).
+func cdfBitsEqual(a, b *CDF) bool {
+	if len(a.sorted) != len(b.sorted) {
+		return false
+	}
+	for i := range a.sorted {
+		if math.Float64bits(a.sorted[i]) != math.Float64bits(b.sorted[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCDFMergeAssociativeOrderInvariant is the fleet front-end's merge
+// contract, stated as a property: split one sample stream into random
+// shards, then merge the shard CDFs (a) as a left fold in shard order and
+// (b) as a randomly shuffled, randomly associated pairwise reduction — both
+// must equal one CDF built over the whole stream bit-for-bit. This is what
+// lets rlirfleet merge per-instance error distributions in whatever order
+// the scatter-gather responses land.
+func TestCDFMergeAssociativeOrderInvariant(t *testing.T) {
+	f := func(seed int64, shardCount uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(600)
+		shards := 1 + int(shardCount%6)
+		parts := make([][]float64, shards)
+		all := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			x := rng.NormFloat64()
+			switch rng.Intn(12) {
+			case 0:
+				x = math.NaN()
+			case 1:
+				x = math.Inf(1)
+			}
+			all = append(all, x)
+			s := rng.Intn(shards)
+			parts[s] = append(parts[s], x)
+		}
+		want := NewCDF(all)
+		left := NewCDF(parts[0])
+		for _, p := range parts[1:] {
+			left = left.Merge(NewCDF(p))
+		}
+		cs := make([]*CDF, shards)
+		for i, p := range parts {
+			cs[i] = NewCDF(p)
+		}
+		rng.Shuffle(len(cs), func(i, j int) { cs[i], cs[j] = cs[j], cs[i] })
+		for len(cs) > 1 {
+			i := rng.Intn(len(cs) - 1)
+			cs[i] = cs[i].Merge(cs[i+1])
+			cs = append(cs[:i+1], cs[i+2:]...)
+		}
+		return cdfBitsEqual(left, want) && cdfBitsEqual(cs[0], want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestCDFMergeLeavesInputsIntact pins that Merge does not alias or mutate
 // either input.
 func TestCDFMergeLeavesInputsIntact(t *testing.T) {

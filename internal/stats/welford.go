@@ -50,6 +50,28 @@ func (w *Welford) Merge(o Welford) {
 	w.n = n
 }
 
+// WelfordState is the exported internal state of a Welford accumulator —
+// exactly the three fields of the online algorithm. It exists so an
+// accumulator can cross a process boundary (the fleet raw-snapshot wire)
+// and be rebuilt bit-identically; Go's JSON float encoding is shortest
+// round-trip, so State → JSON → WelfordFromState loses nothing.
+type WelfordState struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// State returns the accumulator's exact internal state.
+func (w *Welford) State() WelfordState {
+	return WelfordState{N: w.n, Mean: w.mean, M2: w.m2}
+}
+
+// WelfordFromState rebuilds an accumulator bit-identical to the one State
+// was called on.
+func WelfordFromState(s WelfordState) Welford {
+	return Welford{n: s.N, mean: s.Mean, m2: s.M2}
+}
+
 // N returns the number of samples.
 func (w *Welford) N() int64 { return w.n }
 

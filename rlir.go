@@ -7,6 +7,7 @@ import (
 	"github.com/netmeasure/rlir/internal/collector"
 	"github.com/netmeasure/rlir/internal/core"
 	"github.com/netmeasure/rlir/internal/experiments"
+	"github.com/netmeasure/rlir/internal/fleet"
 	"github.com/netmeasure/rlir/internal/measure"
 	"github.com/netmeasure/rlir/internal/netflow"
 	"github.com/netmeasure/rlir/internal/packet"
@@ -634,6 +635,82 @@ type Pacer = runner.Pacer
 // NewPacer creates a pacer admitting rate units/second (rate <= 0 returns
 // the nil, unlimited pacer).
 func NewPacer(rate float64) *Pacer { return runner.NewPacer(rate) }
+
+// ---- Distributed collection tier (internal/fleet, cmd/rlirfleet) ----
+//
+// A fleet is N rlird instances behind one scatter-gather query front-end.
+// Exporters shard their stream with FleetRouter — every flow's traffic
+// lands wholly on one instance (consistent flow-key hashing), so merging
+// the instances' raw snapshots reproduces the single-node flow table
+// bit-for-bit. FleetFrontend serves the same HTTP query API as a single
+// rlird, answered for the whole fleet, degrading gracefully when
+// instances drop out.
+
+// FleetRouter shards an export stream across N rlird endpoints by flow
+// key, with per-endpoint connection pools, reconnect-with-backoff and
+// delivery counters.
+type FleetRouter = fleet.Router
+
+// FleetRouterConfig configures a FleetRouter: endpoints, connections per
+// endpoint, batch/queue bounds and the redial budget.
+type FleetRouterConfig = fleet.Config
+
+// FleetEndpointStats is one endpoint's delivery counters.
+type FleetEndpointStats = fleet.EndpointStats
+
+// FleetSink is one wire connection the router shards onto (ServiceClient
+// implements it).
+type FleetSink = fleet.Sink
+
+// FleetDialFunc opens the router's connections; wrap DialServiceWith to
+// choose raw or reliable framing.
+type FleetDialFunc = fleet.DialFunc
+
+// FleetFrontend scatter-gathers a fleet's query API with exact merging.
+type FleetFrontend = fleet.Frontend
+
+// FleetFrontendConfig configures a FleetFrontend: instance base URLs and
+// the fan-out timeout.
+type FleetFrontendConfig = fleet.FrontendConfig
+
+// FleetHealth is the front-end's aggregate /healthz response.
+type FleetHealth = fleet.HealthJSON
+
+// FleetInstanceHealth is one instance's row in the fleet health report.
+type FleetInstanceHealth = fleet.InstanceHealth
+
+// ScenarioFleetSpec partitions a scenario's collected stream across an
+// in-process fleet (ScenarioSpec.Fleet), optionally killing one instance.
+type ScenarioFleetSpec = scenario.FleetSpec
+
+// ScenarioFleetReport is a run's distributed-collection outcome: the
+// exact-merge proof plus per-estimator accuracy under instance loss
+// (ScenarioResult.FleetReport).
+type ScenarioFleetReport = scenario.FleetReport
+
+// ScenarioFleetRow is one estimator scored before and after an instance
+// loss.
+type ScenarioFleetRow = scenario.FleetEstimatorRow
+
+// FleetPartition returns which of n instances owns a flow — the consistent
+// assignment FleetRouter, the scenario fleet layer and cmd/loadgen share.
+func FleetPartition(key FlowKey, n int) int { return fleet.Partition(key, n) }
+
+// FleetSinkIndex maps a flow onto the (endpoint, connection) grid; with one
+// endpoint it reduces to the per-connection split loadgen historically used.
+func FleetSinkIndex(key FlowKey, endpoints, connsPerEndpoint int) (endpoint, conn int) {
+	return fleet.SinkIndex(key, endpoints, connsPerEndpoint)
+}
+
+// NewFleetRouter validates the config, dials the whole connection grid
+// eagerly and starts the per-connection senders.
+func NewFleetRouter(cfg FleetRouterConfig) (*FleetRouter, error) { return fleet.NewRouter(cfg) }
+
+// NewFleetFrontend validates the instance URLs and builds the
+// scatter-gather front-end (serve its Handler over HTTP).
+func NewFleetFrontend(cfg FleetFrontendConfig) (*FleetFrontend, error) {
+	return fleet.NewFrontend(cfg)
+}
 
 // ---- Convenience ----
 

@@ -18,7 +18,11 @@
 # per-packet cost of fanning one stream to the full comparison set), and
 # the streaming service's ingest throughput (BenchmarkServiceIngest4Conns
 # in internal/service: four concurrent connections writing pre-encoded
-# wire frames over loopback TCP through the full rlird path).
+# wire frames over loopback TCP through the full rlird path), and the
+# fleet tier (internal/fleet): aggregate ingest across a 4-instance
+# partitioned fleet (BenchmarkFleetIngest4x, samples/s) and the
+# scatter-gather front-end's merged query latency
+# (BenchmarkFleetScatterGather, ms/query).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,7 +44,9 @@ raw_measure=$(go test -run '^$' -bench 'BenchmarkSharedTap$' \
   -benchmem ./internal/measure 2>&1)
 raw_service=$(go test -run '^$' -bench 'BenchmarkServiceIngest4Conns$' \
   -benchtime 2s ./internal/service 2>&1)
-raw=$(printf '%s\n%s\n%s\n%s\n%s\n' "$raw" "$raw_collector" "$raw_runner" "$raw_measure" "$raw_service")
+raw_fleet=$(go test -run '^$' -bench 'BenchmarkFleetIngest4x$|BenchmarkFleetScatterGather$' \
+  -benchtime 2s ./internal/fleet 2>&1)
+raw=$(printf '%s\n%s\n%s\n%s\n%s\n%s\n' "$raw" "$raw_collector" "$raw_runner" "$raw_measure" "$raw_service" "$raw_fleet")
 
 echo "$raw" | grep -E '^Benchmark' >&2
 
@@ -91,12 +97,19 @@ echo "$raw" | awk -v bench="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
       if ($(i + 1) == "ns/op") svcns = $i
     }
   }
+  /^BenchmarkFleetIngest4x/ {
+    for (i = 1; i < NF; i++) if ($(i + 1) == "samples/s") fleet = $i
+  }
+  /^BenchmarkFleetScatterGather/ {
+    for (i = 1; i < NF; i++) if ($(i + 1) == "ms/query") fleetq = $i
+  }
   END {
     if (pkts == "") { print "bench.sh: no throughput result parsed" > "/dev/stderr"; exit 1 }
     if (ingest == "") { print "bench.sh: no collector ingest result parsed" > "/dev/stderr"; exit 1 }
     if (sweep1 == "" || sweep4 == "") { print "bench.sh: no runner scaling result parsed" > "/dev/stderr"; exit 1 }
     if (tap == "") { print "bench.sh: no shared-tap result parsed" > "/dev/stderr"; exit 1 }
     if (svc == "") { print "bench.sh: no service ingest result parsed" > "/dev/stderr"; exit 1 }
+    if (fleet == "" || fleetq == "") { print "bench.sh: no fleet result parsed" > "/dev/stderr"; exit 1 }
     printf "{\n"
     printf "  \"bench\": %d,\n", bench
     printf "  \"date\": \"%s\",\n", date
@@ -122,6 +135,14 @@ echo "$raw" | awk -v bench="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     printf "    \"conns\": 4,\n"
     printf "    \"samples_per_s\": %s,\n", svc
     printf "    \"ns_per_op\": %s\n", svcns
+    printf "  },\n"
+    printf "  \"fleet_ingest\": {\n"
+    printf "    \"instances\": 4,\n"
+    printf "    \"samples_per_s\": %s\n", fleet
+    printf "  },\n"
+    printf "  \"fleet_query\": {\n"
+    printf "    \"instances\": 4,\n"
+    printf "    \"ms_per_query\": %s\n", fleetq
     printf "  },\n"
     printf "  \"runner_scaling\": {\n"
     printf "    \"sweep_seeds\": 8,\n"

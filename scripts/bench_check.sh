@@ -54,6 +54,21 @@ service_from_json() {
        insvc && /"samples_per_s"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2; exit }' "$1"
 }
 
+# fleet_from_json extracts fleet_ingest.samples_per_s (aggregate ingest
+# across the 4-instance partitioned fleet). Empty when the baseline
+# predates the fleet tier.
+fleet_from_json() {
+  awk '/"fleet_ingest"/ { infl = 1 }
+       infl && /"samples_per_s"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2; exit }' "$1"
+}
+
+# fleetq_from_json extracts fleet_query.ms_per_query (the scatter-gather
+# front-end's merged query latency; lower is better).
+fleetq_from_json() {
+  awk '/"fleet_query"/ { infq = 1 }
+       infq && /"ms_per_query"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2; exit }' "$1"
+}
+
 base_file=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)
 if [ -z "$base_file" ]; then
   echo "bench_check: no committed BENCH_*.json baseline; nothing to compare" >&2
@@ -67,17 +82,25 @@ fi
 
 base_tap=$(tap_from_json "$base_file")
 base_svc=$(service_from_json "$base_file")
+base_fleet=$(fleet_from_json "$base_file")
+base_fleetq=$(fleetq_from_json "$base_file")
 
 if [ -n "$fresh_file" ]; then
   fresh=$(pkts_from_json "$fresh_file")
   fresh_tap=$(tap_from_json "$fresh_file")
   fresh_svc=$(service_from_json "$fresh_file")
+  fresh_fleet=$(fleet_from_json "$fresh_file")
+  fresh_fleetq=$(fleetq_from_json "$fresh_file")
   if [ -n "$base_tap" ] && [ -z "$fresh_tap" ]; then
     echo "bench_check: baseline $base_file has shared_tap but $fresh_file does not; refusing to skip the gate" >&2
     exit 2
   fi
   if [ -n "$base_svc" ] && [ -z "$fresh_svc" ]; then
     echo "bench_check: baseline $base_file has service_ingest but $fresh_file does not; refusing to skip the gate" >&2
+    exit 2
+  fi
+  if [ -n "$base_fleet" ] && { [ -z "$fresh_fleet" ] || [ -z "$fresh_fleetq" ]; }; then
+    echo "bench_check: baseline $base_file has fleet metrics but $fresh_file does not; refusing to skip the gate" >&2
     exit 2
   fi
   src="$fresh_file"
@@ -114,12 +137,51 @@ else
       exit 2
     fi
   fi
+  fresh_fleet=""
+  fresh_fleetq=""
+  if [ -n "$base_fleet" ]; then
+    echo "bench_check: measuring fleet ingest + scatter-gather query..." >&2
+    raw_fleet=$(go test -run '^$' -bench 'BenchmarkFleetIngest4x$|BenchmarkFleetScatterGather$' ./internal/fleet 2>&1)
+    echo "$raw_fleet" | grep -E '^Benchmark' >&2 || true
+    fresh_fleet=$(echo "$raw_fleet" | awk '/^BenchmarkFleetIngest4x/ {
+      for (i = 1; i < NF; i++) if ($(i + 1) == "samples/s") print $i
+    }' | tail -1)
+    fresh_fleetq=$(echo "$raw_fleet" | awk '/^BenchmarkFleetScatterGather/ {
+      for (i = 1; i < NF; i++) if ($(i + 1) == "ms/query") print $i
+    }' | tail -1)
+    if [ -z "$fresh_fleet" ] || [ -z "$fresh_fleetq" ]; then
+      echo "bench_check: no fleet numbers parsed from local bench" >&2
+      exit 2
+    fi
+  fi
   src="local bench"
 fi
 if [ -z "$fresh" ]; then
   echo "bench_check: no throughput number parsed from $src" >&2
   exit 2
 fi
+
+# compare_lower <label> <fresh> <base> <unit>: the latency variant —
+# lower is better, so the regression is fresh rising more than
+# max_drop_pct above the baseline.
+compare_lower() {
+  awk -v label="$1" -v fresh="$2" -v base="$3" -v unit="$4" \
+      -v drop="$max_drop_pct" -v basefile="$base_file" -v force="$force" 'BEGIN {
+    ceil = base * (100 + drop) / 100
+    ratio = base > 0 ? 100 * fresh / base : 0
+    printf "bench_check: %s fresh %.3f %s vs baseline %.3f %s (%s) = %.1f%%\n",
+      label, fresh, unit, base, unit, basefile, ratio
+    if (fresh > ceil) {
+      printf "bench_check: REGRESSION: %s above the %d%%-rise ceiling (%.3f %s; lower is better)\n", label, drop, ceil, unit
+      if (force == "1") {
+        print "bench_check: override in effect (-f / BENCH_CHECK_FORCE=1); not failing"
+        exit 0
+      }
+      print "bench_check: if intentional, commit a new BENCH_<N>.json (scripts/bench.sh) or rerun with -f"
+      exit 1
+    }
+  }'
+}
 
 # compare <label> <fresh> <base> [unit]: prints the ratio, returns 1 on a
 # regression past the floor (unless forced).
@@ -158,6 +220,12 @@ if [ -n "$base_svc" ] && [ -n "$fresh_svc" ]; then
       exit 1
     }
   }' || status=1
+fi
+if [ -n "$base_fleet" ] && [ -n "$fresh_fleet" ]; then
+  compare "fleet-ingest" "$fresh_fleet" "$base_fleet" "samples/s" || status=1
+fi
+if [ -n "$base_fleetq" ] && [ -n "$fresh_fleetq" ]; then
+  compare_lower "fleet-query" "$fresh_fleetq" "$base_fleetq" "ms/query" || status=1
 fi
 if [ "$status" -eq 0 ]; then
   echo "bench_check: ok"
