@@ -13,6 +13,11 @@
 // exactly once (the equivalence mode: the service's /flows table then
 // matches the scenario's own fleet table).
 //
+// With -churn N the replay keeps the capture's latency values but rewrites
+// sample keys to cycle through N distinct synthetic flows — the soak mode
+// for a memory-bounded rlird (-max-flows), where millions of distinct
+// FlowKeys must churn through a fixed-size table without growing it.
+//
 // With -reliable the frames travel over the swp sliding-window transport
 // (sequence-numbered segments, acks, retransmission), and -loss interposes
 // a seeded loss model on the outbound segments — a soak that makes rlird
@@ -26,6 +31,7 @@
 //	loadgen -scenario incast -unix /tmp/rlird.sock -rate 2000000 -duration 10s
 //	loadgen -spec my.json -seed 7 -addr 127.0.0.1:7171 -records
 //	loadgen -scenario incast -addr 127.0.0.1:7171 -reliable -loss 0.05
+//	loadgen -scenario baseline-tandem -addr 127.0.0.1:7171 -churn 1000000 -duration 30s
 //	loadgen -scenario baseline-tandem -addr 127.0.0.1:7171,127.0.0.1:7271 -conns 2
 package main
 
@@ -62,6 +68,8 @@ type options struct {
 	records      bool
 	jsonOut      bool
 
+	churn int
+
 	reliable        bool
 	loss            float64
 	lossSeed        int64
@@ -85,6 +93,7 @@ func parseArgs(args []string) (options, error) {
 	fs.DurationVar(&o.duration, "duration", 0, "loop the capture for this long (0 = one pass)")
 	fs.IntVar(&o.batch, "batch", 512, "samples per wire frame")
 	fs.BoolVar(&o.records, "records", false, "also replay the capture's NetFlow records")
+	fs.IntVar(&o.churn, "churn", 0, "rewrite sample keys to cycle this many distinct synthetic flows (0 = replay keys as captured)")
 	fs.BoolVar(&o.jsonOut, "json", false, "print the summary as JSON")
 	fs.BoolVar(&o.reliable, "reliable", false, "tunnel frames over the swp sliding-window transport")
 	fs.Float64Var(&o.loss, "loss", 0, "drop this fraction of outbound segments (requires -reliable)")
@@ -130,6 +139,12 @@ func parseArgs(args []string) (options, error) {
 	if o.batch < 1 {
 		return o, fmt.Errorf("-batch %d < 1", o.batch)
 	}
+	if o.churn < 0 {
+		return o, fmt.Errorf("-churn %d < 0", o.churn)
+	}
+	if o.churn > 0 && o.records {
+		return o, fmt.Errorf("-churn rewrites sample keys; -records would replay records under their original keys")
+	}
 	if o.loss < 0 || o.loss >= 1 {
 		return o, fmt.Errorf("-loss %v outside [0, 1)", o.loss)
 	}
@@ -158,6 +173,9 @@ type summary struct {
 	Passes    uint64  `json:"capture_passes"`
 	Elapsed   float64 `json:"elapsed_s"`
 	PerSecond float64 `json:"samples_per_s"`
+	// DistinctFlows is how many distinct synthetic flows the stream visited
+	// (zero unless -churn).
+	DistinctFlows int `json:"distinct_flows,omitempty"`
 	// Reliable-transport accounting, aggregated across connections (zero
 	// unless -reliable).
 	Reliable    bool   `json:"reliable,omitempty"`
@@ -217,11 +235,27 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "loadgen: sent %d samples (%d records, %d frames, %d passes) over %d conns to %d endpoint(s) in %.2fs = %.0f samples/s\n",
 		sum.Samples, sum.Records, sum.Frames, sum.Passes, sum.Conns, sum.Endpoints, sum.Elapsed, sum.PerSecond)
+	if sum.DistinctFlows > 0 {
+		fmt.Fprintf(out, "loadgen: churn mode cycled %d distinct flows\n", sum.DistinctFlows)
+	}
 	if sum.Reliable {
 		fmt.Fprintf(out, "loadgen: reliable transport: %d segments, %d retransmits, %d timeouts\n",
 			sum.Segments, sum.Retransmits, sum.Timeouts)
 	}
 	return nil
+}
+
+// churnKey maps a churn id to a distinct synthetic 5-tuple. Ids below 2^32
+// stay distinct through Src alone (XOR covers the whole 32-bit space), so
+// -churn N really does visit N distinct flows for any realistic N.
+func churnKey(id uint64) rlir.FlowKey {
+	return rlir.FlowKey{
+		Src:     rlir.Addr(0x0a000000 ^ uint32(id)),
+		Dst:     rlir.Addr(0x0b000000 + uint32(id>>32)),
+		SrcPort: uint16(1024 + id%32768),
+		DstPort: 7171,
+		Proto:   6,
+	}
 }
 
 // replay streams the capture through the fleet router, looping until the
@@ -271,7 +305,11 @@ func replay(o options, tr *rlir.ScenarioTrace) (summary, error) {
 		deadline = time.Now().Add(o.duration)
 	}
 	pacer := rlir.NewPacer(o.rate)
-	var passes uint64
+	var passes, churnID uint64
+	var scratch []rlir.CollectorSample
+	if o.churn > 0 {
+		scratch = make([]rlir.CollectorSample, 0, o.batch)
+	}
 	start := time.Now()
 replay:
 	for {
@@ -281,7 +319,19 @@ replay:
 				end = len(tr.Samples)
 			}
 			pacer.Wait(end - off)
-			r.RouteSamples(tr.Samples[off:end])
+			batch := tr.Samples[off:end]
+			if o.churn > 0 {
+				// Churn mode: keep the capture's latency values but walk the
+				// keys through -churn distinct synthetic flows, one id per
+				// sample. The capture is never mutated — replay loops reuse it.
+				scratch = append(scratch[:0], batch...)
+				for i := range scratch {
+					scratch[i].Key = churnKey(churnID % uint64(o.churn))
+					churnID++
+				}
+				batch = scratch
+			}
+			r.RouteSamples(batch)
 			if !deadline.IsZero() && time.Now().After(deadline) {
 				break replay
 			}
@@ -314,6 +364,13 @@ replay:
 		s.Segments = st.Segments
 		s.Retransmits = st.Retransmits
 		s.Timeouts = st.Timeouts
+	}
+	if o.churn > 0 {
+		visited := churnID
+		if visited > uint64(o.churn) {
+			visited = uint64(o.churn)
+		}
+		s.DistinctFlows = int(visited)
 	}
 	if closeErr != nil {
 		return summary{}, closeErr

@@ -45,6 +45,9 @@ func TestParseArgs(t *testing.T) {
 		{"negative loss", []string{"-scenario", "incast", "-addr", "a:1", "-reliable", "-loss", "-0.1"}, "-loss"},
 		{"zero attempts", []string{"-scenario", "incast", "-addr", "a:1", "-connect-attempts", "0"}, "-connect-attempts"},
 		{"zero connect timeout", []string{"-scenario", "incast", "-addr", "a:1", "-connect-timeout", "0s"}, "-connect-timeout"},
+		{"churn", []string{"-scenario", "incast", "-addr", "a:1", "-churn", "1000000"}, ""},
+		{"negative churn", []string{"-scenario", "incast", "-addr", "a:1", "-churn", "-1"}, "-churn"},
+		{"churn with records", []string{"-scenario", "incast", "-addr", "a:1", "-churn", "100", "-records"}, "-churn rewrites sample keys"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -118,6 +121,73 @@ func TestReplayAgainstLiveService(t *testing.T) {
 		if a.Key != b.Key || a.Est != b.Est || a.True != b.True {
 			t.Fatalf("flow %d diverged after replay:\nservice %+v\nbatch   %+v", i, a, b)
 		}
+	}
+}
+
+// TestChurnKeyDistinct pins the churn-id mapping: consecutive ids give
+// distinct flow keys, so -churn N visits exactly N flows.
+func TestChurnKeyDistinct(t *testing.T) {
+	seen := make(map[rlir.FlowKey]bool, 100000)
+	for id := uint64(0); id < 100000; id++ {
+		k := churnKey(id)
+		if seen[k] {
+			t.Fatalf("churnKey(%d) = %+v repeats an earlier key", id, k)
+		}
+		seen[k] = true
+	}
+}
+
+// TestChurnReplayAgainstBoundedService is the churn soak in miniature: a
+// key-rewriting replay against a service with a 64-flow cap must keep the
+// live table at the cap, evict into the rollup tiers, and conserve every
+// sample across table + classes + router.
+func TestChurnReplayAgainstBoundedService(t *testing.T) {
+	s, err := rlir.NewMeasurementService(rlir.ServiceConfig{
+		Listen: "127.0.0.1:0", Shards: 2, MaxFlows: 64, MaxClasses: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(t.Context())
+
+	var out strings.Builder
+	args := []string{"-scenario", "baseline-tandem", "-addr", s.Addr().String(), "-conns", "2", "-churn", "1000", "-json"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	var sum summary
+	if err := json.Unmarshal([]byte(text[strings.Index(text, "{"):]), &sum); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, text)
+	}
+	wantDistinct := 1000
+	if sum.Samples < 1000 {
+		wantDistinct = int(sum.Samples)
+	}
+	if sum.DistinctFlows != wantDistinct {
+		t.Fatalf("summary reports %d distinct flows, want %d (from %d samples)",
+			sum.DistinctFlows, wantDistinct, sum.Samples)
+	}
+
+	deadlineWait(t, s, sum.Samples)
+	st := s.Collector().Stats()
+	if st.Flows > 64 {
+		t.Fatalf("live table holds %d flows, cap 64", st.Flows)
+	}
+	if st.Evicted == 0 {
+		t.Fatalf("churning %d flows through a 64-flow cap evicted nothing: %+v", sum.DistinctFlows, st)
+	}
+	roll := s.Collector().RollupSnapshot()
+	var total int64
+	for _, a := range s.Snapshot() {
+		total += a.Est.N()
+	}
+	for i := range roll.Classes {
+		total += roll.Classes[i].Est.N()
+	}
+	total += roll.Root.Est.N()
+	if uint64(total) != sum.Samples {
+		t.Fatalf("table+rollup cover %d samples, sent %d", total, sum.Samples)
 	}
 }
 

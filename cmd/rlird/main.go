@@ -7,8 +7,14 @@
 //	/flows       per-flow aggregate table (sorted; ?limit=N)
 //	/routers     per-exporter aggregates (hello-frame identity)
 //	/comparison  streaming estimate-vs-truth scoring (in-band ground truth)
+//	/rollup      aggregation tiers below the flow table (classes, router)
 //	/healthz     liveness, totals, rolling ingest rate
 //	/metrics     Prometheus text exposition
+//
+// With -max-flows and/or -flow-window set the flow table is memory-bounded:
+// least-recently-seen flows fold into per-class and per-router rollup
+// sketches instead of growing the table, so a million-flow churn holds a
+// flat footprint while /rollup keeps the evicted tail queryable.
 //
 // Configuration comes from flags, or a JSON file (-config) that flags
 // override. SIGINT/SIGTERM shut the service down gracefully: listeners
@@ -68,6 +74,9 @@ func parseArgs(args []string) (options, error) {
 	maxRecords := fs.Int("max-frame-records", 0, "per-frame record bound (0 = codec default)")
 	window := fs.Duration("window", 0, "rolling ingest-rate window (0 = default 10s)")
 	drain := fs.Duration("drain", 0, "graceful-shutdown drain window (0 = default 5s)")
+	maxFlows := fs.Int("max-flows", 0, "per-router live flow cap; LRU flows fold into the rollup (0 = unbounded)")
+	flowWindow := fs.Duration("flow-window", 0, "idle time before a flow expires into the rollup (0 = never)")
+	maxClasses := fs.Int("max-classes", 0, "rollup flow-class cap; overflow folds into the router tier (0 = default)")
 	fs.BoolVar(&o.checkConfig, "check-config", false, "print the effective config as JSON and exit")
 	if err := fs.Parse(args); err != nil {
 		return o, err
@@ -109,6 +118,15 @@ func parseArgs(args []string) (options, error) {
 	}
 	if set["drain"] {
 		o.cfg.DrainTimeout = *drain
+	}
+	if set["max-flows"] {
+		o.cfg.MaxFlows = *maxFlows
+	}
+	if set["flow-window"] {
+		o.cfg.FlowWindow = *flowWindow
+	}
+	if set["max-classes"] {
+		o.cfg.MaxClasses = *maxClasses
 	}
 	if o.cfg.Listen == "" && o.cfg.Unix == "" {
 		return o, fmt.Errorf("no ingest listener: set -listen and/or -unix")

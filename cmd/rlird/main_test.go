@@ -81,6 +81,39 @@ func TestConfigFileAndFlagPrecedence(t *testing.T) {
 	}
 }
 
+// TestBoundedTableFlags pins the memory-bound surface: -max-flows,
+// -flow-window and -max-classes reach the service config from flags and
+// from the JSON config file, with flags winning.
+func TestBoundedTableFlags(t *testing.T) {
+	o, err := parseArgs([]string{"-max-flows", "1000", "-flow-window", "90s", "-max-classes", "64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.cfg.MaxFlows != 1000 || o.cfg.FlowWindow != 90*time.Second || o.cfg.MaxClasses != 64 {
+		t.Fatalf("bound flags not applied: %+v", o.cfg)
+	}
+
+	path := filepath.Join(t.TempDir(), "rlird.json")
+	cfg := `{"listen": "127.0.0.1:9999", "max_flows": 500, "flow_window_ns": 60000000000, "max_classes": 32}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o, err = parseArgs([]string{"-config", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.cfg.MaxFlows != 500 || o.cfg.FlowWindow != time.Minute || o.cfg.MaxClasses != 32 {
+		t.Fatalf("config-file bounds not applied: %+v", o.cfg)
+	}
+	o, err = parseArgs([]string{"-config", path, "-max-flows", "2000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.cfg.MaxFlows != 2000 || o.cfg.FlowWindow != time.Minute {
+		t.Fatalf("flag did not override the file's cap: %+v", o.cfg)
+	}
+}
+
 func TestCheckConfigPrintsJSON(t *testing.T) {
 	var buf strings.Builder
 	if err := run([]string{"-check-config", "-shards", "4"}, &buf, nil); err != nil {

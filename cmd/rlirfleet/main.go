@@ -108,6 +108,12 @@ func run(args []string, out io.Writer, ready chan<- net.Addr) error {
 		return err
 	}
 
+	// Install the shutdown handler before the address is announced, so a
+	// supervisor that signals as soon as it sees the address never races
+	// the handler registration.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
 	ln, err := net.Listen("tcp", o.listen)
 	if err != nil {
 		return err
@@ -123,8 +129,6 @@ func run(args []string, out io.Writer, ready chan<- net.Addr) error {
 		ready <- ln.Addr()
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case got := <-sig:
 		fmt.Fprintf(out, "rlirfleet: %v, shutting down...\n", got)

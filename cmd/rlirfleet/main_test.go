@@ -1,11 +1,14 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"strings"
@@ -150,6 +153,116 @@ func TestRunServesMergedAPI(t *testing.T) {
 		if !strings.Contains(output, want) {
 			t.Errorf("daemon output missing %q:\n%s", want, output)
 		}
+	}
+}
+
+// TestRunSkipsStaleInstance re-executes the test binary as the real
+// front-end process pointed at one current rlird instance and one stale
+// peer whose /snapshot speaks the pre-versioning schema (no "version"
+// field). The spawned front-end must serve the current instance's flows,
+// skip the stale one, and still shut down cleanly on SIGTERM.
+func TestRunSkipsStaleInstance(t *testing.T) {
+	if os.Getenv("RLIRFLEET_STALE_PROBE") == "1" {
+		os.Args = []string{"rlirfleet", "-endpoints", os.Getenv("RLIRFLEET_STALE_ENDPOINTS"), "-listen", "127.0.0.1:0"}
+		main()
+		return
+	}
+
+	// A stale peer: every query answers with a version-0 snapshot body.
+	stale := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"samples":9,"records":0,"flows":[]}`)
+	}))
+	defer stale.Close()
+
+	s, err := rlir.NewMeasurementService(rlir.ServiceConfig{
+		Listen: "127.0.0.1:0", HTTP: "127.0.0.1:0", Shards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(t.Context())
+	c, err := rlir.DialService("tcp", s.Addr().String(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := rlir.FlowKey{
+		Src: rlir.MustParseAddr("10.0.0.1"), Dst: rlir.MustParseAddr("10.0.1.1"),
+		SrcPort: 1000, DstPort: 7171, Proto: 6,
+	}
+	for j := 0; j < 20; j++ {
+		if err := c.Add(key, time.Microsecond, time.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Collector().SamplesIngested() < 20 {
+		if time.Now().After(deadline) {
+			t.Fatal("samples not ingested")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cmd := exec.Command(os.Args[0], "-test.run", "TestRunSkipsStaleInstance")
+	cmd.Env = append(os.Environ(),
+		"RLIRFLEET_STALE_PROBE=1",
+		"RLIRFLEET_STALE_ENDPOINTS=http://"+s.HTTPAddr().String()+","+stale.URL,
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon prints its bound address; that is the readiness signal.
+	var base string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if _, after, ok := strings.Cut(line, "merged query API on "); ok {
+			base = strings.Fields(after)[0]
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("front-end never announced its address (scan err: %v)", sc.Err())
+	}
+	go io.Copy(io.Discard, stdout) // keep draining so the child never blocks
+
+	resp, err := http.Get(base + "/flows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flows []json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&flows); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/flows status %d with a stale peer, want 200 degraded", resp.StatusCode)
+	}
+	if len(flows) != 1 {
+		t.Fatalf("/flows has %d rows, want only the current instance's 1", len(flows))
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("front-end exited with %v, want clean SIGTERM shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("front-end did not exit on SIGTERM")
 	}
 }
 

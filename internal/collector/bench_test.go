@@ -1,7 +1,9 @@
 package collector
 
 import (
+	"container/list"
 	"testing"
+	"time"
 
 	"github.com/netmeasure/rlir/internal/packet"
 )
@@ -30,14 +32,54 @@ func BenchmarkIngest(b *testing.B) {
 func BenchmarkIngestSequentialBaseline(b *testing.B) {
 	stream := genStream(1, 4096, 1<<16)
 	const batch = 512
-	s := &shard{flows: make(map[packet.FlowKey]*FlowAgg)}
+	s := &shard{flows: make(map[packet.FlowKey]*flowEntry), lru: list.New()}
+	now := time.Now()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		off := (i * batch) % (len(stream) - batch)
 		for _, smp := range stream[off : off+batch] {
-			s.agg(smp.Key).addSample(smp)
+			s.agg(smp.Key, now).addSample(smp)
 		}
 	}
 	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkEvictionChurn measures aggregation throughput while every batch
+// cycles brand-new flow keys through a full bounded table — the worst case
+// where each insert evicts the LRU flow into the rollup tiers.
+// scripts/bench.sh records this in BENCH_N.json.
+func BenchmarkEvictionChurn(b *testing.B) {
+	const batch = 512
+	stream := genStream(1, 1<<20, 1<<20) // ~one sample per distinct flow
+	// Both tiers bounded, as a production cap would set them: with the
+	// class tier unbounded the map grows for the whole run and the
+	// benchmark never reaches a steady state.
+	s := &shard{
+		flows:      make(map[packet.FlowKey]*flowEntry),
+		lru:        list.New(),
+		classes:    make(map[packet.FlowKey]*FlowAgg),
+		maxFlows:   1024,
+		maxClasses: 256,
+	}
+	now := time.Now()
+	// Fill the table to its cap first so every timed batch evicts — the
+	// steady churn state, even at b.N = 1.
+	warm := s.maxFlows
+	for _, smp := range stream[:warm] {
+		s.agg(smp.Key, now).addSample(smp)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := warm + (i*batch)%(len(stream)-batch-warm)
+		for _, smp := range stream[off : off+batch] {
+			s.agg(smp.Key, now).addSample(smp)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "samples/s")
+	if s.evicted == 0 {
+		b.Fatal("no evictions: churn benchmark not churning")
+	}
 }

@@ -1,6 +1,7 @@
 package collector
 
 import (
+	"container/list"
 	"runtime"
 	"sort"
 	"sync"
@@ -25,13 +26,20 @@ type Sample struct {
 }
 
 // FlowAgg is one flow's mergeable aggregate state: latency statistics from
-// receiver samples plus byte/packet accounting from NetFlow records.
+// receiver samples plus byte/packet accounting from NetFlow records. Every
+// statistics field satisfies the stats.Aggregate contract, so same-key
+// aggregates from any partitioning of the sample stream merge into the
+// aggregate of the whole stream.
 type FlowAgg struct {
 	Key packet.FlowKey
 	// Est / True accumulate per-packet estimated and ground-truth delays.
 	Est, True stats.Welford
 	// Hist is the log-bucketed histogram of estimated delays.
 	Hist stats.Histogram
+	// Sketch is the bounded-memory quantile sketch of estimated delays —
+	// the field quantile queries read (Hist remains for coarse
+	// distribution rendering). Its merges are bit-exact under any order.
+	Sketch stats.Sketch
 	// Packets / Bytes / First / Last mirror NetFlow record fields, summed
 	// over ingested records (zero when no record mentioned the flow).
 	Packets, Bytes uint64
@@ -42,6 +50,7 @@ func (a *FlowAgg) addSample(s Sample) {
 	a.Est.Add(float64(s.Est))
 	a.True.Add(float64(s.True))
 	a.Hist.Record(s.Est)
+	a.Sketch.Record(s.Est)
 }
 
 func (a *FlowAgg) addRecord(r netflow.Record) {
@@ -57,9 +66,10 @@ func (a *FlowAgg) addRecord(r netflow.Record) {
 
 // merge folds o into a (same-key aggregates from different planes).
 func (a *FlowAgg) merge(o *FlowAgg) {
-	a.Est.Merge(o.Est)
-	a.True.Merge(o.True)
+	a.Est.Merge(&o.Est)
+	a.True.Merge(&o.True)
 	a.Hist.Merge(&o.Hist)
+	a.Sketch.Merge(&o.Sketch)
 	if o.Packets > 0 {
 		if a.Packets == 0 || o.First < a.First {
 			a.First = o.First
@@ -81,6 +91,26 @@ type Config struct {
 	// Depth is each shard's bounded channel depth in batches (default 16).
 	// A full shard back-pressures Ingest, bounding collector memory.
 	Depth int
+	// MaxFlows caps the number of individually tracked flows across all
+	// shards (0 = unbounded, the pre-eviction behaviour). When a shard's
+	// share of the cap is full, inserting a new flow evicts its
+	// least-recently-seen flow into the rollup hierarchy: the evicted
+	// aggregate folds into its flow class (packet.FlowKey.Class), and the
+	// class tier folds into the router-level root. Nothing is dropped —
+	// only per-flow identity is given up.
+	MaxFlows int
+	// Window is the idle expiry horizon: a flow not touched by any sample
+	// or record for longer than Window is expired into the rollup
+	// hierarchy, whether or not the table is full (0 = never expire).
+	// Expiry runs opportunistically while batches are processed.
+	Window time.Duration
+	// MaxClasses caps the class-tier rollup size across all shards. Once a
+	// shard's class share is full, evicted flows whose class is not already
+	// tracked fold directly into the root aggregate (0 = unbounded).
+	MaxClasses int
+	// Clock supplies the time base for Window expiry (default time.Now).
+	// Tests inject a fake clock to drive expiry deterministically.
+	Clock func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -93,25 +123,87 @@ func (c Config) withDefaults() Config {
 	if c.Depth <= 0 {
 		c.Depth = 16
 	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
 	return c
 }
 
-// req is one message to a shard: a data batch, a snapshot request when
-// snap is non-nil, or a flow-count request when count is non-nil. Requests
-// are processed strictly in channel order, which is what makes Snapshot
-// and Flows consistent cuts of everything the caller ingested before them.
+// perShard splits a collector-wide cap into a per-shard cap, rounding up so
+// the sum never undershoots the configured total.
+func perShard(total, shards int) int {
+	if total <= 0 {
+		return 0
+	}
+	return (total + shards - 1) / shards
+}
+
+// TableStats is the cheap per-scrape view of the bounded flow table:
+// current tier sizes plus lifetime eviction counters. Evicted counts flows
+// displaced by the MaxFlows cap; Expired counts flows aged out by Window.
+type TableStats struct {
+	Flows   int
+	Classes int
+	Evicted uint64
+	Expired uint64
+}
+
+func (t *TableStats) add(o TableStats) {
+	t.Flows += o.Flows
+	t.Classes += o.Classes
+	t.Evicted += o.Evicted
+	t.Expired += o.Expired
+}
+
+// Rollup is the hierarchical tier below individual flows: class-level
+// aggregates (flow keys masked by packet.FlowKey.Class) holding everything
+// evicted or expired from the flow table, plus the router-level Root
+// holding whatever overflowed the class tier. Together with the live flow
+// snapshot it conserves the sample stream: every ingested sample is in
+// exactly one of flows, Classes, or Root.
+type Rollup struct {
+	Classes []FlowAgg
+	Root    FlowAgg
+	Stats   TableStats
+}
+
+// req is one message to a shard: a data batch, a snapshot request when snap
+// is non-nil, a table-stats request when count is non-nil, or a rollup
+// request when roll is non-nil. Requests are processed strictly in channel
+// order, which is what makes Snapshot, Stats, Flows and RollupSnapshot
+// consistent cuts of everything the caller ingested before them.
 type req struct {
 	samples []Sample
 	records []netflow.Record
 	snap    chan []FlowAgg
-	count   chan int
+	count   chan TableStats
+	roll    chan Rollup
+}
+
+// flowEntry is one tracked flow plus its recency bookkeeping: elem is its
+// position in the shard's LRU list (front = most recently seen).
+type flowEntry struct {
+	agg  FlowAgg
+	last time.Time
+	elem *list.Element
 }
 
 // shard owns one partition of the flow space. Only its goroutine touches
-// flows.
+// its maps, LRU and rollup tiers.
 type shard struct {
 	ch    chan req
-	flows map[packet.FlowKey]*FlowAgg
+	flows map[packet.FlowKey]*flowEntry
+	// lru orders flows by last touch; Value is *flowEntry. The back is the
+	// eviction/expiry candidate.
+	lru        *list.List
+	classes    map[packet.FlowKey]*FlowAgg
+	root       FlowAgg
+	maxFlows   int
+	maxClasses int
+	window     time.Duration
+	clock      func() time.Time
+	evicted    uint64
+	expired    uint64
 }
 
 func (s *shard) run(wg *sync.WaitGroup) {
@@ -121,34 +213,125 @@ func (s *shard) run(wg *sync.WaitGroup) {
 		case q.snap != nil:
 			q.snap <- s.snapshot()
 		case q.count != nil:
-			q.count <- len(s.flows)
+			q.count <- s.stats()
+		case q.roll != nil:
+			q.roll <- s.rollup()
 		default:
+			now := s.clock()
 			for _, smp := range q.samples {
-				s.agg(smp.Key).addSample(smp)
+				s.agg(smp.Key, now).addSample(smp)
 			}
 			for _, r := range q.records {
-				s.agg(r.Key).addRecord(r)
+				s.agg(r.Key, now).addRecord(r)
 			}
+			s.expire(now)
 		}
 	}
 }
 
-func (s *shard) agg(key packet.FlowKey) *FlowAgg {
-	a, ok := s.flows[key]
+// agg returns the flow's aggregate, inserting (and evicting, if the table
+// is at its cap) as needed, and refreshes the flow's LRU recency.
+func (s *shard) agg(key packet.FlowKey, now time.Time) *FlowAgg {
+	e, ok := s.flows[key]
 	if !ok {
-		a = &FlowAgg{Key: key}
-		s.flows[key] = a
+		if s.maxFlows > 0 {
+			for len(s.flows) >= s.maxFlows {
+				s.foldOldest(&s.evicted)
+			}
+		}
+		e = &flowEntry{agg: FlowAgg{Key: key}}
+		e.elem = s.lru.PushFront(e)
+		s.flows[key] = e
+	} else {
+		s.lru.MoveToFront(e.elem)
 	}
-	return a
+	e.last = now
+	return &e.agg
 }
 
-// snapshot deep-copies the shard's aggregates (unsorted).
+// expire folds flows idle longer than the window into the rollup tiers.
+// The LRU back is always the least recently seen flow, so expiry stops at
+// the first still-fresh entry.
+func (s *shard) expire(now time.Time) {
+	if s.window <= 0 {
+		return
+	}
+	for back := s.lru.Back(); back != nil; back = s.lru.Back() {
+		if now.Sub(back.Value.(*flowEntry).last) <= s.window {
+			return
+		}
+		s.foldOldest(&s.expired)
+	}
+}
+
+// foldOldest removes the least recently seen flow and folds its aggregate
+// one tier down: into its flow class, or — when the class tier is full and
+// the class is not already tracked — straight into the router-level root.
+func (s *shard) foldOldest(counter *uint64) {
+	back := s.lru.Back()
+	if back == nil {
+		return
+	}
+	e := back.Value.(*flowEntry)
+	s.lru.Remove(back)
+	delete(s.flows, e.agg.Key)
+	*counter++
+
+	class := e.agg.Key.Class()
+	c, ok := s.classes[class]
+	if !ok {
+		if s.maxClasses > 0 && len(s.classes) >= s.maxClasses {
+			s.foldInto(&s.root, &e.agg)
+			return
+		}
+		c = &FlowAgg{Key: class}
+		s.classes[class] = c
+	}
+	s.foldInto(c, &e.agg)
+}
+
+// foldInto merges a displaced aggregate into a rollup tier aggregate,
+// which keeps its own key.
+func (s *shard) foldInto(dst, src *FlowAgg) {
+	key := dst.Key
+	dst.merge(src)
+	dst.Key = key
+}
+
+func (s *shard) stats() TableStats {
+	return TableStats{
+		Flows:   len(s.flows),
+		Classes: len(s.classes),
+		Evicted: s.evicted,
+		Expired: s.expired,
+	}
+}
+
+// snapshot deep-copies the shard's live flow aggregates (unsorted).
 func (s *shard) snapshot() []FlowAgg {
 	out := make([]FlowAgg, 0, len(s.flows))
-	for _, a := range s.flows {
-		out = append(out, *a)
+	for _, e := range s.flows {
+		out = append(out, cloneAgg(&e.agg))
 	}
 	return out
+}
+
+// rollup deep-copies the shard's class and root tiers.
+func (s *shard) rollup() Rollup {
+	r := Rollup{Root: cloneAgg(&s.root), Stats: s.stats()}
+	r.Classes = make([]FlowAgg, 0, len(s.classes))
+	for _, a := range s.classes {
+		r.Classes = append(r.Classes, cloneAgg(a))
+	}
+	return r
+}
+
+// cloneAgg deep-copies one aggregate. FlowAgg holds a slice (the sketch's
+// counter window), so a plain struct copy would alias live shard state.
+func cloneAgg(a *FlowAgg) FlowAgg {
+	cp := *a
+	cp.Sketch = stats.SketchFromState(a.Sketch.State())
+	return cp
 }
 
 // Collector is the sharded aggregation plane. Ingest* methods are safe for
@@ -173,8 +356,14 @@ func New(cfg Config) *Collector {
 	c := &Collector{shards: make([]*shard, cfg.Shards)}
 	for i := range c.shards {
 		c.shards[i] = &shard{
-			ch:    make(chan req, cfg.Depth),
-			flows: make(map[packet.FlowKey]*FlowAgg),
+			ch:         make(chan req, cfg.Depth),
+			flows:      make(map[packet.FlowKey]*flowEntry),
+			lru:        list.New(),
+			classes:    make(map[packet.FlowKey]*FlowAgg),
+			maxFlows:   perShard(cfg.MaxFlows, cfg.Shards),
+			maxClasses: perShard(cfg.MaxClasses, cfg.Shards),
+			window:     cfg.Window,
+			clock:      cfg.Clock,
 		}
 		c.wg.Add(1)
 		go c.shards[i].run(&c.wg)
@@ -294,29 +483,59 @@ func (c *Collector) Snapshot() []FlowAgg {
 	return out
 }
 
-// Flows returns the number of distinct flows aggregated so far: a
-// consistent cut, answered by count requests that queue behind pending
-// batches — O(shards), never a table copy, so periodic health/metrics
-// scrapes stay cheap at millions of flows.
-func (c *Collector) Flows() int {
+// Stats returns the bounded flow table's tier sizes and lifetime eviction
+// counters: a consistent cut, answered by requests that queue behind
+// pending batches — O(shards), never a table copy, so periodic
+// health/metrics scrapes stay cheap at millions of flows.
+func (c *Collector) Stats() TableStats {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	n := 0
+	var t TableStats
 	if c.closed {
 		for _, s := range c.shards {
-			n += len(s.flows)
+			t.add(s.stats())
 		}
-		return n
+		return t
 	}
-	replies := make([]chan int, len(c.shards))
+	replies := make([]chan TableStats, len(c.shards))
 	for i, s := range c.shards {
-		replies[i] = make(chan int, 1)
+		replies[i] = make(chan TableStats, 1)
 		s.ch <- req{count: replies[i]}
 	}
 	for _, ch := range replies {
-		n += <-ch
+		t.add(<-ch)
 	}
-	return n
+	return t
+}
+
+// Flows returns the number of distinct flows currently tracked (excludes
+// flows already folded into the rollup tiers).
+func (c *Collector) Flows() int { return c.Stats().Flows }
+
+// RollupSnapshot returns a deep copy of the rollup hierarchy below the live
+// flow table: per-class aggregates sorted by class key, the router-level
+// root, and the table stats at the same consistent cut. With no eviction
+// configured (or none triggered yet) the rollup is empty and the live
+// Snapshot alone covers the whole stream.
+func (c *Collector) RollupSnapshot() Rollup {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var parts []Rollup
+	if c.closed {
+		for _, s := range c.shards {
+			parts = append(parts, s.rollup())
+		}
+	} else {
+		replies := make([]chan Rollup, len(c.shards))
+		for i, s := range c.shards {
+			replies[i] = make(chan Rollup, 1)
+			s.ch <- req{roll: replies[i]}
+		}
+		for _, ch := range replies {
+			parts = append(parts, <-ch)
+		}
+	}
+	return MergeRollups(parts...)
 }
 
 // AggregateHistogram merges every flow's estimate histogram into one
@@ -359,7 +578,9 @@ func Merge(snaps ...[]FlowAgg) []FlowAgg {
 			if dst, ok := m[a.Key]; ok {
 				dst.merge(a)
 			} else {
-				cp := *a
+				// Deep copy: merging into a shallow copy would grow the
+				// sketch window through the input snapshot's backing array.
+				cp := cloneAgg(a)
 				m[a.Key] = &cp
 			}
 		}
@@ -369,5 +590,36 @@ func Merge(snaps ...[]FlowAgg) []FlowAgg {
 		out = append(out, *a)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key.Less(out[j].Key) })
+	return out
+}
+
+// MergeRollups combines rollup snapshots (per-shard, per-run or per-fleet-
+// instance) into one: classes merge by class key and sort canonically, the
+// roots merge, and the table stats sum. Sketch and histogram tiers merge
+// bit-exactly under any merge order; the rollup Welford tiers co-merge
+// non-empty accumulators, so their float sums are exact in value but not
+// guaranteed bit-identical across merge orders (see stats.Aggregate).
+func MergeRollups(rolls ...Rollup) Rollup {
+	var out Rollup
+	m := make(map[packet.FlowKey]*FlowAgg)
+	for _, r := range rolls {
+		for i := range r.Classes {
+			a := &r.Classes[i]
+			if dst, ok := m[a.Key]; ok {
+				dst.merge(a)
+			} else {
+				cp := cloneAgg(a)
+				m[a.Key] = &cp
+			}
+		}
+		rootCp := cloneAgg(&r.Root)
+		out.Root.merge(&rootCp)
+		out.Stats.add(r.Stats)
+	}
+	out.Classes = make([]FlowAgg, 0, len(m))
+	for _, a := range m {
+		out.Classes = append(out.Classes, *a)
+	}
+	sort.Slice(out.Classes, func(i, j int) bool { return out.Classes[i].Key.Less(out.Classes[j].Key) })
 	return out
 }

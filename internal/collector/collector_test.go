@@ -1,6 +1,7 @@
 package collector
 
 import (
+	"container/list"
 	"math"
 	"math/rand"
 	"reflect"
@@ -34,12 +35,13 @@ func genStream(seed int64, nFlows, nSamples int) []Sample {
 // sequentialAggregate is the single-threaded reference the sharded plane
 // must match.
 func sequentialAggregate(stream []Sample, recs []netflow.Record) []FlowAgg {
-	s := &shard{flows: make(map[packet.FlowKey]*FlowAgg)}
+	s := &shard{flows: make(map[packet.FlowKey]*flowEntry), lru: list.New()}
+	var now time.Time
 	for _, smp := range stream {
-		s.agg(smp.Key).addSample(smp)
+		s.agg(smp.Key, now).addSample(smp)
 	}
 	for _, r := range recs {
-		s.agg(r.Key).addRecord(r)
+		s.agg(r.Key, now).addRecord(r)
 	}
 	out := s.snapshot()
 	// Canonical order, as Snapshot produces.

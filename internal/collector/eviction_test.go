@@ -1,0 +1,238 @@
+package collector
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/packet"
+)
+
+// fakeClock is a deterministic time source tests advance by hand.
+type fakeClock struct {
+	mu  chan struct{}
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	c := &fakeClock{mu: make(chan struct{}, 1), now: time.Unix(0, 0)}
+	c.mu <- struct{}{}
+	return c
+}
+
+func (c *fakeClock) Now() time.Time {
+	<-c.mu
+	defer func() { c.mu <- struct{}{} }()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	<-c.mu
+	defer func() { c.mu <- struct{}{} }()
+	c.now = c.now.Add(d)
+}
+
+// conserved sums sample counts across every tier of a collector cut —
+// live flows, class rollups and the root — and compares to the number
+// ingested. Eviction must move samples between tiers, never lose them.
+func conserved(t *testing.T, c *Collector, ingested uint64) {
+	t.Helper()
+	var n int64
+	for _, a := range c.Snapshot() {
+		n += a.Est.N()
+	}
+	r := c.RollupSnapshot()
+	for _, a := range r.Classes {
+		n += a.Est.N()
+	}
+	n += r.Root.Est.N()
+	if uint64(n) != ingested {
+		t.Fatalf("conservation violated: %d samples across tiers, ingested %d", n, ingested)
+	}
+}
+
+// TestEvictionCapBound pins the MaxFlows contract: the live table never
+// exceeds the cap, displaced flows fold into their class rollups, and no
+// sample is lost in the move.
+func TestEvictionCapBound(t *testing.T) {
+	const maxFlows = 64
+	c := New(Config{Shards: 4, MaxFlows: maxFlows})
+	stream := genStream(3, 2000, 20000)
+	for i := 0; i < len(stream); i += 512 {
+		c.Ingest(stream[i:min(i+512, len(stream))])
+	}
+	st := c.Stats()
+	// Per-shard caps round up, so allow the rounded total.
+	if cap := 4 * perShard(maxFlows, 4); st.Flows > cap {
+		t.Fatalf("tracked %d flows, cap %d", st.Flows, cap)
+	}
+	if st.Evicted == 0 {
+		t.Fatal("2000 flows through a 64-flow table evicted nothing")
+	}
+	if st.Expired != 0 {
+		t.Fatalf("no window configured but %d flows expired", st.Expired)
+	}
+	conserved(t, c, uint64(len(stream)))
+	r := c.RollupSnapshot()
+	if len(r.Classes) == 0 {
+		t.Fatal("evictions produced no class rollups")
+	}
+	for _, a := range r.Classes {
+		if a.Key != a.Key.Class() {
+			t.Fatalf("class rollup keyed by non-class key %v", a.Key)
+		}
+	}
+	c.Close()
+}
+
+// TestWindowExpiry drives idle expiry with a fake clock: flows untouched
+// for longer than the window fold into the rollup tiers even though the
+// table is nowhere near full, while fresh flows stay live.
+func TestWindowExpiry(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{Shards: 2, Window: time.Minute, Clock: clk.Now})
+	old := genStream(5, 50, 500)
+	c.Ingest(old)
+	if got := c.Stats(); got.Flows == 0 || got.Expired != 0 {
+		t.Fatalf("pre-expiry stats %+v", got)
+	}
+
+	clk.Advance(2 * time.Minute)
+	fresh := genStream(6, 10, 100)
+	c.Ingest(fresh) // batch processing triggers the expiry scan
+	st := c.Stats()
+	if st.Expired == 0 {
+		t.Fatal("idle flows survived past the window")
+	}
+	if st.Evicted != 0 {
+		t.Fatalf("no cap configured but %d flows evicted", st.Evicted)
+	}
+	// Only the fresh population remains live.
+	for _, a := range c.Snapshot() {
+		if a.Est.N() == 0 {
+			t.Fatalf("live flow %v has no samples", a.Key)
+		}
+	}
+	conserved(t, c, uint64(len(old)+len(fresh)))
+	c.Close()
+}
+
+// TestClassOverflowToRoot pins the third tier: once the class table is
+// full, evicted flows of unseen classes fold into the router-level root.
+func TestClassOverflowToRoot(t *testing.T) {
+	// One shard so caps are exact, many distinct src/dst pairs so class keys
+	// are plentiful.
+	c := New(Config{Shards: 1, MaxFlows: 8, MaxClasses: 4})
+	stream := genStream(9, 3000, 12000)
+	c.Ingest(stream)
+	r := c.RollupSnapshot()
+	if len(r.Classes) > 4 {
+		t.Fatalf("class tier grew to %d, cap 4", len(r.Classes))
+	}
+	if r.Root.Est.N() == 0 {
+		t.Fatal("class overflow never reached the root aggregate")
+	}
+	conserved(t, c, uint64(len(stream)))
+	c.Close()
+}
+
+// TestRollupAfterCloseAndMerge pins that rollups stay readable after Close
+// and that MergeRollups combines per-instance rollups: stats sum, same-key
+// classes merge, sketch tiers bit-exactly.
+func TestRollupAfterCloseAndMerge(t *testing.T) {
+	c := New(Config{Shards: 2, MaxFlows: 16})
+	stream := genStream(11, 500, 5000)
+	c.Ingest(stream)
+	live := c.RollupSnapshot()
+	c.Close()
+	closed := c.RollupSnapshot()
+	if !reflect.DeepEqual(live, closed) {
+		t.Fatal("rollup after Close differs from live rollup")
+	}
+
+	merged := MergeRollups(live)
+	if !reflect.DeepEqual(merged, live) {
+		t.Fatal("identity MergeRollups changed the rollup")
+	}
+	double := MergeRollups(live, live)
+	if double.Stats.Evicted != 2*live.Stats.Evicted {
+		t.Fatalf("merged eviction counters %d, want %d", double.Stats.Evicted, 2*live.Stats.Evicted)
+	}
+	if got, want := double.Root.Est.N(), 2*live.Root.Est.N(); got != want {
+		t.Fatalf("merged root samples %d, want %d", got, want)
+	}
+	if len(double.Classes) != len(live.Classes) {
+		t.Fatalf("same-key classes did not merge: %d vs %d", len(double.Classes), len(live.Classes))
+	}
+	for i := range double.Classes {
+		if got, want := double.Classes[i].Sketch.Count(), 2*live.Classes[i].Sketch.Count(); got != want {
+			t.Fatalf("class %v sketch count %d, want %d", double.Classes[i].Key, got, want)
+		}
+	}
+}
+
+// TestChurnSoakHeapFlat is the memory-bound acceptance gate: churn one
+// million distinct flow keys through a capped collector and require the
+// live heap to stay flat — the whole point of eviction plus the
+// bounded-size sketch. Without MaxFlows the same stream would allocate a
+// million flow aggregates.
+func TestChurnSoakHeapFlat(t *testing.T) {
+	total := 1 << 20 // one million distinct FlowKeys
+	if testing.Short() {
+		total = 1 << 17
+	}
+	c := New(Config{Shards: 4, MaxFlows: 4096, MaxClasses: 1024})
+
+	// Warm up past the cap so the steady-state footprint is established,
+	// then measure heap growth across the remaining churn.
+	const batch = 1024
+	key := func(i int) packet.FlowKey {
+		return packet.FlowKey{
+			Src:     packet.AddrFrom4(10, byte(i>>21), byte(i>>14&0x7f), byte(i>>7&0x7f)),
+			Dst:     packet.AddrFrom4(10, 99, byte(i>>14&0x7f), byte(i>>7&0x7f)),
+			SrcPort: uint16(i&0x7f) + 1024,
+			DstPort: 443,
+			Proto:   packet.ProtoTCP,
+		}
+	}
+	smps := make([]Sample, batch)
+	ingest := func(from, to int) {
+		for i := from; i < to; i += batch {
+			for j := range smps {
+				smps[j] = Sample{Key: key(i + j), Est: time.Duration(1000 + i + j)}
+			}
+			c.Ingest(smps)
+		}
+	}
+
+	warm := total / 8
+	ingest(0, warm)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	ingest(warm, total)
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+
+	st := c.Stats()
+	if st.Evicted == 0 {
+		t.Fatal("soak did not churn the table")
+	}
+	if distinct := st.Flows + int(st.Evicted) + int(st.Expired); distinct != total {
+		t.Fatalf("churned %d distinct flows, want %d", distinct, total)
+	}
+	// Flat means: growing the distinct-flow population 8x past warm-up adds
+	// no more than a fixed slack (GC noise, map/LRU steady state) — far less
+	// than the hundreds of MB a million tracked flows would cost.
+	const slack = 16 << 20
+	if after.HeapAlloc > before.HeapAlloc+slack {
+		t.Fatalf("heap grew %d -> %d bytes during churn (slack %d): eviction is not bounding memory",
+			before.HeapAlloc, after.HeapAlloc, slack)
+	}
+	t.Logf("churned %d distinct flows: heap %.1f MB -> %.1f MB (tracked %d, evicted %d, classes %d)",
+		total, float64(before.HeapAlloc)/(1<<20), float64(after.HeapAlloc)/(1<<20),
+		st.Flows, st.Evicted, st.Classes)
+	conserved(t, c, uint64(total))
+	c.Close()
+}

@@ -15,11 +15,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
+	"github.com/netmeasure/rlir/internal/collector"
 	"github.com/netmeasure/rlir/internal/fleet"
 	"github.com/netmeasure/rlir/internal/measure"
+	"github.com/netmeasure/rlir/internal/packet"
 	"github.com/netmeasure/rlir/internal/queryapi"
 	"github.com/netmeasure/rlir/internal/scenario"
 	"github.com/netmeasure/rlir/internal/service"
@@ -341,5 +344,110 @@ func TestRouterOverReliableTransport(t *testing.T) {
 	b := tf.servers[1].Collector().SamplesIngested()
 	if a == 0 || b == 0 {
 		t.Fatalf("degenerate partition: %d / %d samples", a, b)
+	}
+}
+
+// TestFrontendRejectsStaleSnapshot pins the snapshot schema gate at the
+// fleet boundary: an instance speaking an older snapshot version is skipped
+// like an unreachable one (degraded service, never silently-wrong merges),
+// and a fleet made only of stale instances turns /flows into a 502 whose
+// body names both versions.
+func TestFrontendRejectsStaleSnapshot(t *testing.T) {
+	// A pre-versioning peer: its /snapshot body carries no "version" field,
+	// so it decodes as version 0.
+	stale := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"samples":7,"records":0,"flows":[]}`)
+	}))
+	defer stale.Close()
+
+	s, err := service.New(service.Config{Listen: "127.0.0.1:0", HTTP: "127.0.0.1:0", Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	s.Collector().Ingest([]collector.Sample{{
+		Key: packet.FlowKey{Src: 0x0a000001, Dst: 0x0a000002, SrcPort: 1000, DstPort: 443, Proto: packet.ProtoTCP},
+		Est: time.Millisecond,
+	}})
+
+	front, err := fleet.NewFrontend(fleet.FrontendConfig{
+		Instances: []string{"http://" + s.HTTPAddr().String(), stale.URL},
+		Timeout:   5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := httptest.NewServer(front.Handler())
+	defer mixed.Close()
+
+	var flows []queryapi.FlowJSON
+	if code := getJSON(t, mixed.URL+"/flows", &flows); code != http.StatusOK {
+		t.Fatalf("/flows status %d with one stale instance, want 200 degraded", code)
+	}
+	if len(flows) != 1 {
+		t.Fatalf("/flows has %d rows, want only the current instance's 1", len(flows))
+	}
+
+	lone, err := fleet.NewFrontend(fleet.FrontendConfig{
+		Instances: []string{stale.URL},
+		Timeout:   5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loneSrv := httptest.NewServer(lone.Handler())
+	defer loneSrv.Close()
+	resp, err := http.Get(loneSrv.URL + "/flows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("/flows status %d over an all-stale fleet, want 502", resp.StatusCode)
+	}
+	for _, want := range []string{"version 0", fmt.Sprintf("version %d", queryapi.SnapshotVersion)} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("502 body must name %q, got:\n%s", want, body)
+		}
+	}
+}
+
+// TestFrontendRollupAnnotatesInstances checks /rollup is a per-instance
+// gather (eviction contents depend on each instance's arrival order, so the
+// front-end annotates rather than merges) whose accounting covers the fleet.
+func TestFrontendRollupAnnotatesInstances(t *testing.T) {
+	tr := exportBaseline(t)
+	tf := startFleet(t, 2)
+	tf.routeTrace(t, tr)
+
+	var rows []queryapi.RollupJSON
+	if code := getJSON(t, tf.front.URL+"/rollup", &rows); code != http.StatusOK {
+		t.Fatalf("/rollup status %d", code)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("/rollup has %d rows, want one per instance", len(rows))
+	}
+	tracked := 0
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if r.Instance == "" {
+			t.Fatal("rollup row missing instance annotation")
+		}
+		seen[r.Instance] = true
+		tracked += r.FlowsTracked
+		if r.FlowsEvicted != 0 || r.FlowsExpired != 0 {
+			t.Fatalf("uncapped instance reports evictions: %+v", r)
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("rollup rows name %d distinct instances, want 2", len(seen))
+	}
+	if tracked != len(tr.Result.Fleet) {
+		t.Fatalf("fleet tracks %d flows across rollups, single node holds %d", tracked, len(tr.Result.Fleet))
 	}
 }

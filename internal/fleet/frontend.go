@@ -133,13 +133,19 @@ func (f *Frontend) gather(ctx context.Context, path string) []fetch {
 }
 
 // snapshots gathers and decodes every reachable instance's raw flow-table
-// state. It returns the per-instance snapshots, how many instances
-// answered, and the first error (for the all-down case).
+// state, rejecting any whose snapshot schema version differs from this
+// binary's (queryapi.Snapshot.Check) — merging a stale instance would
+// silently drop its sketch tier rather than fail. It returns the accepted
+// per-instance snapshots, how many instances answered, and the first error
+// (for the all-down case).
 func (f *Frontend) snapshots(ctx context.Context) (snaps []queryapi.Snapshot, ok int, firstErr error) {
 	for _, g := range f.gather(ctx, "/snapshot") {
 		if g.err == nil {
 			var s queryapi.Snapshot
 			if err := json.Unmarshal(g.body, &s); err != nil {
+				g.err = fmt.Errorf("%s/snapshot: %w", g.instance, err)
+				f.gErrs.Add(1)
+			} else if err := s.Check(); err != nil {
 				g.err = fmt.Errorf("%s/snapshot: %w", g.instance, err)
 				f.gErrs.Add(1)
 			} else {
@@ -172,6 +178,7 @@ func (f *Frontend) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/flows", f.handleFlows)
 	mux.HandleFunc("/routers", f.handleRouters)
+	mux.HandleFunc("/rollup", f.handleRollup)
 	mux.HandleFunc("/comparison", f.handleComparison)
 	mux.HandleFunc("/healthz", f.handleHealthz)
 	mux.HandleFunc("/metrics", f.handleMetrics)
@@ -213,6 +220,43 @@ func (f *Frontend) handleComparison(w http.ResponseWriter, r *http.Request) {
 	}
 	cmp := measure.CompareFlowAggs("rli", merged(snaps))
 	queryapi.WriteJSON(w, http.StatusOK, []queryapi.ComparisonJSON{queryapi.ComparisonRow(cmp)})
+}
+
+// handleRollup gathers each instance's /rollup and returns the per-instance
+// views annotated with their instance URL, like /routers. The rollup tiers
+// are NOT cross-instance merged: which flows a bounded instance evicted
+// depends on its own arrival order and caps, so per-instance rollups are an
+// operational view, not part of the exact-merge surface (/flows,
+// /comparison — those merge live per-flow state, which stays exact).
+func (f *Frontend) handleRollup(w http.ResponseWriter, r *http.Request) {
+	f.queries.Add(1)
+	var rows []queryapi.RollupJSON
+	anyOK := false
+	var firstErr error
+	for _, g := range f.gather(r.Context(), "/rollup") {
+		if g.err != nil {
+			if firstErr == nil {
+				firstErr = g.err
+			}
+			continue
+		}
+		var part queryapi.RollupJSON
+		if err := json.Unmarshal(g.body, &part); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s/rollup: %w", g.instance, err)
+			}
+			f.gErrs.Add(1)
+			continue
+		}
+		anyOK = true
+		part.Instance = g.instance
+		rows = append(rows, part)
+	}
+	if !anyOK {
+		http.Error(w, fmt.Sprintf("no instance reachable: %v", firstErr), http.StatusBadGateway)
+		return
+	}
+	queryapi.WriteJSON(w, http.StatusOK, rows)
 }
 
 func (f *Frontend) handleRouters(w http.ResponseWriter, r *http.Request) {

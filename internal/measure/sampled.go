@@ -95,7 +95,7 @@ func (s *Sampled) Finalize() Report {
 	var agg stats.Welford
 	for key, w := range s.flows {
 		rep.Flows = append(rep.Flows, FlowEstimate{Key: key, Mean: time.Duration(w.Mean()), N: w.N()})
-		agg.Merge(*w)
+		agg.Merge(w)
 	}
 	sort.Slice(rep.Flows, func(i, j int) bool { return rep.Flows[i].Key.Less(rep.Flows[j].Key) })
 	rep.AggMean = time.Duration(agg.Mean())

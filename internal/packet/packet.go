@@ -42,6 +42,16 @@ func (k FlowKey) Reverse() FlowKey {
 	return FlowKey{Src: k.Dst, Dst: k.Src, SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: k.Proto}
 }
 
+// Class returns the flow's class key: the 5-tuple with both ports masked to
+// zero, i.e. the host-pair/protocol aggregate a flow folds into when it is
+// evicted from a bounded flow table. Flows of the same class share source,
+// destination and protocol — the natural per-host-pair aggregation tier
+// between individual flows and a whole router.
+func (k FlowKey) Class() FlowKey {
+	k.SrcPort, k.DstPort = 0, 0
+	return k
+}
+
 func (k FlowKey) String() string {
 	return fmt.Sprintf("%s:%d>%s:%d/%s", k.Src, k.SrcPort, k.Dst, k.DstPort, k.Proto)
 }

@@ -7,13 +7,16 @@
 // through the same code: a fleet-of-N answer is byte-identical to the
 // single-node answer not by convention but because both call these
 // functions. The snapshot codec is the exact half: FlowState carries the
-// full internal accumulator state (stats.WelfordState, stats.HistogramState)
-// rather than derived summaries, and Go's JSON float encoding is shortest
-// round-trip, so instance state crosses the HTTP boundary bit-identically.
+// full internal accumulator state (stats.WelfordState, stats.HistogramState,
+// stats.SketchState) rather than derived summaries, and Go's JSON float
+// encoding is shortest round-trip, so instance state crosses the HTTP
+// boundary bit-identically. Snapshots are schema-versioned
+// (SnapshotVersion); merging peers must Check before trusting one.
 package queryapi
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"net/http"
 
@@ -35,7 +38,8 @@ type FlowJSON struct {
 	// Samples counts the per-packet estimates behind the aggregate.
 	Samples int64 `json:"samples"`
 	// EstMeanNs / EstStdNs / EstP50Ns / EstP99Ns summarize the estimated
-	// delay distribution.
+	// delay distribution. The quantiles come from the flow's bounded-memory
+	// sketch, within stats.SketchRelErrBound of the exact sample quantiles.
 	EstMeanNs float64 `json:"est_mean_ns"`
 	EstStdNs  float64 `json:"est_std_ns"`
 	EstP50Ns  int64   `json:"est_p50_ns"`
@@ -62,8 +66,8 @@ func FlowRow(a *collector.FlowAgg) FlowJSON {
 		Samples:    a.Est.N(),
 		EstMeanNs:  a.Est.Mean(),
 		EstStdNs:   a.Est.Std(),
-		EstP50Ns:   int64(a.Hist.Quantile(0.5)),
-		EstP99Ns:   int64(a.Hist.Quantile(0.99)),
+		EstP50Ns:   int64(a.Sketch.Quantile(0.5)),
+		EstP99Ns:   int64(a.Sketch.Quantile(0.99)),
 		TrueMeanNs: a.True.Mean(),
 		Packets:    a.Packets,
 		Bytes:      a.Bytes,
@@ -146,6 +150,12 @@ type HealthJSON struct {
 	SampleRate1W  float64 `json:"ingest_samples_per_s"`
 	RecordRate1W  float64 `json:"ingest_records_per_s"`
 	WindowSeconds float64 `json:"rate_window_s"`
+	// FlowsEvicted / FlowsExpired / FlowClasses describe the bounded flow
+	// table: lifetime cap evictions, lifetime window expiries, and the
+	// current class-rollup tier size (all zero while unbounded and idle).
+	FlowsEvicted uint64 `json:"flows_evicted"`
+	FlowsExpired uint64 `json:"flows_expired"`
+	FlowClasses  int    `json:"flow_classes"`
 	// DecodeErrorKinds breaks DecodeErrors down by corruption kind,
 	// summed across exporters (omitted while zero).
 	DecodeErrorKinds map[string]uint64 `json:"decode_error_kinds,omitempty"`
@@ -179,9 +189,10 @@ type FlowState struct {
 	DstPort uint16 `json:"dst_port"`
 	Proto   uint8  `json:"proto"`
 
-	Est  stats.WelfordState   `json:"est"`
-	True stats.WelfordState   `json:"true"`
-	Hist stats.HistogramState `json:"hist"`
+	Est    stats.WelfordState   `json:"est"`
+	True   stats.WelfordState   `json:"true"`
+	Hist   stats.HistogramState `json:"hist"`
+	Sketch stats.SketchState    `json:"sketch"`
 
 	Packets uint64 `json:"packets,omitempty"`
 	Bytes   uint64 `json:"bytes,omitempty"`
@@ -189,18 +200,37 @@ type FlowState struct {
 	LastNs  int64  `json:"last_ns,omitempty"`
 }
 
+// SnapshotVersion is the current /snapshot schema version. Version 2 added
+// the per-flow quantile sketch state; a version-1 instance's snapshot lacks
+// it, and merging such a snapshot would silently produce empty sketch tiers
+// — so Check rejects any version mismatch outright instead.
+const SnapshotVersion = 2
+
 // Snapshot is the /snapshot response: the full flow table as raw state plus
-// the instance's ingest totals.
+// the instance's ingest totals, tagged with the schema version that produced
+// it.
 type Snapshot struct {
+	Version int         `json:"version"`
 	Samples uint64      `json:"samples"`
 	Records uint64      `json:"records"`
 	Flows   []FlowState `json:"flows"`
 }
 
+// Check validates the snapshot's schema version against this binary's.
+// A mismatch (including the implicit version 0 of a pre-versioning
+// instance) is an error naming both versions, so a mixed-version fleet
+// fails loudly at gather time rather than merging lossily.
+func (s Snapshot) Check() error {
+	if s.Version != SnapshotVersion {
+		return fmt.Errorf("queryapi: snapshot version %d from peer, this binary speaks version %d (mixed-version fleet?)", s.Version, SnapshotVersion)
+	}
+	return nil
+}
+
 // SnapshotOf packs a collector snapshot (and its ingest totals) for the
 // wire.
 func SnapshotOf(aggs []collector.FlowAgg, samples, records uint64) Snapshot {
-	s := Snapshot{Samples: samples, Records: records, Flows: make([]FlowState, len(aggs))}
+	s := Snapshot{Version: SnapshotVersion, Samples: samples, Records: records, Flows: make([]FlowState, len(aggs))}
 	for i := range aggs {
 		a := &aggs[i]
 		s.Flows[i] = FlowState{
@@ -212,6 +242,7 @@ func SnapshotOf(aggs []collector.FlowAgg, samples, records uint64) Snapshot {
 			Est:     a.Est.State(),
 			True:    a.True.State(),
 			Hist:    a.Hist.State(),
+			Sketch:  a.Sketch.State(),
 			Packets: a.Packets,
 			Bytes:   a.Bytes,
 			FirstNs: int64(a.First),
@@ -237,11 +268,75 @@ func (s Snapshot) Aggs() []collector.FlowAgg {
 			Est:     stats.WelfordFromState(f.Est),
 			True:    stats.WelfordFromState(f.True),
 			Hist:    stats.HistogramFromState(f.Hist),
+			Sketch:  stats.SketchFromState(f.Sketch),
 			Packets: f.Packets,
 			Bytes:   f.Bytes,
 			First:   simtime.Time(f.FirstNs),
 			Last:    simtime.Time(f.LastNs),
 		}
+	}
+	return out
+}
+
+// RollupRowJSON is one rollup-tier aggregate flattened for the wire: a
+// class row carries its masked 5-tuple (ports always zero), the router row
+// omits endpoints entirely.
+type RollupRowJSON struct {
+	Src     string `json:"src,omitempty"`
+	Dst     string `json:"dst,omitempty"`
+	Proto   uint8  `json:"proto,omitempty"`
+	Samples int64  `json:"samples"`
+	// EstMeanNs / EstP50Ns / EstP99Ns summarize the tier's estimated delay
+	// distribution; quantiles come from the tier's merged sketch.
+	EstMeanNs float64 `json:"est_mean_ns"`
+	EstP50Ns  int64   `json:"est_p50_ns"`
+	EstP99Ns  int64   `json:"est_p99_ns"`
+	Packets   uint64  `json:"packets,omitempty"`
+	Bytes     uint64  `json:"bytes,omitempty"`
+}
+
+// RollupJSON is the /rollup response: the aggregation tiers below the live
+// flow table plus the eviction accounting that filled them. A fleet
+// front-end annotates each instance's rollup with Instance.
+type RollupJSON struct {
+	FlowsTracked int             `json:"flows_tracked"`
+	FlowsEvicted uint64          `json:"flows_evicted"`
+	FlowsExpired uint64          `json:"flows_expired"`
+	Classes      []RollupRowJSON `json:"classes"`
+	Router       RollupRowJSON   `json:"router"`
+	Instance     string          `json:"instance,omitempty"`
+}
+
+// rollupRow renders one rollup-tier aggregate. withKey is false for the
+// router row, whose key is the zero FlowKey by construction.
+func rollupRow(a *collector.FlowAgg, withKey bool) RollupRowJSON {
+	r := RollupRowJSON{
+		Samples:   a.Est.N(),
+		EstMeanNs: a.Est.Mean(),
+		EstP50Ns:  int64(a.Sketch.Quantile(0.5)),
+		EstP99Ns:  int64(a.Sketch.Quantile(0.99)),
+		Packets:   a.Packets,
+		Bytes:     a.Bytes,
+	}
+	if withKey {
+		r.Src = a.Key.Src.String()
+		r.Dst = a.Key.Dst.String()
+		r.Proto = uint8(a.Key.Proto)
+	}
+	return r
+}
+
+// RollupRows renders a collector rollup as its /rollup response.
+func RollupRows(r collector.Rollup) RollupJSON {
+	out := RollupJSON{
+		FlowsTracked: r.Stats.Flows,
+		FlowsEvicted: r.Stats.Evicted,
+		FlowsExpired: r.Stats.Expired,
+		Classes:      make([]RollupRowJSON, len(r.Classes)),
+		Router:       rollupRow(&r.Root, false),
+	}
+	for i := range r.Classes {
+		out.Classes[i] = rollupRow(&r.Classes[i], true)
 	}
 	return out
 }

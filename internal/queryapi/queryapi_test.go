@@ -2,8 +2,10 @@ package queryapi
 
 import (
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -111,10 +113,81 @@ func TestFlowRowMatchesAggDerivation(t *testing.T) {
 		row := FlowRow(a)
 		if row.Samples != a.Est.N() || row.EstMeanNs != a.Est.Mean() ||
 			row.EstStdNs != a.Est.Std() || row.TrueMeanNs != a.True.Mean() ||
-			row.EstP50Ns != int64(a.Hist.Quantile(0.5)) ||
-			row.EstP99Ns != int64(a.Hist.Quantile(0.99)) ||
+			row.EstP50Ns != int64(a.Sketch.Quantile(0.5)) ||
+			row.EstP99Ns != int64(a.Sketch.Quantile(0.99)) ||
 			row.Packets != a.Packets || row.Bytes != a.Bytes {
 			t.Fatalf("row %d diverges from aggregate: %+v", i, row)
 		}
+	}
+}
+
+// TestSnapshotVersionCheck pins the schema gate: current snapshots pass,
+// and any other version — older, newer, or the implicit 0 of a
+// pre-versioning peer — fails with an error naming both versions.
+func TestSnapshotVersionCheck(t *testing.T) {
+	if err := SnapshotOf(nil, 0, 0).Check(); err != nil {
+		t.Fatalf("current-version snapshot rejected: %v", err)
+	}
+	// A version-1 peer's body: no version field existed, so it decodes as 0.
+	var stale Snapshot
+	if err := json.Unmarshal([]byte(`{"samples":1,"records":0,"flows":[]}`), &stale); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{stale.Version, 1, SnapshotVersion + 1} {
+		s := Snapshot{Version: v}
+		err := s.Check()
+		if err == nil {
+			t.Fatalf("version %d accepted", v)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprint(v)) ||
+			!strings.Contains(err.Error(), fmt.Sprint(SnapshotVersion)) {
+			t.Fatalf("version error must name both versions, got: %v", err)
+		}
+	}
+}
+
+// TestRollupRowsMatchesAggDerivation checks the /rollup renderer against a
+// real evicting collector's rollup.
+func TestRollupRowsMatchesAggDerivation(t *testing.T) {
+	coll := collector.New(collector.Config{Shards: 1, MaxFlows: 4})
+	rng := rand.New(rand.NewSource(17))
+	smps := make([]collector.Sample, 4000)
+	for i := range smps {
+		smps[i] = collector.Sample{
+			Key: packet.FlowKey{
+				Src:     packet.Addr(rng.Uint32()),
+				Dst:     packet.Addr(rng.Uint32()),
+				SrcPort: uint16(1 + rng.Intn(1<<15)),
+				DstPort: 443,
+				Proto:   packet.ProtoTCP,
+			},
+			Est: time.Duration(rng.Int63n(int64(time.Second))),
+		}
+	}
+	coll.Ingest(smps)
+	roll := coll.RollupSnapshot()
+	coll.Close()
+	if roll.Stats.Evicted == 0 || len(roll.Classes) == 0 {
+		t.Fatalf("collector did not evict: %+v", roll.Stats)
+	}
+
+	got := RollupRows(roll)
+	if got.FlowsTracked != roll.Stats.Flows || got.FlowsEvicted != roll.Stats.Evicted ||
+		got.FlowsExpired != roll.Stats.Expired {
+		t.Fatalf("rollup accounting diverged: %+v vs %+v", got, roll.Stats)
+	}
+	if len(got.Classes) != len(roll.Classes) {
+		t.Fatalf("%d class rows, want %d", len(got.Classes), len(roll.Classes))
+	}
+	for i := range got.Classes {
+		a, row := &roll.Classes[i], got.Classes[i]
+		if row.Src != a.Key.Src.String() || row.Samples != a.Est.N() ||
+			row.EstP50Ns != int64(a.Sketch.Quantile(0.5)) ||
+			row.EstP99Ns != int64(a.Sketch.Quantile(0.99)) {
+			t.Fatalf("class row %d diverges: %+v vs %+v", i, row, a)
+		}
+	}
+	if got.Router.Src != "" || got.Router.Samples != roll.Root.Est.N() {
+		t.Fatalf("router row diverges: %+v", got.Router)
 	}
 }

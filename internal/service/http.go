@@ -25,6 +25,8 @@ type (
 	ComparisonJSON = queryapi.ComparisonJSON
 	// HealthJSON is the /healthz response.
 	HealthJSON = queryapi.HealthJSON
+	// RollupJSON is the /rollup response.
+	RollupJSON = queryapi.RollupJSON
 )
 
 func flowJSON(a *collector.FlowAgg) FlowJSON { return queryapi.FlowRow(a) }
@@ -38,6 +40,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/flows", s.handleFlows)
 	mux.HandleFunc("/routers", s.handleRouters)
+	mux.HandleFunc("/rollup", s.handleRollup)
 	mux.HandleFunc("/comparison", s.handleComparison)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -108,6 +111,14 @@ func (s *Server) handleRouters(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rows)
 }
 
+// handleRollup serves the aggregation tiers below the live flow table —
+// the class and router aggregates that evicted/expired flows folded into —
+// plus the eviction accounting. With no eviction configured the tiers are
+// empty and only the accounting fields are meaningful.
+func (s *Server) handleRollup(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, queryapi.RollupRows(s.coll.RollupSnapshot()))
+}
+
 func (s *Server) handleComparison(w http.ResponseWriter, r *http.Request) {
 	cmp := measure.CompareFlowAggs("rli", s.coll.Snapshot())
 	writeJSON(w, http.StatusOK, []ComparisonJSON{comparisonJSON(cmp)})
@@ -137,10 +148,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			kinds[k.kind] += v
 		}
 	}
+	ts := s.coll.Stats()
 	writeJSON(w, code, HealthJSON{
 		Status:              status,
 		UptimeS:             time.Since(s.start).Seconds(),
-		Flows:               s.coll.Flows(),
+		Flows:               ts.Flows,
 		Samples:             s.coll.SamplesIngested(),
 		Records:             s.coll.RecordsIngested(),
 		Frames:              s.frames.Load(),
@@ -156,6 +168,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		TransportDuplicates: s.tDuplicates.Load(),
 		TransportOutOfOrder: s.tOutOfOrder.Load(),
 		TransportGaps:       s.tGaps.Load(),
+		FlowsEvicted:        ts.Evicted,
+		FlowsExpired:        ts.Expired,
+		FlowClasses:         ts.Classes,
 	})
 }
 
@@ -241,8 +256,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			p("rlird_router_transport_gaps_total{router=%q} %d\n", r.name, r.gaps)
 		}
 	}
+	ts := s.coll.Stats()
 	p("# HELP rlird_flows Distinct flows aggregated.\n# TYPE rlird_flows gauge\n")
-	p("rlird_flows %d\n", s.coll.Flows())
+	p("rlird_flows %d\n", ts.Flows)
+	p("# HELP rlird_flows_tracked Flows currently tracked individually (excludes rollup tiers).\n# TYPE rlird_flows_tracked gauge\n")
+	p("rlird_flows_tracked %d\n", ts.Flows)
+	p("# HELP rlird_flows_evicted_total Flows folded into rollup tiers by the max-flows cap.\n# TYPE rlird_flows_evicted_total counter\n")
+	p("rlird_flows_evicted_total %d\n", ts.Evicted)
+	p("# HELP rlird_flows_expired_total Flows folded into rollup tiers by idle-window expiry.\n# TYPE rlird_flows_expired_total counter\n")
+	p("rlird_flows_expired_total %d\n", ts.Expired)
+	p("# HELP rlird_flow_classes Class-tier rollup aggregates currently held.\n# TYPE rlird_flow_classes gauge\n")
+	p("rlird_flow_classes %d\n", ts.Classes)
 	p("# HELP rlird_shards Collector shard goroutines.\n# TYPE rlird_shards gauge\n")
 	p("rlird_shards %d\n", s.coll.Shards())
 	p("# HELP rlird_ingest_samples_per_second Rolling-window sample ingest rate.\n# TYPE rlird_ingest_samples_per_second gauge\n")

@@ -65,6 +65,16 @@ type Config struct {
 	// MaxFrameRecords bounds one frame's record count (0 = the codec's
 	// DefaultMaxFrameRecords).
 	MaxFrameRecords int `json:"max_frame_records,omitempty"`
+	// MaxFlows caps the individually tracked flow population; past it the
+	// least-recently-seen flows fold into the class/router rollup tiers
+	// served by /rollup (0 = unbounded). See collector.Config.MaxFlows.
+	MaxFlows int `json:"max_flows,omitempty"`
+	// FlowWindow expires flows idle longer than this into the rollup tiers
+	// (0 = never). See collector.Config.Window.
+	FlowWindow time.Duration `json:"flow_window_ns,omitempty"`
+	// MaxClasses caps the class rollup tier (0 = unbounded). See
+	// collector.Config.MaxClasses.
+	MaxClasses int `json:"max_classes,omitempty"`
 	// Window is the rolling ingest-rate window (default 10s).
 	Window time.Duration `json:"window_ns,omitempty"`
 	// DrainTimeout bounds graceful shutdown: connections still streaming
@@ -168,8 +178,14 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:          cfg,
-		coll:         collector.New(collector.Config{Shards: cfg.Shards, Depth: cfg.Depth}),
+		cfg: cfg,
+		coll: collector.New(collector.Config{
+			Shards:     cfg.Shards,
+			Depth:      cfg.Depth,
+			MaxFlows:   cfg.MaxFlows,
+			Window:     cfg.FlowWindow,
+			MaxClasses: cfg.MaxClasses,
+		}),
 		conns:        make(map[net.Conn]struct{}),
 		routers:      make(map[string]*routerAgg),
 		decodeErrsBy: make(map[decodeErrKey]uint64),

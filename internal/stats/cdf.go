@@ -14,15 +14,34 @@ type CDF struct {
 	sorted []float64
 }
 
-// NewCDF builds a CDF from the given samples. The input slice is copied.
-// Non-finite samples (NaN, ±Inf) are kept and sorted to the extremes so that
-// flows with undefined relative error still count in the denominator, exactly
-// as a plotted CDF that never reaches 1.0 would show them.
+// NewCDF builds a CDF from the given samples. The input slice is copied —
+// one O(n) allocation plus an O(n log n) sort per call — so build a CDF
+// once and reuse Quantile/FracBelow/Median (each O(log n) or O(1)) rather
+// than rebuilding per query. Input that is already sorted (for example the
+// sample multiset of a Merge result, which Merge keeps sorted) skips the
+// sort entirely. Non-finite samples (NaN, ±Inf) are kept and sorted to the
+// extremes so that flows with undefined relative error still count in the
+// denominator, exactly as a plotted CDF that never reaches 1.0 would show
+// them.
 func NewCDF(samples []float64) *CDF {
 	s := make([]float64, len(samples))
 	copy(s, samples)
-	sort.Float64s(s) // sort.Float64s orders NaNs first; treat below.
+	if !sortedFloats(s) {
+		sort.Float64s(s) // sort.Float64s orders NaNs first; treat below.
+	}
 	return &CDF{sorted: s}
+}
+
+// sortedFloats reports whether s is already in sort.Float64s order (NaNs
+// first, then ascending) — the O(n) check that lets NewCDF skip re-sorting
+// pre-sorted input.
+func sortedFloats(s []float64) bool {
+	for i := 1; i < len(s); i++ {
+		if floatBefore(s[i], s[i-1]) {
+			return false
+		}
+	}
+	return true
 }
 
 // N returns the number of samples.
@@ -39,11 +58,12 @@ func (c *CDF) FracBelow(x float64) float64 {
 }
 
 // Merge returns a new CDF over the union multiset of both sample sets.
-// Merging is a linear merge of the two sorted slices under sort.Float64s's
-// ordering (NaNs first, then ascending), so Merge(a, b) holds exactly the
-// samples NewCDF(append(a.samples, b.samples...)) would: merging partial
-// CDFs (per-shard or per-run error distributions) equals building one CDF
-// over the whole stream. Neither input is modified.
+// Merging is a single O(n+m) linear merge of the two sorted slices under
+// sort.Float64s's ordering (NaNs first, then ascending) — never a re-sort —
+// so Merge(a, b) holds exactly the samples NewCDF(append(a.samples,
+// b.samples...)) would: merging partial CDFs (per-shard or per-run error
+// distributions) equals building one CDF over the whole stream. Neither
+// input is modified.
 func (c *CDF) Merge(o *CDF) *CDF {
 	merged := make([]float64, 0, len(c.sorted)+len(o.sorted))
 	i, j := 0, 0

@@ -30,6 +30,15 @@ func bucketOf(d time.Duration) int {
 	return bits.Len64(uint64(d)) - 1
 }
 
+// Add folds one observation in float64 nanoseconds (the Aggregate contract
+// face of Record). Negative and NaN values clamp to zero like Record.
+func (h *Histogram) Add(x float64) {
+	if x < 0 || math.IsNaN(x) {
+		x = 0
+	}
+	h.Record(time.Duration(x))
+}
+
 // Record adds one duration. Negative durations are clamped to zero; they can
 // only arise from clock desynchronization, which the caller tracks separately.
 func (h *Histogram) Record(d time.Duration) {
@@ -75,17 +84,23 @@ func (h *Histogram) State() HistogramState {
 	return s
 }
 
-// HistogramFromState rebuilds a histogram bit-identical to the one State was
-// called on. State slices longer than the 64 log2 buckets are truncated.
-func HistogramFromState(s HistogramState) Histogram {
-	var h Histogram
+// SetState rebuilds the histogram from exported state, bit-identical to the
+// histogram State was called on. State slices longer than the 64 log2
+// buckets are truncated.
+func (h *Histogram) SetState(s HistogramState) {
+	*h = Histogram{}
 	n := len(s.Buckets)
 	if n > len(h.buckets) {
 		n = len(h.buckets)
 	}
 	copy(h.buckets[:n], s.Buckets[:n])
 	h.count, h.sum, h.min, h.max = s.Count, s.Sum, s.Min, s.Max
-	return h
+}
+
+// HistogramFromState rebuilds a histogram bit-identical to the one State was
+// called on (the generic FromState round-trip).
+func HistogramFromState(s HistogramState) Histogram {
+	return FromState[Histogram](s)
 }
 
 // Count returns the number of recorded durations.

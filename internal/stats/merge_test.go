@@ -44,7 +44,7 @@ func TestWelfordShardedMergeEquivalence(t *testing.T) {
 		}
 		var merged Welford
 		for _, p := range parts {
-			merged.Merge(p)
+			merged.Merge(&p)
 		}
 		return merged.N() == seq.N() &&
 			relClose(merged.Mean(), seq.Mean(), 1e-9) &&

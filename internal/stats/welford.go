@@ -35,12 +35,15 @@ func (w *Welford) AddN(x float64, n int64) {
 }
 
 // Merge combines another accumulator into w (Chan et al. parallel variant).
-func (w *Welford) Merge(o Welford) {
+// Merging is exact on the multiset semantics but reassociates float sums:
+// bitwise determinism holds only when at most one operand is non-empty
+// (see the Aggregate contract). o is not modified.
+func (w *Welford) Merge(o *Welford) {
 	if o.n == 0 {
 		return
 	}
 	if w.n == 0 {
-		*w = o
+		*w = *o
 		return
 	}
 	n := w.n + o.n
@@ -66,10 +69,16 @@ func (w *Welford) State() WelfordState {
 	return WelfordState{N: w.n, Mean: w.mean, M2: w.m2}
 }
 
+// SetState rebuilds the accumulator from exported state, bit-identical to
+// the accumulator State was called on.
+func (w *Welford) SetState(s WelfordState) {
+	*w = Welford{n: s.N, mean: s.Mean, m2: s.M2}
+}
+
 // WelfordFromState rebuilds an accumulator bit-identical to the one State
-// was called on.
+// was called on (the generic FromState round-trip).
 func WelfordFromState(s WelfordState) Welford {
-	return Welford{n: s.N, mean: s.Mean, m2: s.M2}
+	return FromState[Welford](s)
 }
 
 // N returns the number of samples.

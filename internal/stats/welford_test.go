@@ -100,7 +100,7 @@ func TestWelfordMergeProperty(t *testing.T) {
 			b.Add(y)
 			all.Add(y)
 		}
-		a.Merge(b)
+		a.Merge(&b)
 		if a.N() != all.N() {
 			return false
 		}
@@ -118,11 +118,11 @@ func TestWelfordMergeEmpty(t *testing.T) {
 	var a, b Welford
 	a.Add(1)
 	a.Add(3)
-	a.Merge(b) // merging empty is a no-op
+	a.Merge(&b) // merging empty is a no-op
 	if a.N() != 2 || a.Mean() != 2 {
 		t.Fatalf("merge empty changed state: n=%d mean=%v", a.N(), a.Mean())
 	}
-	b.Merge(a) // merging into empty copies
+	b.Merge(&a) // merging into empty copies
 	if b.N() != 2 || b.Mean() != 2 {
 		t.Fatalf("merge into empty: n=%d mean=%v", b.N(), b.Mean())
 	}

@@ -81,6 +81,19 @@ func StdErrCDF(results []FlowResult) *CDF { return core.StdErrCDF(results) }
 // CDF is an exact empirical distribution over a finite sample.
 type CDF = stats.CDF
 
+// Sketch is the bounded-memory log-bucketed quantile sketch carried by
+// every flow aggregate: ~1.6% worst-case relative error per quantile,
+// at most a few KB per flow, and exact (bit-identical, order-independent)
+// merges across instances.
+type Sketch = stats.Sketch
+
+// SketchState is a Sketch's portable wire form, carried in query-API
+// snapshots; round-trips exactly.
+type SketchState = stats.SketchState
+
+// SketchFromState rebuilds a Sketch from its portable state.
+func SketchFromState(s SketchState) Sketch { return stats.SketchFromState(s) }
+
 // ---- Clock models ----
 
 // ClockSource converts true simulation time to an instance's local reading.
@@ -559,6 +572,11 @@ type ServiceClient = service.Client
 
 // FlowTableRow is one /flows row of the service's HTTP API.
 type FlowTableRow = service.FlowJSON
+
+// RollupTable is the service's /rollup response: the flow-class and
+// router aggregation tiers below the live flow table, plus the eviction
+// and expiry accounting that filled them (memory-bounded mode).
+type RollupTable = service.RollupJSON
 
 // NewMeasurementService starts a service (listeners, collector shards,
 // query API). Stop it with Shutdown.

@@ -22,7 +22,11 @@
 # fleet tier (internal/fleet): aggregate ingest across a 4-instance
 # partitioned fleet (BenchmarkFleetIngest4x, samples/s) and the
 # scatter-gather front-end's merged query latency
-# (BenchmarkFleetScatterGather, ms/query).
+# (BenchmarkFleetScatterGather, ms/query), and the bounded-memory
+# aggregation tier: quantile-sketch ingest (BenchmarkSketchAdd in
+# internal/stats, samples/s) and flow-table eviction throughput under
+# full churn (BenchmarkEvictionChurn in internal/collector, samples/s
+# through a capped LRU table folding into the rollup).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,7 +50,11 @@ raw_service=$(go test -run '^$' -bench 'BenchmarkServiceIngest4Conns$' \
   -benchtime 2s ./internal/service 2>&1)
 raw_fleet=$(go test -run '^$' -bench 'BenchmarkFleetIngest4x$|BenchmarkFleetScatterGather$' \
   -benchtime 2s ./internal/fleet 2>&1)
-raw=$(printf '%s\n%s\n%s\n%s\n%s\n%s\n' "$raw" "$raw_collector" "$raw_runner" "$raw_measure" "$raw_service" "$raw_fleet")
+raw_sketch=$(go test -run '^$' -bench 'BenchmarkSketchAdd$' \
+  -benchmem ./internal/stats 2>&1)
+raw_churn=$(go test -run '^$' -bench 'BenchmarkEvictionChurn$' \
+  -benchmem ./internal/collector 2>&1)
+raw=$(printf '%s\n%s\n%s\n%s\n%s\n%s\n%s\n%s\n' "$raw" "$raw_collector" "$raw_runner" "$raw_measure" "$raw_service" "$raw_fleet" "$raw_sketch" "$raw_churn")
 
 echo "$raw" | grep -E '^Benchmark' >&2
 
@@ -103,6 +111,19 @@ echo "$raw" | awk -v bench="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
   /^BenchmarkFleetScatterGather/ {
     for (i = 1; i < NF; i++) if ($(i + 1) == "ms/query") fleetq = $i
   }
+  /^BenchmarkSketchAdd/ {
+    for (i = 1; i < NF; i++) {
+      if ($(i + 1) == "samples/s") sketch = $i
+      if ($(i + 1) == "ns/op") sketchns = $i
+      if ($(i + 1) == "allocs/op") sketchallocs = $i
+    }
+  }
+  /^BenchmarkEvictionChurn/ {
+    for (i = 1; i < NF; i++) {
+      if ($(i + 1) == "samples/s") churn = $i
+      if ($(i + 1) == "ns/op") churnns = $i
+    }
+  }
   END {
     if (pkts == "") { print "bench.sh: no throughput result parsed" > "/dev/stderr"; exit 1 }
     if (ingest == "") { print "bench.sh: no collector ingest result parsed" > "/dev/stderr"; exit 1 }
@@ -110,6 +131,8 @@ echo "$raw" | awk -v bench="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     if (tap == "") { print "bench.sh: no shared-tap result parsed" > "/dev/stderr"; exit 1 }
     if (svc == "") { print "bench.sh: no service ingest result parsed" > "/dev/stderr"; exit 1 }
     if (fleet == "" || fleetq == "") { print "bench.sh: no fleet result parsed" > "/dev/stderr"; exit 1 }
+    if (sketch == "") { print "bench.sh: no sketch ingest result parsed" > "/dev/stderr"; exit 1 }
+    if (churn == "") { print "bench.sh: no eviction churn result parsed" > "/dev/stderr"; exit 1 }
     printf "{\n"
     printf "  \"bench\": %d,\n", bench
     printf "  \"date\": \"%s\",\n", date
@@ -143,6 +166,15 @@ echo "$raw" | awk -v bench="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     printf "  \"fleet_query\": {\n"
     printf "    \"instances\": 4,\n"
     printf "    \"ms_per_query\": %s\n", fleetq
+    printf "  },\n"
+    printf "  \"sketch_ingest\": {\n"
+    printf "    \"samples_per_s\": %s,\n", sketch
+    printf "    \"ns_per_add\": %s,\n", sketchns
+    printf "    \"allocs_per_add\": %s\n", sketchallocs
+    printf "  },\n"
+    printf "  \"eviction_churn\": {\n"
+    printf "    \"samples_per_s\": %s,\n", churn
+    printf "    \"ns_per_batch\": %s\n", churnns
     printf "  },\n"
     printf "  \"runner_scaling\": {\n"
     printf "    \"sweep_seeds\": 8,\n"

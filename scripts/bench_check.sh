@@ -69,6 +69,20 @@ fleetq_from_json() {
        infq && /"ms_per_query"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2; exit }' "$1"
 }
 
+# sketch_from_json extracts sketch_ingest.samples_per_s (quantile-sketch
+# Add throughput). Empty when the baseline predates the sketch tier.
+sketch_from_json() {
+  awk '/"sketch_ingest"/ { insk = 1 }
+       insk && /"samples_per_s"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2; exit }' "$1"
+}
+
+# churn_from_json extracts eviction_churn.samples_per_s (ingest throughput
+# through a capped LRU flow table under full churn).
+churn_from_json() {
+  awk '/"eviction_churn"/ { inch = 1 }
+       inch && /"samples_per_s"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2; exit }' "$1"
+}
+
 base_file=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)
 if [ -z "$base_file" ]; then
   echo "bench_check: no committed BENCH_*.json baseline; nothing to compare" >&2
@@ -84,6 +98,8 @@ base_tap=$(tap_from_json "$base_file")
 base_svc=$(service_from_json "$base_file")
 base_fleet=$(fleet_from_json "$base_file")
 base_fleetq=$(fleetq_from_json "$base_file")
+base_sketch=$(sketch_from_json "$base_file")
+base_churn=$(churn_from_json "$base_file")
 
 if [ -n "$fresh_file" ]; then
   fresh=$(pkts_from_json "$fresh_file")
@@ -91,6 +107,8 @@ if [ -n "$fresh_file" ]; then
   fresh_svc=$(service_from_json "$fresh_file")
   fresh_fleet=$(fleet_from_json "$fresh_file")
   fresh_fleetq=$(fleetq_from_json "$fresh_file")
+  fresh_sketch=$(sketch_from_json "$fresh_file")
+  fresh_churn=$(churn_from_json "$fresh_file")
   if [ -n "$base_tap" ] && [ -z "$fresh_tap" ]; then
     echo "bench_check: baseline $base_file has shared_tap but $fresh_file does not; refusing to skip the gate" >&2
     exit 2
@@ -101,6 +119,10 @@ if [ -n "$fresh_file" ]; then
   fi
   if [ -n "$base_fleet" ] && { [ -z "$fresh_fleet" ] || [ -z "$fresh_fleetq" ]; }; then
     echo "bench_check: baseline $base_file has fleet metrics but $fresh_file does not; refusing to skip the gate" >&2
+    exit 2
+  fi
+  if { [ -n "$base_sketch" ] && [ -z "$fresh_sketch" ]; } || { [ -n "$base_churn" ] && [ -z "$fresh_churn" ]; }; then
+    echo "bench_check: baseline $base_file has bounded-aggregation metrics but $fresh_file does not; refusing to skip the gate" >&2
     exit 2
   fi
   src="$fresh_file"
@@ -151,6 +173,32 @@ else
     }' | tail -1)
     if [ -z "$fresh_fleet" ] || [ -z "$fresh_fleetq" ]; then
       echo "bench_check: no fleet numbers parsed from local bench" >&2
+      exit 2
+    fi
+  fi
+  fresh_sketch=""
+  if [ -n "$base_sketch" ]; then
+    echo "bench_check: measuring sketch ingest throughput..." >&2
+    raw_sketch=$(go test -run '^$' -bench 'BenchmarkSketchAdd$' ./internal/stats 2>&1)
+    echo "$raw_sketch" | grep -E '^Benchmark' >&2 || true
+    fresh_sketch=$(echo "$raw_sketch" | awk '/^BenchmarkSketchAdd/ {
+      for (i = 1; i < NF; i++) if ($(i + 1) == "samples/s") print $i
+    }' | tail -1)
+    if [ -z "$fresh_sketch" ]; then
+      echo "bench_check: no sketch ingest number parsed from local bench" >&2
+      exit 2
+    fi
+  fi
+  fresh_churn=""
+  if [ -n "$base_churn" ]; then
+    echo "bench_check: measuring eviction-churn throughput..." >&2
+    raw_churn=$(go test -run '^$' -bench 'BenchmarkEvictionChurn$' ./internal/collector 2>&1)
+    echo "$raw_churn" | grep -E '^Benchmark' >&2 || true
+    fresh_churn=$(echo "$raw_churn" | awk '/^BenchmarkEvictionChurn/ {
+      for (i = 1; i < NF; i++) if ($(i + 1) == "samples/s") print $i
+    }' | tail -1)
+    if [ -z "$fresh_churn" ]; then
+      echo "bench_check: no eviction-churn number parsed from local bench" >&2
       exit 2
     fi
   fi
@@ -226,6 +274,12 @@ if [ -n "$base_fleet" ] && [ -n "$fresh_fleet" ]; then
 fi
 if [ -n "$base_fleetq" ] && [ -n "$fresh_fleetq" ]; then
   compare_lower "fleet-query" "$fresh_fleetq" "$base_fleetq" "ms/query" || status=1
+fi
+if [ -n "$base_sketch" ] && [ -n "$fresh_sketch" ]; then
+  compare "sketch-ingest" "$fresh_sketch" "$base_sketch" "samples/s" || status=1
+fi
+if [ -n "$base_churn" ] && [ -n "$fresh_churn" ]; then
+  compare "eviction-churn" "$fresh_churn" "$base_churn" "samples/s" || status=1
 fi
 if [ "$status" -eq 0 ]; then
   echo "bench_check: ok"
