@@ -24,6 +24,7 @@ import (
 	"time"
 
 	rlir "github.com/netmeasure/rlir"
+	"github.com/netmeasure/rlir/internal/scenario"
 )
 
 // benchScale keeps benchmark iterations affordable; cmd/experiments runs
@@ -213,6 +214,40 @@ func benchmarkRunnerSweep(b *testing.B, workers int) {
 
 func BenchmarkRunnerSweep1(b *testing.B) { benchmarkRunnerSweep(b, 1) }
 func BenchmarkRunnerSweep4(b *testing.B) { benchmarkRunnerSweep(b, 4) }
+
+// benchmarkScenarioEngine pushes the default fat-tree scenario (converging
+// workload, K=4) end to end through the selected event engine. Sequential vs
+// Parallel2/Parallel4 gives the conservative parallel engine's speedup ratio
+// that scripts/bench.sh records in BENCH_N.json's parallel_sim section. The
+// engines produce bit-identical Results (internal/scenario
+// TestParallelBitIdenticalRegistry), so the ratio measures pure engine
+// scaling; on a single-core box it degrades to ~1x or below (window-barrier
+// overhead with no parallelism to pay for it).
+func benchmarkScenarioEngine(b *testing.B, engine string, partitions int) {
+	spec := scenario.DefaultSpec()
+	spec.Duration = 60 * time.Millisecond
+	spec.Engine = engine
+	spec.Partitions = partitions
+	if err := spec.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	var injected uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := scenario.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		injected += uint64(r.Injected)
+	}
+	b.ReportMetric(float64(injected)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+func BenchmarkScenarioSequential(b *testing.B) {
+	benchmarkScenarioEngine(b, scenario.EngineSequential, 0)
+}
+func BenchmarkScenarioParallel2(b *testing.B) { benchmarkScenarioEngine(b, scenario.EngineParallel, 2) }
+func BenchmarkScenarioParallel4(b *testing.B) { benchmarkScenarioEngine(b, scenario.EngineParallel, 4) }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed: packets pushed
 // through the instrumented tandem per second of wall clock — the

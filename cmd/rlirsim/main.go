@@ -6,6 +6,7 @@
 //
 //	rlirsim -topology tandem -scheme static -model random -util 0.93
 //	rlirsim -topology fattree -k 4 -demux reverse-ecmp
+//	rlirsim -cpuprofile cpu.pprof -memprofile mem.pprof   # go tool pprof output
 package main
 
 import (
@@ -13,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"slices"
 	"strings"
 	"time"
@@ -42,18 +45,20 @@ func main() {
 
 // options is the parsed command line.
 type options struct {
-	topology string
-	scheme   string
-	staticN  int
-	model    string
-	util     float64
-	scale    string
-	seed     int64
-	estName  string
-	k        int
-	demux    string
-	duration time.Duration
-	topn     int
+	topology   string
+	scheme     string
+	staticN    int
+	model      string
+	util       float64
+	scale      string
+	seed       int64
+	estName    string
+	k          int
+	demux      string
+	duration   time.Duration
+	topn       int
+	cpuprofile string
+	memprofile string
 }
 
 // badValue is the uniform rejection: echo the flag and value, list what is
@@ -80,6 +85,8 @@ func parseArgs(args []string) (options, error) {
 	fs.StringVar(&o.demux, "demux", "reverse-ecmp", strings.Join(validDemuxes, " | ")+" (fattree)")
 	fs.DurationVar(&o.duration, "duration", 0, "override trace duration")
 	fs.IntVar(&o.topn, "top", 10, "per-flow rows to print")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	fs.StringVar(&o.memprofile, "memprofile", "", "write an allocation profile to this file (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -111,10 +118,37 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if o.topology == "tandem" {
-		return runTandem(o, out)
+	if o.cpuprofile != "" {
+		f, err := os.Create(o.cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
-	return runFatTree(o, out)
+	if o.topology == "tandem" {
+		err = runTandem(o, out)
+	} else {
+		err = runFatTree(o, out)
+	}
+	if err != nil {
+		return err
+	}
+	if o.memprofile != "" {
+		f, ferr := os.Create(o.memprofile)
+		if ferr != nil {
+			return fmt.Errorf("-memprofile: %w", ferr)
+		}
+		defer f.Close()
+		runtime.GC() // flush to allocation ground truth before snapshotting
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			return fmt.Errorf("-memprofile: %w", werr)
+		}
+	}
+	return nil
 }
 
 // The pick* switches are exhaustive over their valid* lists; the panic

@@ -127,8 +127,22 @@ type Receiver struct {
 	cfg     ReceiverConfig
 	streams map[SenderID]*stream
 	flows   map[packet.FlowKey]*FlowAcc
+	accSlab []FlowAcc // slab the flow accumulators are carved from
 	ctr     ReceiverCounters
 	segHist stats.Histogram // estimated delays, aggregate view
+}
+
+// newFlowAcc carves one accumulator from the slab: first-packet-of-flow is
+// a hot event (hundreds of flows per run), and one heap object per flow was
+// the simulator's largest remaining allocation source. A full slab is
+// abandoned to the map's pointers and replaced, so carved addresses never
+// move.
+func (r *Receiver) newFlowAcc() *FlowAcc {
+	if len(r.accSlab) == cap(r.accSlab) {
+		r.accSlab = make([]FlowAcc, 0, 128)
+	}
+	r.accSlab = append(r.accSlab, FlowAcc{})
+	return &r.accSlab[len(r.accSlab)-1]
 }
 
 // NewReceiver builds a detached receiver; use Observe to feed it, or attach
@@ -299,7 +313,7 @@ func interpolate(left, right refSample, at simtime.Time) time.Duration {
 func (r *Receiver) record(pp pendingPkt, est time.Duration) {
 	acc, ok := r.flows[pp.key]
 	if !ok {
-		acc = &FlowAcc{}
+		acc = r.newFlowAcc()
 		r.flows[pp.key] = acc
 	}
 	acc.Est.Add(float64(est))

@@ -156,7 +156,7 @@ func (s *Sender) onTxStart(p *packet.Packet, now simtime.Time) {
 	s.seq++
 	for _, dst := range s.cfg.Receivers {
 		ref := &packet.Packet{
-			ID:   s.port.Node().Network().NewPacketID(),
+			ID:   s.port.Node().NewPacketID(),
 			Kind: packet.Reference,
 			Size: s.cfg.RefSize,
 			Key: packet.FlowKey{

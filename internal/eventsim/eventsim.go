@@ -7,6 +7,16 @@
 // which makes simulations bit-for-bit reproducible across runs with the same
 // seed.
 //
+// Scheduling order is not stored as one global sequence number but as the
+// pair (ord, k): ord is the execution index of the event that did the
+// scheduling (0 for events scheduled during setup, before the run), and k
+// counts that cause's schedule calls. For events at the same instant the
+// lexicographic (ord, k) order equals call order — a cause that executed
+// earlier made all its schedule calls earlier — so the total order is
+// unchanged, but unlike a global counter it can be reconstructed per
+// partition by the conservative parallel engine (parallel.go), which is what
+// makes parallel runs bit-identical to sequential ones.
+//
 // The engine offers two scheduling APIs:
 //
 //   - At/After take a closure. This is the convenient path for cold callers
@@ -23,9 +33,12 @@
 // slice: no container/heap indirection, no interface boxing per element, and
 // a branching factor that keeps parent/child slots on the same cache lines.
 //
-// The engine is single-goroutine by design: network simulation at packet
-// granularity is dominated by the event heap and cache behaviour, not by
-// parallelism, and a single timeline avoids cross-goroutine nondeterminism.
+// An Engine is single-goroutine: network simulation at packet granularity is
+// dominated by the event heap and cache behaviour, and a single timeline
+// avoids cross-goroutine nondeterminism. Multi-core scale-out is layered on
+// top: Parallel (parallel.go) runs one Engine per logical process under a
+// conservative window synchronization protocol that preserves the exact
+// sequential event order.
 package eventsim
 
 import (
@@ -51,33 +64,57 @@ type TypedHandler func(a, b any)
 // word a holds the Handler.
 const kindFunc Kind = 0
 
+// flagLocal marks an ord value as a lane-local execution index that has not
+// yet been resolved to a global one. Sequential engines never set it; in a
+// Parallel lane every in-window cause carries it until the next barrier
+// resolves the cause's global index. The flag occupies the top bit, so an
+// unresolved ord compares after every resolved one — which is also the
+// correct event order, because unresolved causes executed in the current
+// window and resolved ones executed before it.
+const flagLocal = uint64(1) << 63
+
 // event is one heap slot. The payload words a and b are carried by value:
 // popping an event never allocates, and dispatch goes through the engine's
 // kind table rather than a captured closure.
 type event struct {
 	at   simtime.Time
-	seq  uint64 // FIFO tie-break among events at the same instant
+	ord  uint64 // execution index of the scheduling cause (0 = setup)
 	kind Kind
+	k    uint32 // index among the cause's schedule calls
 	a, b any
 }
 
-// before reports whether x orders strictly ahead of y in (at, seq) order.
+// before reports whether x orders strictly ahead of y in (at, ord, k) order.
 func (x *event) before(y *event) bool {
 	if x.at != y.at {
 		return x.at < y.at
 	}
-	return x.seq < y.seq
+	if x.ord != y.ord {
+		return x.ord < y.ord
+	}
+	return x.k < y.k
 }
 
 // Engine is a discrete-event scheduler. The zero value is not usable; create
 // one with New.
 type Engine struct {
 	now       simtime.Time
-	seq       uint64
-	events    []event // 4-ary min-heap ordered by (at, seq)
+	ord       uint64  // cause word stamped on schedule calls (execution index of the running event)
+	k         uint32  // next schedule-call index of the running event
+	events    []event // 4-ary min-heap ordered by (at, ord, k)
 	kinds     []TypedHandler
 	processed uint64
 	stopped   bool
+
+	// Parallel-lane state; nil/zero on a sequential engine.
+	par       *Parallel
+	laneID    int
+	extK      *uint32      // shared setup counter during Parallel setup
+	deferPast simtime.Time // while a window runs: schedules at/after this go to side
+	side      []event      // events scheduled past the current window
+	recs      []execRec    // events executed in the current window, in order
+	effs      []effectRec  // effects emitted in the current window, in order
+	outbox    [][]xmsg     // cross-lane messages by destination lane
 }
 
 // New returns an engine with its clock at the simulation epoch.
@@ -134,12 +171,29 @@ func (e *Engine) AfterKind(d time.Duration, k Kind, a, b any) {
 	e.AtKind(e.now.Add(d), k, a, b)
 }
 
-func (e *Engine) schedule(t simtime.Time, k Kind, a, b any) {
+func (e *Engine) schedule(t simtime.Time, kind Kind, a, b any) {
 	if t < e.now {
 		panic("eventsim: scheduling event in the past (" + t.String() + " < " + e.now.String() + ")")
 	}
-	e.seq++
-	e.push(event{at: t, seq: e.seq, kind: k, a: a, b: b})
+	var k uint32
+	if e.extK != nil {
+		// Parallel setup: one counter shared across lanes keeps the global
+		// setup call order, exactly like a single engine's would.
+		k = *e.extK
+		*e.extK = k + 1
+	} else {
+		k = e.k
+		e.k++
+	}
+	ev := event{at: t, ord: e.ord, kind: kind, k: k, a: a, b: b}
+	if e.deferPast != 0 && t >= e.deferPast {
+		// Parallel window: the event belongs to a later window. Its cause's
+		// global index is unknown until the barrier, so park it; the barrier
+		// resolves ord and pushes it.
+		e.side = append(e.side, ev)
+		return
+	}
+	e.push(ev)
 }
 
 // push sifts a new event up the 4-ary heap.
@@ -220,10 +274,12 @@ func (e *Engine) RunUntil(deadline simtime.Time) uint64 {
 		}
 		ev := e.pop()
 		e.now = ev.at
+		e.processed++
+		e.ord = e.processed
+		e.k = 0
 		e.kinds[ev.kind](ev.a, ev.b)
 		n++
 	}
-	e.processed += n
 	if deadline != simtime.Never && deadline > e.now && !e.stopped {
 		e.now = deadline
 	}
@@ -238,8 +294,10 @@ func (e *Engine) Step() bool {
 	}
 	ev := e.pop()
 	e.now = ev.at
-	e.kinds[ev.kind](ev.a, ev.b)
 	e.processed++
+	e.ord = e.processed
+	e.k = 0
+	e.kinds[ev.kind](ev.a, ev.b)
 	return true
 }
 

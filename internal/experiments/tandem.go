@@ -335,7 +335,7 @@ func measuredRate(cfg trace.Config) float64 {
 // simulation ends anyway, so chunking trades thousands of individual
 // allocations for a handful of slabs with better locality.
 func replay(nw *netsim.Network, into *netsim.Node, src trace.Source, kind packet.Kind, counter *uint64, window time.Duration) float64 {
-	const chunk = 1024
+	const chunk = 8192
 	var bytes uint64
 	var slab []packet.Packet
 	for {

@@ -27,6 +27,7 @@ type ForwardFunc func(n *Node, p *packet.Packet) int
 // engine. Create with New.
 type Network struct {
 	eng        *eventsim.Engine
+	par        *eventsim.Parallel // nil on a sequential network
 	nodes      []*Node
 	tracePaths bool
 	nextPktID  uint64
@@ -50,8 +51,57 @@ func New(eng *eventsim.Engine) *Network {
 	return nw
 }
 
-// Engine returns the event engine the network runs on.
+// NewParallel returns an empty network on a conservative parallel engine.
+// Nodes default to lane 0; place them with Assign before scheduling starts.
+// Any link whose endpoints end up on different lanes becomes a cross-lane
+// handoff and must have propagation >= the lookahead passed to Parallel.Run
+// (MinCrossPropagation reports the largest legal value).
+func NewParallel(p *eventsim.Parallel) *Network {
+	nw := &Network{eng: p.Lane(0), par: p}
+	nw.kReceive = p.RegisterKind(func(a, b any) { a.(*Node).receive(b.(*packet.Packet)) })
+	nw.kDispatch = p.RegisterKind(func(a, b any) { a.(*Node).dispatch(b.(*packet.Packet)) })
+	nw.kTxDone = p.RegisterKind(func(a, b any) { a.(*Port).txDone(b.(*packet.Packet)) })
+	return nw
+}
+
+// Engine returns the event engine the network runs on (lane 0 when the
+// network is partitioned).
 func (nw *Network) Engine() *eventsim.Engine { return nw.eng }
+
+// Parallel returns the parallel engine, or nil on a sequential network.
+func (nw *Network) Parallel() *eventsim.Parallel { return nw.par }
+
+// Assign places n on the given lane of the parallel engine. It panics on a
+// sequential network and must happen before any event involving n is
+// scheduled.
+func (nw *Network) Assign(n *Node, lane int) {
+	if nw.par == nil {
+		panic("netsim: Assign on a sequential network")
+	}
+	n.eng = nw.par.Lane(lane)
+}
+
+// MinCrossPropagation returns the smallest propagation delay among links
+// whose endpoints sit on different lanes, and whether any such link exists.
+// It is the largest lookahead the partitioning supports: a cross-lane
+// message travels at least this far into the future, so windows of this
+// width can run lanes independently without violating timestamp order.
+func (nw *Network) MinCrossPropagation() (time.Duration, bool) {
+	var min time.Duration
+	found := false
+	for _, n := range nw.nodes {
+		for _, pt := range n.ports {
+			if pt.dst.eng == n.eng {
+				continue
+			}
+			if !found || pt.cfg.Propagation < min {
+				min = pt.cfg.Propagation
+				found = true
+			}
+		}
+	}
+	return min, found
+}
 
 // SetTracePaths enables ground-truth path recording: every node appends its
 // ID to Packet.Hops on ingress. Used by validation tests and the oracle
@@ -78,6 +128,7 @@ type NodeConfig struct {
 func (nw *Network) AddNode(cfg NodeConfig) *Node {
 	n := &Node{
 		net:  nw,
+		eng:  nw.eng,
 		id:   NodeID(len(nw.nodes)),
 		name: cfg.Name,
 		proc: cfg.ProcDelay,
@@ -101,9 +152,10 @@ func (nw *Network) Node(id NodeID) *Node {
 func (nw *Network) Nodes() int { return len(nw.nodes) }
 
 // Inject schedules p to arrive at node n's ingress at instant at. It is how
-// workloads enter the network.
+// workloads enter the network. On a partitioned network the event lands on
+// n's lane.
 func (nw *Network) Inject(n *Node, p *packet.Packet, at simtime.Time) {
-	nw.eng.AtKind(at, nw.kReceive, n, p)
+	n.eng.AtKind(at, nw.kReceive, n, p)
 }
 
 // LinkConfig configures a unidirectional link and the output queue feeding
@@ -137,11 +189,13 @@ func (nw *Network) Connect(from, to *Node, cfg LinkConfig) *Port {
 // Node is a switch, router or host.
 type Node struct {
 	net     *Network
+	eng     *eventsim.Engine // the lane this node's events run on
 	id      NodeID
 	name    string
 	proc    time.Duration
 	ports   []*Port
 	forward ForwardFunc
+	refID   uint64 // per-node packet ID counter (partitioned networks)
 
 	onReceive []TapFunc
 	onDeliver []TapFunc
@@ -156,6 +210,24 @@ func (n *Node) ID() NodeID { return n.id }
 
 // Network returns the network the node belongs to.
 func (n *Node) Network() *Network { return n.net }
+
+// Engine returns the lane engine this node's events run on. On a sequential
+// network it is the network's engine.
+func (n *Node) Engine() *eventsim.Engine { return n.eng }
+
+// NewPacketID returns a fresh packet ID unique across the network. On a
+// sequential network it is the network-wide dense counter (the golden
+// fixtures pin those values). On a partitioned network each node draws from
+// its own ID space — node index in the high bits, a per-node counter below —
+// because instruments on different lanes mint IDs concurrently. Consumers
+// never decode IDs; reference-packet demux keys on (sender, timestamp).
+func (n *Node) NewPacketID() uint64 {
+	if n.net.par == nil {
+		return n.net.NewPacketID()
+	}
+	n.refID++
+	return uint64(n.id+1)<<40 | n.refID
+}
 
 // Name returns the node's label.
 func (n *Node) Name() string { return n.name }
@@ -196,7 +268,7 @@ func (n *Node) Delivered() uint64 { return n.delivered }
 
 // receive handles packet ingress.
 func (n *Node) receive(p *packet.Packet) {
-	now := n.net.eng.Now()
+	now := n.eng.Now()
 	n.received++
 	if n.net.tracePaths {
 		p.RecordHop(int32(n.id))
@@ -205,7 +277,7 @@ func (n *Node) receive(p *packet.Packet) {
 		t(p, now)
 	}
 	if n.proc > 0 {
-		n.net.eng.AfterKind(n.proc, n.net.kDispatch, n, p)
+		n.eng.AfterKind(n.proc, n.net.kDispatch, n, p)
 		return
 	}
 	n.dispatch(p)
@@ -225,7 +297,7 @@ func (n *Node) dispatch(p *packet.Packet) {
 }
 
 func (n *Node) deliver(p *packet.Packet) {
-	now := n.net.eng.Now()
+	now := n.eng.Now()
 	n.delivered++
 	for _, t := range n.onDeliver {
 		t(p, now)
@@ -323,7 +395,7 @@ func (pt *Port) Enqueue(p *packet.Packet) {
 	if pt.cfg.QueueBytes > 0 && pt.qBytes+p.Size > pt.cfg.QueueBytes {
 		pt.ctr.Drops++
 		pt.ctr.DropBytes += uint64(p.Size)
-		now := pt.node.net.eng.Now()
+		now := pt.node.eng.Now()
 		for _, t := range pt.onDrop {
 			t(p, now)
 		}
@@ -342,7 +414,7 @@ func (pt *Port) startTx() {
 	p := pt.queue.pop()
 	pt.qBytes -= p.Size
 	pt.busy = true
-	eng := pt.node.net.eng
+	eng := pt.node.eng
 	now := eng.Now()
 	for _, t := range pt.onTxStart {
 		t(p, now)
@@ -356,12 +428,18 @@ func (pt *Port) startTx() {
 // txDone handles wire transfer completion: hand off to propagation, then
 // serve the next queued packet. A busy port therefore has exactly one
 // pending event per in-flight packet — the tx-complete of the packet in
-// service — and re-arms itself from it.
+// service — and re-arms itself from it. When the far end lives on another
+// lane the propagation hop becomes a cross-lane message; SendKind enforces
+// that the delay covers the lookahead.
 func (pt *Port) txDone(p *packet.Packet) {
 	nw := pt.node.net
-	if pt.cfg.Propagation > 0 {
-		nw.eng.AfterKind(pt.cfg.Propagation, nw.kReceive, pt.dst, p)
-	} else {
+	src, dst := pt.node.eng, pt.dst.eng
+	switch {
+	case dst != src:
+		src.SendKind(dst, pt.cfg.Propagation, nw.kReceive, pt.dst, p)
+	case pt.cfg.Propagation > 0:
+		src.AfterKind(pt.cfg.Propagation, nw.kReceive, pt.dst, p)
+	default:
 		pt.dst.receive(p)
 	}
 	if pt.queue.len() > 0 {

@@ -159,11 +159,26 @@ func (c *countingDemux) Classify(p *packet.Packet) (core.SenderID, bool) {
 
 func (c *countingDemux) Name() string { return "counting(" + c.inner.Name() + ")" }
 
-func (c *countingDemux) misattribution() float64 {
-	if c.total == 0 {
+// misattribution aggregates the audit across per-receiver counting demuxes
+// (each monitored ToR gets its own instance so partitioned runs never share
+// counters across lanes; the sums are identical either way).
+func misattribution(cs []*countingDemux) float64 {
+	var agree, total uint64
+	for _, c := range cs {
+		agree += c.agree
+		total += c.total
+	}
+	if total == 0 {
 		return 0
 	}
-	return 1 - float64(c.agree)/float64(c.total)
+	return 1 - float64(agree)/float64(total)
+}
+
+// estSample carries one deferred OnEstimate observation from a lane to the
+// barrier's single-threaded apply.
+type estSample struct {
+	key        packet.FlowKey
+	est, truth time.Duration
 }
 
 // routerRx pairs a receiver with its identity and tail accumulators.
@@ -179,8 +194,18 @@ type routerRx struct {
 
 // runFatTree composes and executes a fat-tree scenario.
 func runFatTree(spec Spec, seed int64, cap *capture) (*Result, error) {
-	eng := eventsim.New()
-	nw := netsim.New(eng)
+	var (
+		eng *eventsim.Engine
+		pe  *eventsim.Parallel
+		nw  *netsim.Network
+	)
+	if spec.parallel() {
+		pe = eventsim.NewParallel(spec.partitions())
+		nw = netsim.NewParallel(pe)
+	} else {
+		eng = eventsim.New()
+		nw = netsim.New(eng)
+	}
 	tc := topo.DefaultConfig()
 	tc.K = spec.Topology.K
 	tc.LinkBps = spec.Topology.LinkBps
@@ -195,6 +220,13 @@ func runFatTree(spec Spec, seed int64, cap *capture) (*Result, error) {
 	ft, err := topo.Build(tc, nw)
 	if err != nil {
 		return nil, err
+	}
+	if pe != nil {
+		// Place cores on lane 0 and pods on the remaining lanes before any
+		// instrument or event binds a node to its engine.
+		if err := ft.Partition(); err != nil {
+			return nil, err
+		}
 	}
 	nw.SetTracePaths(true) // oracle demux + misattribution audit
 
@@ -337,7 +369,7 @@ func runFatTree(spec Spec, seed int64, cap *capture) (*Result, error) {
 			},
 		}
 	}
-	counting := &countingDemux{inner: strategy, oracle: oracle}
+	var countings []*countingDemux
 
 	// The collection plane: downstream estimates stream through the sharded
 	// collector (upstream receivers keep local tails only, so one flow's
@@ -374,14 +406,49 @@ func runFatTree(spec Spec, seed int64, cap *capture) (*Result, error) {
 		sp, _, _, sok := ft.LocateHost(pk.Key.Src)
 		return sok && sp != dp
 	}
+
+	// Parallel runs feed the shared measurement plane (dispatch, collector
+	// sink, export capture) through deferred effects: lanes log observations
+	// during a window and the barrier applies them single-threaded in global
+	// event order — exactly the order the sequential engine runs these taps
+	// in. Receiver-local state (rec, rli, counting) stays synchronous on its
+	// lane. The packet fields the deferred consumers read (Key, Size, TOS,
+	// SegmentStart) are all stable between the tap instant and the barrier.
+	var effStart, effEnd, effEst eventsim.EffectKind
+	if pe != nil {
+		effStart = pe.RegisterEffect(func(at simtime.Time, a, _ any) {
+			shared.TapStart(a.(*packet.Packet), at)
+		})
+		effEnd = pe.RegisterEffect(func(at simtime.Time, a, _ any) {
+			pk := a.(*packet.Packet)
+			shared.TapEnd(pk, at)
+			cap.observe(pk, at)
+		})
+		effEst = pe.RegisterEffect(func(_ simtime.Time, a, _ any) {
+			s := a.(*estSample)
+			sink.Add(s.key, s.est, s.truth)
+			cap.addSample(s.key, s.est, s.truth)
+		})
+	}
+
 	for _, p := range monPods {
 		for j := 0; j < h; j++ {
 			for i := 0; i < h; i++ {
-				ft.CoreDownPort(j, i, p).OnTxStart(func(pk *packet.Packet, now simtime.Time) {
-					if upAccept(pk) {
-						shared.TapStart(pk, now)
-					}
-				})
+				port := ft.CoreDownPort(j, i, p)
+				if pe != nil {
+					le := port.Node().Engine()
+					port.OnTxStart(func(pk *packet.Packet, now simtime.Time) {
+						if upAccept(pk) {
+							le.Emit(effStart, now, pk, nil)
+						}
+					})
+				} else {
+					port.OnTxStart(func(pk *packet.Packet, now simtime.Time) {
+						if upAccept(pk) {
+							shared.TapStart(pk, now)
+						}
+					})
+				}
 			}
 		}
 	}
@@ -390,20 +457,41 @@ func runFatTree(spec Spec, seed int64, cap *capture) (*Result, error) {
 	for _, m := range monitored {
 		p, e := m[0], m[1]
 		rec := &routerRec{}
+		counting := &countingDemux{inner: strategy, oracle: oracle}
+		countings = append(countings, counting)
 		accept := func(pk *packet.Packet) bool {
 			// Inter-pod regular traffic only: packets from inside the pod
 			// never cross a core, so no reference stream measures them.
 			sp, _, _, ok := ft.LocateHost(pk.Key.Src)
 			return pk.Kind == packet.Regular && ok && sp != p
 		}
-		rli, err := measure.NewRLI(ft.ToRs[p][e].Name(), core.ReceiverConfig{
-			Demux:  counting,
-			Accept: accept,
-			OnEstimate: func(key packet.FlowKey, est, truth time.Duration) {
+		onEstimate := func(key packet.FlowKey, est, truth time.Duration) {
+			rec.record(est, truth)
+			sink.Add(key, est, truth)
+			cap.addSample(key, est, truth)
+		}
+		endTap := func(pk *packet.Packet, now simtime.Time) {
+			if accept(pk) {
+				shared.TapEnd(pk, now)
+				cap.observe(pk, now)
+			}
+		}
+		if pe != nil {
+			le := ft.ToRs[p][e].Engine()
+			onEstimate = func(key packet.FlowKey, est, truth time.Duration) {
 				rec.record(est, truth)
-				sink.Add(key, est, truth)
-				cap.addSample(key, est, truth)
-			},
+				le.Emit(effEst, le.Now(), &estSample{key: key, est: est, truth: truth}, nil)
+			}
+			endTap = func(pk *packet.Packet, now simtime.Time) {
+				if accept(pk) {
+					le.Emit(effEnd, now, pk, nil)
+				}
+			}
+		}
+		rli, err := measure.NewRLI(ft.ToRs[p][e].Name(), core.ReceiverConfig{
+			Demux:      counting,
+			Accept:     accept,
+			OnEstimate: onEstimate,
 		})
 		if err != nil {
 			return nil, err
@@ -412,12 +500,7 @@ func runFatTree(spec Spec, seed int64, cap *capture) (*Result, error) {
 		for hh := 0; hh < h; hh++ {
 			port := ft.ToRHostPort(p, e, hh)
 			port.OnTxStart(rli.Tap)
-			port.OnTxStart(func(pk *packet.Packet, now simtime.Time) {
-				if accept(pk) {
-					shared.TapEnd(pk, now)
-					cap.observe(pk, now)
-				}
-			})
+			port.OnTxStart(endTap)
 		}
 		routers = append(routers, &routerRx{
 			name:    ft.ToRs[p][e].Name(),
@@ -429,26 +512,42 @@ func runFatTree(spec Spec, seed int64, cap *capture) (*Result, error) {
 		})
 	}
 
-	// --- Faults: scheduled state changes on the running topology.
+	// --- Faults: scheduled state changes on the running topology. Each
+	// fault runs on the engine of the node whose state it mutates, so a
+	// partitioned run never touches another lane's ports mid-window (on a
+	// sequential network every node's engine is the network's engine).
 	for _, f := range spec.sortedFaults() {
 		f := f
 		switch f.Kind {
 		case FaultLinkDegrade:
 			port := ft.CoreDownPort(f.CoreJ, f.CoreI, f.DownPod)
+			le := port.Node().Engine()
 			healthy := spec.Topology.LinkBps
-			eng.At(simtime.FromDuration(f.Start), func() { port.SetRate(healthy * f.RateFactor) })
-			eng.At(simtime.FromDuration(f.End), func() { port.SetRate(healthy) })
+			le.At(simtime.FromDuration(f.Start), func() { port.SetRate(healthy * f.RateFactor) })
+			le.At(simtime.FromDuration(f.End), func() { port.SetRate(healthy) })
 		case FaultHopDelay:
 			node := ft.Aggs[f.AggPod][f.AggIdx]
+			le := node.Engine()
 			base := node.ProcDelay()
-			eng.At(simtime.FromDuration(f.Start), func() { node.SetProcDelay(base + f.Extra) })
-			eng.At(simtime.FromDuration(f.End), func() { node.SetProcDelay(base) })
+			le.At(simtime.FromDuration(f.Start), func() { node.SetProcDelay(base + f.Extra) })
+			le.At(simtime.FromDuration(f.End), func() { node.SetProcDelay(base) })
 		}
 	}
 
 	// --- Workload.
 	injected := spec.injectWorkload(nw, ft, seed)
-	eng.Run()
+	if pe != nil {
+		// The lookahead is the smallest cross-lane propagation delay — with
+		// the pod/core partition map, the core-link propagation (plus any
+		// skew). A single-lane run has no cross traffic; any window works.
+		la, ok := nw.MinCrossPropagation()
+		if !ok {
+			la = time.Millisecond
+		}
+		pe.Run(la)
+	} else {
+		eng.Run()
+	}
 
 	// --- Harvest.
 	res := &Result{Spec: spec, Seed: seed, Injected: injected}
@@ -482,7 +581,7 @@ func runFatTree(spec Spec, seed int64, cap *capture) (*Result, error) {
 	res.Overall = core.Summarize(downResults)
 	res.EstP50, res.EstP99 = estAll.Quantile(0.5), estAll.Quantile(0.99)
 	res.TrueP50, res.TrueP99 = trueAll.Quantile(0.5), trueAll.Quantile(0.99)
-	res.Misattribution = counting.misattribution()
+	res.Misattribution = misattribution(countings)
 
 	// The estimator comparison table: one fleet-merged RLI report plus one
 	// report per baseline, all scored against the shared ground truth.
@@ -496,7 +595,7 @@ func runFatTree(spec Spec, seed int64, cap *capture) (*Result, error) {
 		reports = append(reports, b.Finalize())
 	}
 	res.Comparison = measure.Compare(truth, reports...)
-	res.Comparison[0].Misattribution = counting.misattribution()
+	res.Comparison[0].Misattribution = misattribution(countings)
 	if spec.Telemetry != nil {
 		res.Telemetry = applyTelemetry(*spec.Telemetry, seed, truth, res.Comparison, reports)
 	}

@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The parallel engine's acceptance bar: at partitions 1, 2 and 4 every
+// fat-tree registry scenario must reproduce the sequential engine's Result
+// bit-identically (reflect.DeepEqual), with only the Spec's engine-selection
+// fields allowed to differ. Running this under -race additionally proves the
+// lane/effect discipline sound.
+
+// normalizeEngine blanks the engine-selection fields so sequential and
+// parallel Results compare on substance, and canonicalizes NaN floats
+// (an estimator with no samples reports NaN error quantiles, and NaN is
+// never DeepEqual to itself).
+func normalizeEngine(r *Result) {
+	r.Spec.Engine = ""
+	r.Spec.Partitions = 0
+	canonNaN(reflect.ValueOf(r).Elem())
+}
+
+func canonNaN(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Float64, reflect.Float32:
+		if math.IsNaN(v.Float()) && v.CanSet() {
+			v.SetFloat(-123456789.5)
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			canonNaN(v.Field(i))
+		}
+	case reflect.Slice, reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			canonNaN(v.Index(i))
+		}
+	case reflect.Ptr:
+		if !v.IsNil() {
+			canonNaN(v.Elem())
+		}
+	}
+}
+
+func TestParallelBitIdenticalRegistry(t *testing.T) {
+	for _, sc := range All() {
+		if sc.Spec.Topology.Kind != TopoFatTree {
+			continue
+		}
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			want, err := Run(sc.Spec)
+			if err != nil {
+				t.Fatalf("sequential run: %v", err)
+			}
+			normalizeEngine(want)
+			for _, parts := range []int{1, 2, 4} {
+				spec := sc.Spec
+				spec.Engine = EngineParallel
+				spec.Partitions = parts
+				got, err := Run(spec)
+				if err != nil {
+					t.Fatalf("parallel run (partitions=%d): %v", parts, err)
+				}
+				normalizeEngine(got)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("partitions=%d: parallel Result differs from sequential", parts)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelBitIdenticalFaultsExport exercises the pieces the registry's
+// CI-sized specs may not cover together: mid-run faults on both core and
+// pod lanes, core skew, telemetry re-scoring and an export capture.
+func TestParallelBitIdenticalFaultsExport(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Name = "parallel-faults"
+	spec.Duration = 40 * time.Millisecond
+	spec.Topology.CoreSkew = 200 * time.Nanosecond
+	spec.Faults = []FaultSpec{
+		{Kind: FaultLinkDegrade, CoreJ: 0, CoreI: 1, DownPod: 3, Start: 5 * time.Millisecond, End: 20 * time.Millisecond, RateFactor: 0.25},
+		{Kind: FaultHopDelay, AggPod: 3, AggIdx: 0, Start: 10 * time.Millisecond, End: 30 * time.Millisecond, Extra: 3 * time.Microsecond},
+	}
+	spec.Telemetry = &TelemetrySpec{LossRate: 0.2}
+
+	want, err := Export(spec, spec.Seed)
+	if err != nil {
+		t.Fatalf("sequential export: %v", err)
+	}
+	normalizeEngine(want.Result)
+	for _, parts := range []int{1, 2, 4} {
+		ps := spec
+		ps.Engine = EngineParallel
+		ps.Partitions = parts
+		got, err := Export(ps, ps.Seed)
+		if err != nil {
+			t.Fatalf("parallel export (partitions=%d): %v", parts, err)
+		}
+		normalizeEngine(got.Result)
+		if !reflect.DeepEqual(got.Result, want.Result) {
+			t.Errorf("partitions=%d: Result differs", parts)
+		}
+		if !reflect.DeepEqual(got.Samples, want.Samples) {
+			t.Errorf("partitions=%d: export sample stream differs", parts)
+		}
+		if !reflect.DeepEqual(got.Records, want.Records) {
+			t.Errorf("partitions=%d: export meter records differ", parts)
+		}
+	}
+}
+
+// TestParallelRejectsTandem pins the validation rule: the tandem topology
+// has no core links to partition, so engine=parallel must fail loudly.
+func TestParallelRejectsTandem(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Topology = TopologySpec{Kind: TopoTandem, LinkBps: 1e9}
+	spec.Workload = WorkloadSpec{LoadFrac: 0.5}
+	spec.Engine = EngineParallel
+	if err := spec.Validate(); err == nil {
+		t.Fatal("tandem + parallel engine validated; want an error")
+	}
+	spec.Engine = ""
+	spec.Partitions = 2
+	if err := spec.Validate(); err == nil {
+		t.Fatal("partitions without engine=parallel validated; want an error")
+	}
+}

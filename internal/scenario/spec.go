@@ -25,6 +25,18 @@ const (
 	TopoFatTree = "fattree"
 )
 
+// Simulation engine kinds.
+const (
+	// EngineSequential runs the whole scenario on one event engine — the
+	// default, and the reference semantics.
+	EngineSequential = "sequential"
+	// EngineParallel partitions the fat-tree across a conservative parallel
+	// engine (core switches on one lane, pods round-robin across the rest)
+	// with the core-link propagation delay as lookahead. Results are
+	// bit-identical to sequential at any partition count.
+	EngineParallel = "parallel"
+)
+
 // Workload patterns (fat-tree only; the tandem workload is fixed by shape).
 const (
 	// PatternConverging sends flows from every other pod's hosts to the
@@ -239,6 +251,14 @@ type Spec struct {
 	// Seed drives every random choice; derived per-run seeds come from it
 	// in multi-seed sweeps.
 	Seed int64 `json:"seed"`
+	// Engine selects the simulation engine: EngineSequential (default) or
+	// EngineParallel. The parallel engine requires a fat-tree topology —
+	// only core links provide the propagation delay it uses as lookahead.
+	Engine string `json:"engine,omitempty"`
+	// Partitions is the parallel engine's lane count: 1 core lane plus
+	// pod lanes, at most K+1 total. 0 resolves to K+1 (one lane per pod).
+	// Only meaningful with EngineParallel.
+	Partitions int `json:"partitions,omitempty"`
 }
 
 // DefaultSpec returns a valid k=4 fat-tree converging scenario to build
@@ -298,6 +318,17 @@ func DecodeJSON(data []byte) (Spec, error) {
 
 // half returns K/2, the fat-tree's per-layer fan-out.
 func (s Spec) half() int { return s.Topology.K / 2 }
+
+// parallel reports whether the spec selects the parallel engine.
+func (s Spec) parallel() bool { return s.Engine == EngineParallel }
+
+// partitions resolves the effective lane count for the parallel engine.
+func (s Spec) partitions() int {
+	if s.Partitions == 0 {
+		return s.Topology.K + 1
+	}
+	return s.Partitions
+}
 
 // destPod resolves the default destination pod (last pod).
 func (s Spec) destPod() int {
@@ -403,6 +434,21 @@ func (s Spec) Validate() error {
 	}
 	if t.QueueBytes < 0 {
 		return fmt.Errorf("scenario: negative queue bound %d", t.QueueBytes)
+	}
+	switch s.Engine {
+	case "", EngineSequential:
+		if s.Partitions != 0 {
+			return fmt.Errorf("scenario: partitions=%d requires engine %q", s.Partitions, EngineParallel)
+		}
+	case EngineParallel:
+		if t.Kind != TopoFatTree {
+			return fmt.Errorf("scenario: engine %q requires a fattree topology (core links provide the lookahead); %q has none", EngineParallel, t.Kind)
+		}
+		if s.Partitions < 0 || s.Partitions > t.K+1 {
+			return fmt.Errorf("scenario: partitions %d outside [1, K+1=%d]", s.Partitions, t.K+1)
+		}
+	default:
+		return fmt.Errorf("scenario: unknown engine %q (valid: %s, %s)", s.Engine, EngineSequential, EngineParallel)
 	}
 	if err := s.validateWorkload(); err != nil {
 		return err

@@ -106,6 +106,7 @@ type Generator struct {
 	lenSamp   *LenSampler
 	sizeTotal float64
 	free      []*flowState
+	slab      []flowState // slab fresh flowStates are carved from
 }
 
 // flowState is one active flow's pending next packet.
@@ -187,6 +188,7 @@ func NewGenerator(cfg Config) *Generator {
 		arrGap:    1 / cfg.FlowArrivalRate(),
 		lenSamp:   cfg.FlowLen.Sampler(),
 		sizeTotal: cfg.Sizes.total(),
+		events:    make(genHeap, 0, 256),
 	}
 	g.nextFlow = g.expAfter(simtime.Time(-int64(cfg.Warmup)), g.arrGap)
 	return g
@@ -238,7 +240,15 @@ func (g *Generator) spawnFlow(at simtime.Time) {
 		fs = g.free[k-1]
 		g.free = g.free[:k-1]
 	} else {
-		fs = new(flowState)
+		// Carve from a slab: the free list only helps once flows finish, so
+		// ramp-up still creates one record per concurrent flow. A full slab
+		// is abandoned to its live pointers and replaced; addresses are
+		// stable.
+		if len(g.slab) == cap(g.slab) {
+			g.slab = make([]flowState, 0, 128)
+		}
+		g.slab = append(g.slab, flowState{})
+		fs = &g.slab[len(g.slab)-1]
 	}
 	*fs = flowState{at: at, key: key, remaining: n}
 	fs.size = g.cfg.Sizes.sampleTotal(g.rng.Float64(), g.sizeTotal)

@@ -26,7 +26,15 @@
 # aggregation tier: quantile-sketch ingest (BenchmarkSketchAdd in
 # internal/stats, samples/s) and flow-table eviction throughput under
 # full churn (BenchmarkEvictionChurn in internal/collector, samples/s
-# through a capped LRU table folding into the rollup).
+# through a capped LRU table folding into the rollup), and the parallel
+# event engine (BenchmarkScenarioSequential vs BenchmarkScenarioParallel2/4:
+# one fat-tree scenario end to end on the sequential vs the conservative
+# parallel engine, with the speedup ratios — honest numbers, so on a
+# single-core runner they sit at or below 1x).
+#
+# Every section records the "cpus" the numbers were measured with, so
+# downstream consumers (scripts/bench_check.sh) can tell a genuine scaling
+# regression from a single-core runner that cannot scale.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -54,7 +62,9 @@ raw_sketch=$(go test -run '^$' -bench 'BenchmarkSketchAdd$' \
   -benchmem ./internal/stats 2>&1)
 raw_churn=$(go test -run '^$' -bench 'BenchmarkEvictionChurn$' \
   -benchmem ./internal/collector 2>&1)
-raw=$(printf '%s\n%s\n%s\n%s\n%s\n%s\n%s\n%s\n' "$raw" "$raw_collector" "$raw_runner" "$raw_measure" "$raw_service" "$raw_fleet" "$raw_sketch" "$raw_churn")
+raw_par=$(go test -run '^$' -bench 'BenchmarkScenarioSequential$|BenchmarkScenarioParallel[24]$' \
+  -benchtime 3x . 2>&1)
+raw=$(printf '%s\n%s\n%s\n%s\n%s\n%s\n%s\n%s\n%s\n' "$raw" "$raw_collector" "$raw_runner" "$raw_measure" "$raw_service" "$raw_fleet" "$raw_sketch" "$raw_churn" "$raw_par")
 
 echo "$raw" | grep -E '^Benchmark' >&2
 
@@ -124,6 +134,15 @@ echo "$raw" | awk -v bench="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
       if ($(i + 1) == "ns/op") churnns = $i
     }
   }
+  /^BenchmarkScenarioSequential/ {
+    for (i = 1; i < NF; i++) if ($(i + 1) == "ns/op") seqns = $i
+  }
+  /^BenchmarkScenarioParallel2/ {
+    for (i = 1; i < NF; i++) if ($(i + 1) == "ns/op") parns2 = $i
+  }
+  /^BenchmarkScenarioParallel4/ {
+    for (i = 1; i < NF; i++) if ($(i + 1) == "ns/op") parns4 = $i
+  }
   END {
     if (pkts == "") { print "bench.sh: no throughput result parsed" > "/dev/stderr"; exit 1 }
     if (ingest == "") { print "bench.sh: no collector ingest result parsed" > "/dev/stderr"; exit 1 }
@@ -133,6 +152,7 @@ echo "$raw" | awk -v bench="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     if (fleet == "" || fleetq == "") { print "bench.sh: no fleet result parsed" > "/dev/stderr"; exit 1 }
     if (sketch == "") { print "bench.sh: no sketch ingest result parsed" > "/dev/stderr"; exit 1 }
     if (churn == "") { print "bench.sh: no eviction churn result parsed" > "/dev/stderr"; exit 1 }
+    if (seqns == "" || parns2 == "" || parns4 == "") { print "bench.sh: no parallel-engine result parsed" > "/dev/stderr"; exit 1 }
     printf "{\n"
     printf "  \"bench\": %d,\n", bench
     printf "  \"date\": \"%s\",\n", date
@@ -140,43 +160,61 @@ echo "$raw" | awk -v bench="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"cpus\": %s,\n", maxprocs
     printf "  \"simulator_throughput\": {\n"
+    printf "    \"cpus\": %s,\n", maxprocs
     printf "    \"pkts_per_s\": %s,\n", pkts
     printf "    \"ns_per_op\": %s,\n", ns
     printf "    \"bytes_per_op\": %s,\n", bytes
     printf "    \"allocs_per_op\": %s\n", allocs
     printf "  },\n"
     printf "  \"collector_ingest\": {\n"
+    printf "    \"cpus\": %s,\n", maxprocs
     printf "    \"samples_per_s\": %s,\n", ingest
     printf "    \"ns_per_batch\": %s\n", ingestns
     printf "  },\n"
     printf "  \"shared_tap\": {\n"
+    printf "    \"cpus\": %s,\n", maxprocs
     printf "    \"pkts_per_s\": %s,\n", tap
     printf "    \"ns_per_op\": %s,\n", tapns
     printf "    \"allocs_per_op\": %s\n", tapallocs
     printf "  },\n"
     printf "  \"service_ingest\": {\n"
+    printf "    \"cpus\": %s,\n", maxprocs
     printf "    \"conns\": 4,\n"
     printf "    \"samples_per_s\": %s,\n", svc
     printf "    \"ns_per_op\": %s\n", svcns
     printf "  },\n"
     printf "  \"fleet_ingest\": {\n"
+    printf "    \"cpus\": %s,\n", maxprocs
     printf "    \"instances\": 4,\n"
     printf "    \"samples_per_s\": %s\n", fleet
     printf "  },\n"
     printf "  \"fleet_query\": {\n"
+    printf "    \"cpus\": %s,\n", maxprocs
     printf "    \"instances\": 4,\n"
     printf "    \"ms_per_query\": %s\n", fleetq
     printf "  },\n"
     printf "  \"sketch_ingest\": {\n"
+    printf "    \"cpus\": %s,\n", maxprocs
     printf "    \"samples_per_s\": %s,\n", sketch
     printf "    \"ns_per_add\": %s,\n", sketchns
     printf "    \"allocs_per_add\": %s\n", sketchallocs
     printf "  },\n"
     printf "  \"eviction_churn\": {\n"
+    printf "    \"cpus\": %s,\n", maxprocs
     printf "    \"samples_per_s\": %s,\n", churn
     printf "    \"ns_per_batch\": %s\n", churnns
     printf "  },\n"
+    printf "  \"parallel_sim\": {\n"
+    printf "    \"cpus\": %s,\n", maxprocs
+    printf "    \"scenario\": \"default\",\n"
+    printf "    \"ns_per_run_sequential\": %s,\n", seqns
+    printf "    \"ns_per_run_parallel_2\": %s,\n", parns2
+    printf "    \"ns_per_run_parallel_4\": %s,\n", parns4
+    printf "    \"speedup_2_partitions\": %.2f,\n", seqns / parns2
+    printf "    \"speedup_4_partitions\": %.2f\n", seqns / parns4
+    printf "  },\n"
     printf "  \"runner_scaling\": {\n"
+    printf "    \"cpus\": %s,\n", maxprocs
     printf "    \"sweep_seeds\": 8,\n"
     printf "    \"ns_per_sweep_1_worker\": %s,\n", sweep1
     printf "    \"ns_per_sweep_4_workers\": %s,\n", sweep4

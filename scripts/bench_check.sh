@@ -3,7 +3,12 @@
 #
 # Compares fresh simulator throughput (pkts/s) against the last committed
 # BENCH_<N>.json (highest N) and fails when the fresh number falls more
-# than 25% below the recorded one. CI's bench-smoke job runs this on every
+# than 25% below the recorded one. Also gates simulator allocs/op (lower
+# is better) and the speedup ratios (runner sweep at 4 workers, parallel
+# engine at 2 partitions); speedup gates are skipped — with the reason
+# logged — when either side was measured with fewer CPUs than the
+# benchmark's workers, since such a ratio carries no scaling signal.
+# CI's bench-smoke job runs this on every
 # push; a genuine intentional regression is recorded by committing a new
 # BENCH_<N>.json (scripts/bench.sh) or overridden one-off with -f.
 #
@@ -83,6 +88,43 @@ churn_from_json() {
        inch && /"samples_per_s"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2; exit }' "$1"
 }
 
+# allocs_from_json extracts simulator_throughput.allocs_per_op (the
+# simulator section is the file's first allocs_per_op). Lower is better;
+# gated so a hot-path allocation creeping back in fails loudly.
+allocs_from_json() {
+  awk '/"simulator_throughput"/ { insim = 1 }
+       insim && /"allocs_per_op"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2; exit }' "$1"
+}
+
+# sweepspeed_from_json extracts runner_scaling.speedup_4_workers (the
+# 8-seed sweep's 1-worker/4-worker wall-clock ratio).
+sweepspeed_from_json() {
+  awk '/"runner_scaling"/ { inrs = 1 }
+       inrs && /"speedup_4_workers"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2; exit }' "$1"
+}
+
+# parspeed_from_json extracts parallel_sim.speedup_2_partitions (the
+# conservative parallel engine's 2-partition speedup over sequential).
+# Empty when the baseline predates the parallel engine.
+parspeed_from_json() {
+  awk '/"parallel_sim"/ { inps = 1 }
+       inps && /"speedup_2_partitions"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2; exit }' "$1"
+}
+
+# seccpus_from_json <file> <section> extracts the CPU count a section's
+# numbers were measured with, falling back to the file's top-level "cpus"
+# for baselines that predate per-section recording. Speedup ratios are
+# meaningless on a box with fewer CPUs than workers, so gates consult this
+# before failing anyone.
+seccpus_from_json() {
+  c=$(awk -v sec="\"$2\"" '$0 ~ sec { insec = 1 }
+       insec && /"cpus"/ { gsub(/[^0-9]/, "", $2); print $2; exit }' "$1")
+  if [ -z "$c" ]; then
+    c=$(awk '/"cpus"/ { gsub(/[^0-9]/, "", $2); print $2; exit }' "$1")
+  fi
+  echo "${c:-1}"
+}
+
 base_file=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)
 if [ -z "$base_file" ]; then
   echo "bench_check: no committed BENCH_*.json baseline; nothing to compare" >&2
@@ -100,6 +142,10 @@ base_fleet=$(fleet_from_json "$base_file")
 base_fleetq=$(fleetq_from_json "$base_file")
 base_sketch=$(sketch_from_json "$base_file")
 base_churn=$(churn_from_json "$base_file")
+base_allocs=$(allocs_from_json "$base_file")
+base_sweep=$(sweepspeed_from_json "$base_file")
+base_parspeed=$(parspeed_from_json "$base_file")
+ncpu=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 
 if [ -n "$fresh_file" ]; then
   fresh=$(pkts_from_json "$fresh_file")
@@ -109,6 +155,13 @@ if [ -n "$fresh_file" ]; then
   fresh_fleetq=$(fleetq_from_json "$fresh_file")
   fresh_sketch=$(sketch_from_json "$fresh_file")
   fresh_churn=$(churn_from_json "$fresh_file")
+  fresh_allocs=$(allocs_from_json "$fresh_file")
+  fresh_sweep=$(sweepspeed_from_json "$fresh_file")
+  fresh_parspeed=$(parspeed_from_json "$fresh_file")
+  # Speedup gates judge the fresh file by the CPUs it was measured with,
+  # not this box's.
+  sweep_cpus=$(seccpus_from_json "$fresh_file" runner_scaling)
+  par_cpus=$(seccpus_from_json "$fresh_file" parallel_sim)
   if [ -n "$base_tap" ] && [ -z "$fresh_tap" ]; then
     echo "bench_check: baseline $base_file has shared_tap but $fresh_file does not; refusing to skip the gate" >&2
     exit 2
@@ -125,14 +178,29 @@ if [ -n "$fresh_file" ]; then
     echo "bench_check: baseline $base_file has bounded-aggregation metrics but $fresh_file does not; refusing to skip the gate" >&2
     exit 2
   fi
+  if [ -n "$base_allocs" ] && [ -z "$fresh_allocs" ]; then
+    echo "bench_check: baseline $base_file has allocs_per_op but $fresh_file does not; refusing to skip the gate" >&2
+    exit 2
+  fi
+  if [ -n "$base_parspeed" ] && [ -z "$fresh_parspeed" ]; then
+    echo "bench_check: baseline $base_file has parallel_sim but $fresh_file does not; refusing to skip the gate" >&2
+    exit 2
+  fi
   src="$fresh_file"
 else
   echo "bench_check: measuring simulator throughput (3 iterations)..." >&2
-  raw=$(go test -run '^$' -bench 'BenchmarkSimulatorThroughput$' -benchtime 3x . 2>&1)
+  raw=$(go test -run '^$' -bench 'BenchmarkSimulatorThroughput$' -benchmem -benchtime 3x . 2>&1)
   echo "$raw" | grep -E '^Benchmark' >&2 || true
   fresh=$(echo "$raw" | awk '/^BenchmarkSimulatorThroughput/ {
     for (i = 1; i < NF; i++) if ($(i + 1) == "pkts/s") print $i
   }' | tail -1)
+  fresh_allocs=$(echo "$raw" | awk '/^BenchmarkSimulatorThroughput/ {
+    for (i = 1; i < NF; i++) if ($(i + 1) == "allocs/op") print $i
+  }' | tail -1)
+  if [ -n "$base_allocs" ] && [ -z "$fresh_allocs" ]; then
+    echo "bench_check: no allocs/op number parsed from local bench" >&2
+    exit 2
+  fi
   fresh_tap=""
   if [ -n "$base_tap" ]; then
     echo "bench_check: measuring shared-tap dispatch throughput..." >&2
@@ -200,6 +268,53 @@ else
     if [ -z "$fresh_churn" ]; then
       echo "bench_check: no eviction-churn number parsed from local bench" >&2
       exit 2
+    fi
+  fi
+  # Speedup measurements only make sense when this box has at least as many
+  # CPUs as the benchmark's workers/partitions; on a smaller box we skip the
+  # measurement (and so the gate) with the reason on record.
+  fresh_sweep=""
+  sweep_cpus="$ncpu"
+  if [ -n "$base_sweep" ]; then
+    if [ "$ncpu" -lt 4 ]; then
+      echo "bench_check: skipping runner-scaling speedup gate: $ncpu CPUs < 4 workers (nothing to scale onto)" >&2
+    else
+      echo "bench_check: measuring runner sweep scaling (1 vs 4 workers)..." >&2
+      raw_sweep=$(go test -run '^$' -bench 'BenchmarkRunnerSweep[14]$' -benchtime 3x . 2>&1)
+      echo "$raw_sweep" | grep -E '^Benchmark' >&2 || true
+      s1=$(echo "$raw_sweep" | awk '/^BenchmarkRunnerSweep1/ {
+        for (i = 1; i < NF; i++) if ($(i + 1) == "ns/op") print $i
+      }' | tail -1)
+      s4=$(echo "$raw_sweep" | awk '/^BenchmarkRunnerSweep4/ {
+        for (i = 1; i < NF; i++) if ($(i + 1) == "ns/op") print $i
+      }' | tail -1)
+      if [ -z "$s1" ] || [ -z "$s4" ]; then
+        echo "bench_check: no runner-scaling numbers parsed from local bench" >&2
+        exit 2
+      fi
+      fresh_sweep=$(awk -v a="$s1" -v b="$s4" 'BEGIN { printf "%.2f", a / b }')
+    fi
+  fi
+  fresh_parspeed=""
+  par_cpus="$ncpu"
+  if [ -n "$base_parspeed" ]; then
+    if [ "$ncpu" -lt 2 ]; then
+      echo "bench_check: skipping parallel-engine speedup gate: $ncpu CPUs < 2 partitions (nothing to scale onto)" >&2
+    else
+      echo "bench_check: measuring parallel-engine speedup (2 partitions)..." >&2
+      raw_par=$(go test -run '^$' -bench 'BenchmarkScenarioSequential$|BenchmarkScenarioParallel2$' -benchtime 2x . 2>&1)
+      echo "$raw_par" | grep -E '^Benchmark' >&2 || true
+      pseq=$(echo "$raw_par" | awk '/^BenchmarkScenarioSequential/ {
+        for (i = 1; i < NF; i++) if ($(i + 1) == "ns/op") print $i
+      }' | tail -1)
+      ppar=$(echo "$raw_par" | awk '/^BenchmarkScenarioParallel2/ {
+        for (i = 1; i < NF; i++) if ($(i + 1) == "ns/op") print $i
+      }' | tail -1)
+      if [ -z "$pseq" ] || [ -z "$ppar" ]; then
+        echo "bench_check: no parallel-engine numbers parsed from local bench" >&2
+        exit 2
+      fi
+      fresh_parspeed=$(awk -v a="$pseq" -v b="$ppar" 'BEGIN { printf "%.2f", a / b }')
     fi
   fi
   src="local bench"
@@ -280,6 +395,47 @@ if [ -n "$base_sketch" ] && [ -n "$fresh_sketch" ]; then
 fi
 if [ -n "$base_churn" ] && [ -n "$fresh_churn" ]; then
   compare "eviction-churn" "$fresh_churn" "$base_churn" "samples/s" || status=1
+fi
+if [ -n "$base_allocs" ] && [ -n "$fresh_allocs" ]; then
+  compare_lower "simulator-allocs" "$fresh_allocs" "$base_allocs" "allocs/op" || status=1
+fi
+# Speedup gates. A ratio measured with fewer CPUs than workers/partitions
+# carries no scaling signal, so both the fresh and the baseline side must
+# have been measured on enough cores; otherwise the gate is skipped with
+# the reason logged rather than failing an honest single-core run.
+if [ -n "$base_sweep" ] && [ -n "$fresh_sweep" ]; then
+  base_sweep_cpus=$(seccpus_from_json "$base_file" runner_scaling)
+  if [ "$sweep_cpus" -lt 4 ]; then
+    echo "bench_check: skipping runner-scaling speedup gate: measured on $sweep_cpus CPUs < 4 workers"
+  elif [ "$base_sweep_cpus" -lt 4 ]; then
+    echo "bench_check: skipping runner-scaling speedup gate: baseline $base_file measured on $base_sweep_cpus CPUs < 4 workers (no scaling baseline)"
+  else
+    compare "runner-speedup" "$fresh_sweep" "$base_sweep" "x" || status=1
+  fi
+fi
+if [ -n "$fresh_parspeed" ]; then
+  if [ "$par_cpus" -lt 2 ]; then
+    echo "bench_check: skipping parallel-engine speedup gate: measured on $par_cpus CPUs < 2 partitions"
+  else
+    # Absolute floor from the acceptance bar: the conservative engine must
+    # deliver >= 1.7x at 2 partitions whenever 2 cores exist to run on.
+    awk -v sp="$fresh_parspeed" -v force="$force" 'BEGIN {
+      printf "bench_check: parallel-engine speedup %.2fx at 2 partitions (floor 1.70x)\n", sp
+      if (sp < 1.7) {
+        print "bench_check: REGRESSION: parallel-engine speedup below the 1.7x floor"
+        if (force == "1") { print "bench_check: override in effect; not failing"; exit 0 }
+        exit 1
+      }
+    }' || status=1
+    if [ -n "$base_parspeed" ]; then
+      base_par_cpus=$(seccpus_from_json "$base_file" parallel_sim)
+      if [ "$base_par_cpus" -lt 2 ]; then
+        echo "bench_check: skipping parallel-engine relative gate: baseline $base_file measured on $base_par_cpus CPUs < 2 partitions (no scaling baseline)"
+      else
+        compare "parallel-speedup" "$fresh_parspeed" "$base_parspeed" "x" || status=1
+      fi
+    fi
+  fi
 fi
 if [ "$status" -eq 0 ]; then
   echo "bench_check: ok"
