@@ -13,6 +13,7 @@
 //	scenario -run incast -seeds 8 -parallel 4
 //	scenario -run incast -estimators rli,lda   # override the comparison set
 //	scenario -run telemetry-loss -telemetry-loss 0.2  # override the export loss rate
+//	scenario -run trace-replay -link-trace link.json  # replay a recorded link trace file
 //	scenario -run incast -engine parallel          # conservative parallel engine
 //	scenario -run incast -engine parallel -partitions 2
 //	scenario -describe incast      # print the spec as JSON
@@ -51,6 +52,7 @@ type options struct {
 	parallel      int
 	estimators    []string
 	telemetryLoss float64
+	linkTrace     string
 	engine        string
 	partitions    int
 }
@@ -74,6 +76,7 @@ func parseArgs(args []string) (options, error) {
 	fs.IntVar(&o.parallel, "parallel", 0, "max concurrent runs for multi-seed sweeps (0 = GOMAXPROCS)")
 	ests := fs.String("estimators", "", "comma-separated estimator set for -run/-spec (rli is always included; empty keeps the spec's)")
 	fs.Float64Var(&o.telemetryLoss, "telemetry-loss", -1, "override (or enable) the spec's telemetry export loss rate in [0, 1) for -run/-spec (-1 keeps the spec's)")
+	fs.StringVar(&o.linkTrace, "link-trace", "", "replay a recorded link trace file (JSON or CSV, see cmd/tracegen -emit link) on a core down-link for -run/-spec (replaces the spec's inline rows)")
 	fs.StringVar(&o.engine, "engine", "", "event engine for -run/-spec: sequential | parallel (empty keeps the spec's)")
 	fs.IntVar(&o.partitions, "partitions", 0, "LP count for -engine parallel (0 = one per pod + core partition)")
 	if err := fs.Parse(args); err != nil {
@@ -104,6 +107,9 @@ func parseArgs(args []string) (options, error) {
 		if o.telemetryLoss >= 1 {
 			return o, fmt.Errorf("-telemetry-loss %v outside [0, 1)", o.telemetryLoss)
 		}
+	}
+	if o.linkTrace != "" && o.runName == "" && o.specFile == "" {
+		return o, fmt.Errorf("-link-trace applies to -run/-spec")
 	}
 	switch o.engine {
 	case "", rlir.ScenarioEngineSequential, rlir.ScenarioEngineParallel:
@@ -229,6 +235,11 @@ func execute(o options, spec rlir.ScenarioSpec, check func(*rlir.ScenarioResult)
 		}
 		spec.Telemetry = &t
 	}
+	if o.linkTrace != "" {
+		if err := applyLinkTrace(&spec, o.linkTrace); err != nil {
+			return err
+		}
+	}
 	if o.seeds > 1 {
 		mr, err := rlir.RunScenarioMulti(spec, rlir.ScenarioMultiOpts{Seeds: o.seeds, Workers: o.parallel})
 		if err != nil {
@@ -255,6 +266,31 @@ func execute(o options, spec rlir.ScenarioSpec, check func(*rlir.ScenarioResult)
 		fmt.Fprintln(out, "invariant held")
 	}
 	return nil
+}
+
+// applyLinkTrace loads a recorded link trace file and replays it in spec:
+// the spec's own link addressing is kept when it already carries a
+// LinkTrace; otherwise the trace lands on core (0,0)'s down-link to the
+// last pod (the converging destination the registered scenarios monitor).
+func applyLinkTrace(spec *rlir.ScenarioSpec, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-link-trace: %w", err)
+	}
+	lt, err := rlir.ParseLinkTrace(data)
+	if err != nil {
+		return fmt.Errorf("-link-trace %s: %w", path, err)
+	}
+	l := rlir.ScenarioLinkTraceSpec{DownPod: spec.Topology.K - 1}
+	if spec.LinkTrace != nil {
+		l = *spec.LinkTrace
+	}
+	l.Samples = make([]rlir.ScenarioLinkTraceSampleSpec, len(lt.Samples))
+	for i, s := range lt.Samples {
+		l.Samples[i] = rlir.ScenarioLinkTraceSampleSpec{T: s.At, Delay: s.Delay, Loss: s.Loss}
+	}
+	spec.LinkTrace = &l
+	return spec.Validate()
 }
 
 func unknownScenario(name string) error {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -37,6 +38,9 @@ func TestParseArgs(t *testing.T) {
 		{"stray args", []string{"-list", "extra"}, "unexpected arguments"},
 		{"estimators without run", []string{"-list", "-estimators", "lda"}, "-estimators"},
 		{"unknown estimator", []string{"-run", "incast", "-estimators", "bogus"}, "bogus"},
+		{"run with link trace", []string{"-run", "trace-replay", "-link-trace", "link.json"}, ""},
+		{"spec with link trace", []string{"-spec", "x.json", "-link-trace", "link.csv"}, ""},
+		{"link trace without run", []string{"-list", "-link-trace", "link.json"}, "-link-trace"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -173,6 +177,108 @@ func TestSpecFileRuns(t *testing.T) {
 	}
 	if _, err := os.Stat(path); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLinkTraceFileOverride pins the -link-trace path: a tracegen-format
+// file replaces the spec's inline rows, lands on the default core
+// down-link, and shows up in the run report; bad or malformed files fail
+// before any simulation runs.
+func TestLinkTraceFileOverride(t *testing.T) {
+	lt, err := rlir.GenLinkTrace(rlir.LinkTraceConfig{
+		Seed: 3, Duration: 25 * time.Millisecond, Step: 5 * time.Millisecond,
+		BaseDelay: 50 * time.Microsecond, MaxExtra: 200 * time.Microsecond, MaxLoss: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ltPath := filepath.Join(dir, "link.csv")
+	if err := os.WriteFile(ltPath, lt.EncodeCSV(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := rlir.DefaultScenarioSpec()
+	spec.Name = "adhoc-linktrace"
+	spec.Topology.LinkBps = 200e6
+	spec.Duration = 30 * time.Millisecond
+	data, err := spec.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run([]string{"-spec", specPath, "-link-trace", ltPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "link trace replay on core0.0->pod3") {
+		t.Fatalf("run report missing the replayed link trace:\n%s", buf.String())
+	}
+
+	// A missing file fails before any simulation.
+	err = run([]string{"-spec", specPath, "-link-trace", filepath.Join(dir, "missing.json")}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-link-trace") {
+		t.Fatalf("missing link-trace file: %v, want a -link-trace error", err)
+	}
+	// So does a malformed one, naming the file.
+	badPath := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badPath, []byte(`{"version":9,"samples":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-spec", specPath, "-link-trace", badPath}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "bad.json") {
+		t.Fatalf("malformed link-trace file: %v, want an error naming it", err)
+	}
+}
+
+// TestMainExitsNonZeroOnUnknownScenario re-executes the test binary as the
+// real main: an unknown -run name must exit non-zero with the registered
+// scenarios — including the adversarial/trace-driven family — on stderr.
+func TestMainExitsNonZeroOnUnknownScenario(t *testing.T) {
+	if os.Getenv("SCENARIO_MAIN_PROBE") == "1" {
+		os.Args = []string{"scenario", "-run", "bogus"}
+		main()
+		return // unreachable: main must have exited non-zero
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestMainExitsNonZeroOnUnknownScenario")
+	cmd.Env = append(os.Environ(), "SCENARIO_MAIN_PROBE=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("main accepted an unknown scenario; output:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() == 0 {
+		t.Fatalf("expected a non-zero exit, got %v; output:\n%s", err, out)
+	}
+	for _, name := range []string{"adversarial-delay", "trace-replay", "repflow"} {
+		if !strings.Contains(string(out), name) {
+			t.Fatalf("failure output does not list scenario %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestMainExitsNonZeroOnBadLinkTrace pins the process contract for the new
+// flag: -run adversarial-delay with a nonexistent trace file exits non-zero
+// before simulating, naming the flag.
+func TestMainExitsNonZeroOnBadLinkTrace(t *testing.T) {
+	if os.Getenv("SCENARIO_MAIN_PROBE_LT") == "1" {
+		os.Args = []string{"scenario", "-run", "adversarial-delay", "-link-trace", "/nonexistent/link.json"}
+		main()
+		return // unreachable: main must have exited non-zero
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestMainExitsNonZeroOnBadLinkTrace")
+	cmd.Env = append(os.Environ(), "SCENARIO_MAIN_PROBE_LT=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("main accepted a nonexistent -link-trace file; output:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() == 0 {
+		t.Fatalf("expected a non-zero exit, got %v; output:\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "-link-trace") {
+		t.Fatalf("failure output does not name -link-trace:\n%s", out)
 	}
 }
 

@@ -14,6 +14,12 @@
 //	tracegen -o sweep.trc -runs 8          # sweep.run0.trc ... sweep.run7.trc
 //	tracegen -o run3.trc -run 3            # just stream 3 of the same sweep
 //	tracegen -summarize regular.trc
+//
+// It also emits recorded-link stand-ins — per-link delay/loss time series
+// the scenario engine replays via -link-trace (trace.GenLinkTrace):
+//
+//	tracegen -emit link -o link.json -duration 200ms -link-step 25ms
+//	tracegen -emit link -o link.csv -link-format csv -link-max-loss 0.05
 package main
 
 import (
@@ -51,6 +57,13 @@ type options struct {
 	runs      int
 	runIdx    int
 	summarize string
+
+	emit          string
+	linkFormat    string
+	linkStep      time.Duration
+	linkBaseDelay time.Duration
+	linkMaxExtra  time.Duration
+	linkMaxLoss   float64
 }
 
 // parseArgs parses and validates the command line. Split from run so tests
@@ -72,6 +85,12 @@ func parseArgs(args []string) (options, error) {
 	fs.IntVar(&o.runs, "runs", 1, "independent runs to generate (seeds derived via SplitMix64 streams)")
 	fs.IntVar(&o.runIdx, "run", -1, "generate only this derived stream index of the base seed")
 	fs.StringVar(&o.summarize, "summarize", "", "summarize an existing trace file and exit")
+	fs.StringVar(&o.emit, "emit", "packet", "what to generate: packet | link")
+	fs.StringVar(&o.linkFormat, "link-format", "json", "link trace encoding for -emit link: json | csv")
+	fs.DurationVar(&o.linkStep, "link-step", 10*time.Millisecond, "row spacing for -emit link")
+	fs.DurationVar(&o.linkBaseDelay, "link-base-delay", 20*time.Microsecond, "delay floor for -emit link rows")
+	fs.DurationVar(&o.linkMaxExtra, "link-max-extra", 400*time.Microsecond, "random delay excursion bound for -emit link")
+	fs.Float64Var(&o.linkMaxLoss, "link-max-loss", 0.02, "loss probability bound for -emit link rows")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -80,6 +99,15 @@ func parseArgs(args []string) (options, error) {
 	}
 	if o.format != "binary" && o.format != "pcap" {
 		return o, fmt.Errorf("unknown -format %q (valid: binary, pcap)", o.format)
+	}
+	if o.emit != "packet" && o.emit != "link" {
+		return o, fmt.Errorf("unknown -emit %q (valid: packet, link)", o.emit)
+	}
+	if o.linkFormat != "json" && o.linkFormat != "csv" {
+		return o, fmt.Errorf("unknown -link-format %q (valid: json, csv)", o.linkFormat)
+	}
+	if o.emit == "link" && (o.runs > 1 || o.runIdx >= 0) {
+		return o, fmt.Errorf("-emit link generates one deterministic time series; -runs/-run apply to packet traces")
 	}
 	if o.runs < 1 {
 		return o, fmt.Errorf("-runs %d < 1", o.runs)
@@ -154,6 +182,10 @@ func run(args []string, out io.Writer) error {
 		return r.Err()
 	}
 
+	if o.emit == "link" {
+		return emitLink(o, out)
+	}
+
 	if o.runs > 1 {
 		for i := 0; i < o.runs; i++ {
 			cfg, err := o.config(i)
@@ -176,6 +208,40 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 	return writeTrace(cfg, o.format, o.out, out)
+}
+
+// emitLink generates one deterministic link trace (delay/loss time series)
+// and writes it in the requested encoding — to -o, or to stdout without -o.
+func emitLink(o options, out io.Writer) error {
+	lt, err := trace.GenLinkTrace(trace.LinkTraceConfig{
+		Seed:      o.seed,
+		Duration:  o.duration,
+		Step:      o.linkStep,
+		BaseDelay: o.linkBaseDelay,
+		MaxExtra:  o.linkMaxExtra,
+		MaxLoss:   o.linkMaxLoss,
+	})
+	if err != nil {
+		return err
+	}
+	var data []byte
+	if o.linkFormat == "json" {
+		if data, err = lt.EncodeJSON(); err != nil {
+			return err
+		}
+		data = append(data, '\n')
+	} else {
+		data = lt.EncodeCSV()
+	}
+	if o.out == "" {
+		_, err := out.Write(data)
+		return err
+	}
+	if err := os.WriteFile(o.out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %d link samples to %s\n", len(lt.Samples), o.out)
+	return nil
 }
 
 // writeTrace generates one trace into path in the requested format.

@@ -84,9 +84,11 @@ func ExampleEstimatorNames() {
 	fmt.Println(err != nil)
 	// Output:
 	// rli true
+	// hash-sample true
 	// lda true
 	// multiflow true
 	// netflow-sample true
+	// periodic-sample true
 	// true
 }
 

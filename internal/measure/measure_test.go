@@ -111,12 +111,12 @@ func TestBaselinesEstimateConstantDelays(t *testing.T) {
 	}
 }
 
-// TestRegistryNamesAndErrors pins the registry surface: four estimators,
+// TestRegistryNamesAndErrors pins the registry surface: six estimators,
 // rli first, and unknown names rejected with the valid list.
 func TestRegistryNamesAndErrors(t *testing.T) {
 	names := Names()
-	if len(names) != 4 || names[0] != "rli" {
-		t.Fatalf("Names() = %v, want rli first of four", names)
+	if len(names) != 6 || names[0] != "rli" {
+		t.Fatalf("Names() = %v, want rli first of six", names)
 	}
 	for _, n := range names {
 		if !Registered(n) {

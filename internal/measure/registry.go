@@ -8,6 +8,7 @@ import (
 
 	"github.com/netmeasure/rlir/internal/core"
 	"github.com/netmeasure/rlir/internal/lda"
+	"github.com/netmeasure/rlir/internal/trace"
 )
 
 // Config parameterizes estimator construction. Zero values select the
@@ -24,9 +25,13 @@ type Config struct {
 	// LDA overrides the sketch shape ("lda" only; zero: lda.DefaultConfig
 	// keyed by Seed).
 	LDA lda.Config
-	// SampleRate is the sampling baseline's 1-in-N rate ("netflow-sample"
-	// only; 0: DefaultSampleRate).
+	// SampleRate is the sampling baselines' 1-in-N rate ("netflow-sample",
+	// "hash-sample", "periodic-sample"; 0: DefaultSampleRate).
 	SampleRate int
+	// SecretKey keys "hash-sample"'s ShouldSample hash. Zero derives a key
+	// from Seed — convenient for harnesses, but a deployment hiding the
+	// sample set from the routers it measures must set an explicit key.
+	SecretKey uint64
 	// Quantize is the flow-record timestamp resolution ("multiflow" only;
 	// 0: DefaultQuantize, negative: exact timestamps).
 	Quantize time.Duration
@@ -100,6 +105,16 @@ func init() {
 	})
 	Register("netflow-sample", func(cfg Config) (Estimator, error) {
 		return NewSampled(cfg.SampleRate, cfg.Seed), nil
+	})
+	Register("hash-sample", func(cfg Config) (Estimator, error) {
+		key := cfg.SecretKey
+		if key == 0 {
+			key = trace.SplitMix64(uint64(cfg.Seed) ^ 0x5ec2e7_4b3a9d01)
+		}
+		return NewHashSampled(cfg.SampleRate, key), nil
+	})
+	Register("periodic-sample", func(cfg Config) (Estimator, error) {
+		return NewPeriodicSampled(cfg.SampleRate), nil
 	})
 	Register("multiflow", func(cfg Config) (Estimator, error) {
 		return NewMultiflow(cfg.Quantize), nil

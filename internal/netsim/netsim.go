@@ -23,6 +23,23 @@ type TapFunc func(p *packet.Packet, now simtime.Time)
 // packet's destination). It runs after the node's processing delay.
 type ForwardFunc func(n *Node, p *packet.Packet) int
 
+// DelayFunc returns an extra per-packet delay a node adds on top of its
+// configured processing delay. It must be a pure function of the packet and
+// the instant (no retained state mutation ordered across lanes), which keeps
+// a partitioned run deterministic: the node evaluates it on its own lane.
+// Scenario fault injection uses it for the compromised-switch mode — a
+// router that games measurement by delaying only the packets it predicts
+// won't be sampled.
+type DelayFunc func(p *packet.Packet, now simtime.Time) time.Duration
+
+// EmulateFunc drives one link from recorded behaviour: for a packet about to
+// propagate it returns extra one-way delay to add on top of the configured
+// propagation, and whether the link drops the packet outright. Like
+// DelayFunc it must be pure per (packet, instant) so partitioned runs stay
+// deterministic. Trace-driven link emulation (internal/trace.LinkTrace)
+// plugs in here.
+type EmulateFunc func(p *packet.Packet, now simtime.Time) (extra time.Duration, drop bool)
+
 // Network is a collection of nodes, ports and links sharing one event
 // engine. Create with New.
 type Network struct {
@@ -193,6 +210,7 @@ type Node struct {
 	id      NodeID
 	name    string
 	proc    time.Duration
+	extra   DelayFunc
 	ports   []*Port
 	forward ForwardFunc
 	refID   uint64 // per-node packet ID counter (partitioned networks)
@@ -253,6 +271,12 @@ func (n *Node) SetProcDelay(d time.Duration) {
 	n.proc = d
 }
 
+// SetSelectiveDelay installs (or with nil removes) a per-packet extra-delay
+// hook evaluated at ingress, added on top of ProcDelay. Unlike SetProcDelay
+// it can discriminate packets — the compromised-switch fault uses it to
+// delay only traffic it predicts is unmeasured. A negative return panics.
+func (n *Node) SetSelectiveDelay(f DelayFunc) { n.extra = f }
+
 // OnReceive registers a tap run at packet ingress, before processing delay.
 // Receiver instruments placed "at" a router attach here.
 func (n *Node) OnReceive(t TapFunc) { n.onReceive = append(n.onReceive, t) }
@@ -276,8 +300,16 @@ func (n *Node) receive(p *packet.Packet) {
 	for _, t := range n.onReceive {
 		t(p, now)
 	}
-	if n.proc > 0 {
-		n.eng.AfterKind(n.proc, n.net.kDispatch, n, p)
+	d := n.proc
+	if n.extra != nil {
+		e := n.extra(p, now)
+		if e < 0 {
+			panic("netsim: negative selective delay")
+		}
+		d += e
+	}
+	if d > 0 {
+		n.eng.AfterKind(d, n.net.kDispatch, n, p)
 		return
 	}
 	n.dispatch(p)
@@ -311,7 +343,8 @@ type PortCounters struct {
 	TxBytes    uint64
 	Drops      uint64
 	DropBytes  uint64
-	QueueBytes int // instantaneous backlog, excluding packet in service
+	EmuDrops   uint64 // packets the link emulator dropped after transmission
+	QueueBytes int    // instantaneous backlog, excluding packet in service
 	QueueLen   int
 }
 
@@ -326,6 +359,7 @@ type Port struct {
 	queue  fifo
 	qBytes int
 	busy   bool
+	emu    EmulateFunc
 
 	onTxStart []TapFunc
 	onDrop    []TapFunc
@@ -368,6 +402,14 @@ func (pt *Port) SetPropagation(d time.Duration) {
 	}
 	pt.cfg.Propagation = d
 }
+
+// SetEmulator installs (or with nil removes) a link emulator evaluated when
+// a packet finishes transmission: extra delay is added on top of the
+// configured propagation (never subtracted, so a partitioned run's
+// cross-lane lookahead — derived from configured propagation — stays valid)
+// and drops discard the packet on the wire, counted in Counters().EmuDrops.
+// A negative extra delay panics.
+func (pt *Port) SetEmulator(f EmulateFunc) { pt.emu = f }
 
 // Counters returns a snapshot of the port's statistics.
 func (pt *Port) Counters() PortCounters {
@@ -434,14 +476,32 @@ func (pt *Port) startTx() {
 func (pt *Port) txDone(p *packet.Packet) {
 	nw := pt.node.net
 	src, dst := pt.node.eng, pt.dst.eng
+	prop := pt.cfg.Propagation
+	if pt.emu != nil {
+		extra, drop := pt.emu(p, src.Now())
+		if drop {
+			pt.ctr.EmuDrops++
+			pt.rearm()
+			return
+		}
+		if extra < 0 {
+			panic("netsim: negative emulated link delay")
+		}
+		prop += extra
+	}
 	switch {
 	case dst != src:
-		src.SendKind(dst, pt.cfg.Propagation, nw.kReceive, pt.dst, p)
-	case pt.cfg.Propagation > 0:
-		src.AfterKind(pt.cfg.Propagation, nw.kReceive, pt.dst, p)
+		src.SendKind(dst, prop, nw.kReceive, pt.dst, p)
+	case prop > 0:
+		src.AfterKind(prop, nw.kReceive, pt.dst, p)
 	default:
 		pt.dst.receive(p)
 	}
+	pt.rearm()
+}
+
+// rearm serves the next queued packet after a transfer completes.
+func (pt *Port) rearm() {
 	if pt.queue.len() > 0 {
 		pt.startTx()
 	} else {

@@ -407,6 +407,16 @@ func runFatTree(spec Spec, seed int64, cap *capture) (*Result, error) {
 		return sok && sp != dp
 	}
 
+	// Replicated workloads record each copy's edge arrival by packet ID.
+	// Both maps are filled at injection time (pre-run, single-threaded);
+	// arrival writes happen inline on sequential runs and only inside the
+	// single-threaded deferred-effect apply on parallel runs, and a write
+	// keyed by the packet's unique ID is order-independent either way.
+	var (
+		repArrivals map[uint64]simtime.Time
+		repWanted   map[uint64]bool
+	)
+
 	// Parallel runs feed the shared measurement plane (dispatch, collector
 	// sink, export capture) through deferred effects: lanes log observations
 	// during a window and the barrier applies them single-threaded in global
@@ -423,6 +433,9 @@ func runFatTree(spec Spec, seed int64, cap *capture) (*Result, error) {
 			pk := a.(*packet.Packet)
 			shared.TapEnd(pk, at)
 			cap.observe(pk, at)
+			if repWanted[pk.ID] {
+				repArrivals[pk.ID] = at
+			}
 		})
 		effEst = pe.RegisterEffect(func(_ simtime.Time, a, _ any) {
 			s := a.(*estSample)
@@ -474,6 +487,9 @@ func runFatTree(spec Spec, seed int64, cap *capture) (*Result, error) {
 			if accept(pk) {
 				shared.TapEnd(pk, now)
 				cap.observe(pk, now)
+				if repWanted[pk.ID] {
+					repArrivals[pk.ID] = now
+				}
 			}
 		}
 		if pe != nil {
@@ -534,8 +550,58 @@ func runFatTree(spec Spec, seed int64, cap *capture) (*Result, error) {
 		}
 	}
 
+	// --- Adversary: a compromised aggregation switch selectively delaying
+	// the packets it predicts will go unmeasured. The hook is a pure
+	// function of (packet, instant) — the window test reads the tap-time
+	// clock instead of scheduling state changes — so partitioned runs stay
+	// bit-identical to sequential ones.
+	if a := spec.Adversary; a != nil {
+		node := ft.Aggs[a.AggPod][a.AggIdx]
+		start, end := simtime.FromDuration(a.Start), simtime.FromDuration(a.End)
+		extra, rate := a.Extra, a.PredictRate
+		node.SetSelectiveDelay(func(pk *packet.Packet, now simtime.Time) time.Duration {
+			if now.Before(start) || !now.Before(end) {
+				return 0
+			}
+			if pk.Kind != packet.Regular {
+				return 0 // RLI references are identifiable on the wire: fly clean
+			}
+			if measure.PredictPeriodic(pk.ID, rate) {
+				return 0 // spare the periodic sampler's predictable subset
+			}
+			return extra
+		})
+	}
+
+	// --- Link-trace replay: one core down-link's extra delay and loss
+	// driven by a recorded time series. The drop decision is a pure keyed
+	// hash of the packet ID, and the extra delay only ever adds to the
+	// configured propagation, so partitioned lookahead stays valid.
+	var emuPort *netsim.Port
+	var emuTrace *trace.LinkTrace
+	if l := spec.LinkTrace; l != nil {
+		lt, err := l.trace()
+		if err != nil {
+			return nil, err
+		}
+		emuTrace = lt
+		emuPort = ft.CoreDownPort(l.CoreJ, l.CoreI, l.DownPod)
+		emuSeed := trace.SplitMix64(uint64(seed) ^ linkTraceSeedSalt)
+		emuPort.SetEmulator(func(pk *packet.Packet, now simtime.Time) (time.Duration, bool) {
+			return lt.Emulate(pk.ID, emuSeed, now.Duration())
+		})
+	}
+
 	// --- Workload.
-	injected := spec.injectWorkload(nw, ft, seed)
+	injected, repPairs := spec.injectWorkload(nw, ft, seed)
+	if spec.Workload.Replicate {
+		repArrivals = make(map[uint64]simtime.Time, 2*len(repPairs))
+		repWanted = make(map[uint64]bool, 2*len(repPairs))
+		for _, pr := range repPairs {
+			repWanted[pr.orig] = true
+			repWanted[pr.rep] = true
+		}
+	}
 	if pe != nil {
 		// The lookahead is the smallest cross-lane propagation delay — with
 		// the pod/core partition map, the core-link propagation (plus any
@@ -596,6 +662,7 @@ func runFatTree(spec Spec, seed int64, cap *capture) (*Result, error) {
 	}
 	res.Comparison = measure.Compare(truth, reports...)
 	res.Comparison[0].Misattribution = misattribution(countings)
+	res.TrueAggMean = truth.AggMean()
 	if spec.Telemetry != nil {
 		res.Telemetry = applyTelemetry(*spec.Telemetry, seed, truth, res.Comparison, reports)
 	}
@@ -640,12 +707,36 @@ func runFatTree(spec Spec, seed int64, cap *capture) (*Result, error) {
 	if spec.Fleet != nil {
 		res.FleetReport = applyFleet(*spec.Fleet, cap, truth, res.Comparison, reports, res)
 	}
+	if spec.LinkTrace != nil {
+		res.LinkTrace = buildLinkTraceReport(*spec.LinkTrace, emuTrace, emuPort.Counters().EmuDrops)
+	}
+	if spec.Workload.Replicate {
+		res.RepFlow = buildRepFlow(repPairs, repArrivals)
+	}
+	if spec.Adversary != nil {
+		// Detection needs a paired clean run: the same spec and seed minus
+		// the adversary, so every difference between the two results is the
+		// compromised switch's doing. Telemetry and fleet re-scoring do not
+		// move the comparison table, so the clean run skips them.
+		clean := spec
+		clean.Adversary = nil
+		clean.Telemetry = nil
+		clean.Fleet = nil
+		cleanRes, err := runFatTree(clean, seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.Detection = buildDetection(*spec.Adversary, res, cleanRes)
+	}
 	return res, nil
 }
 
 // injectWorkload generates the spec's traffic pattern and schedules it into
-// the network, returning the packet count.
-func (spec Spec) injectWorkload(nw *netsim.Network, ft *topo.FatTree, seed int64) int {
+// the network, returning the packet count and, for replicated workloads,
+// the injection-time pair log (nil otherwise). Injection happens pre-run on
+// the network-wide ID counter, so packet IDs and the pair log are identical
+// across engines and partition counts.
+func (spec Spec) injectWorkload(nw *netsim.Network, ft *topo.FatTree, seed int64) (int, []repPair) {
 	k, h := spec.Topology.K, spec.half()
 	q, e0 := spec.destPod(), spec.Workload.DestToR
 	lb := spec.Topology.LinkBps
@@ -679,6 +770,7 @@ func (spec Spec) injectWorkload(nw *netsim.Network, ft *topo.FatTree, seed int64
 	hotPod := (q + 1) % k // hotspot: every skewed flow sources under this pod's ToR 0
 
 	injected := 0
+	var pairs []repPair
 	for {
 		rec, ok := gen.Next()
 		if !ok {
@@ -733,6 +825,24 @@ func (spec Spec) injectWorkload(nw *netsim.Network, ft *topo.FatTree, seed int64
 		pk := &packet.Packet{ID: nw.NewPacketID(), Key: key, Size: rec.Size, Kind: packet.Regular}
 		nw.Inject(ft.Hosts[sp][se][sh], pk, rec.At)
 		injected++
+		if spec.Workload.Replicate {
+			// RepFlow-style replica: the same payload under a source port
+			// differing in one bit, so ECMP usually hashes the copy onto a
+			// different core path. First arrival wins at harvest.
+			rkey := key
+			rkey.SrcPort ^= 1
+			rp := &packet.Packet{ID: nw.NewPacketID(), Key: rkey, Size: rec.Size, Kind: packet.Regular}
+			nw.Inject(ft.Hosts[sp][se][sh], rp, rec.At)
+			injected++
+			oj, oi, oerr := ft.ResolveCore(key)
+			rj, ri, rerr := ft.ResolveCore(rkey)
+			pairs = append(pairs, repPair{
+				orig:     pk.ID,
+				rep:      rp.ID,
+				at:       rec.At,
+				distinct: oerr == nil && rerr == nil && (oj != rj || oi != ri),
+			})
+		}
 	}
-	return injected
+	return injected, pairs
 }

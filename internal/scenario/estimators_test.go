@@ -17,7 +17,7 @@ func TestSinglePassEquivalenceFatTree(t *testing.T) {
 	base := quickSpec()
 	base.Deploy.Estimators = []string{"rli"}
 	full := quickSpec()
-	full.Deploy.Estimators = []string{"rli", "lda", "netflow-sample", "multiflow"}
+	full.Deploy.Estimators = []string{"rli", "lda", "netflow-sample", "multiflow", "hash-sample", "periodic-sample"}
 	assertRLIEquivalent(t, base, full)
 }
 
@@ -70,8 +70,8 @@ func assertRLIEquivalent(t *testing.T, alone, withBaselines Spec) {
 	if len(a.Comparison) != 1 {
 		t.Fatalf("rli-only run has %d comparison rows, want 1", len(a.Comparison))
 	}
-	if len(b.Comparison) != 4 {
-		t.Fatalf("full run has %d comparison rows, want 4", len(b.Comparison))
+	if len(b.Comparison) != 6 {
+		t.Fatalf("full run has %d comparison rows, want 6", len(b.Comparison))
 	}
 	ra, rb := a.Comparison[0], b.Comparison[0]
 	if ra != rb {
@@ -161,8 +161,8 @@ func TestMultiResultEstimatorCIs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(mr.Estimators) != 4 {
-		t.Fatalf("%d estimator CI rows, want 4", len(mr.Estimators))
+	if len(mr.Estimators) != 6 {
+		t.Fatalf("%d estimator CI rows, want 6", len(mr.Estimators))
 	}
 	byName := map[string]EstimatorCI{}
 	for _, e := range mr.Estimators {

@@ -1,0 +1,58 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/trace"
+)
+
+// linkTraceSeedSalt decorrelates the link emulator's drop hashes from every
+// other consumer of the run seed.
+const linkTraceSeedSalt = 0x1f3d_6c2a_9b58_e407
+
+// LinkTraceReport summarizes what replaying a recorded link time series did
+// to the emulated core down-link.
+type LinkTraceReport struct {
+	// Link names the emulated down-link ("core0.0->pod3").
+	Link string
+	// Rows counts the time-series rows replayed; Span is the offset of the
+	// last row (after which it holds).
+	Rows int
+	Span time.Duration
+	// MaxDelay / MaxLoss are the largest extra delay and loss probability
+	// any row applies.
+	MaxDelay time.Duration
+	MaxLoss  float64
+	// Drops counts packets the emulated link dropped after transmission.
+	Drops uint64
+}
+
+// Render formats the report as a text block.
+func (l *LinkTraceReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "link trace replay on %s: rows=%d span=%v maxDelay=%v maxLoss=%.3f drops=%d\n",
+		l.Link, l.Rows, l.Span, l.MaxDelay, l.MaxLoss, l.Drops)
+	return b.String()
+}
+
+// buildLinkTraceReport folds the replayed trace and the port's drop counter
+// into the report.
+func buildLinkTraceReport(l LinkTraceSpec, lt *trace.LinkTrace, drops uint64) *LinkTraceReport {
+	rep := &LinkTraceReport{
+		Link:  fmt.Sprintf("core%d.%d->pod%d", l.CoreJ, l.CoreI, l.DownPod),
+		Rows:  len(lt.Samples),
+		Span:  lt.Duration(),
+		Drops: drops,
+	}
+	for _, s := range lt.Samples {
+		if s.Delay > rep.MaxDelay {
+			rep.MaxDelay = s.Delay
+		}
+		if s.Loss > rep.MaxLoss {
+			rep.MaxLoss = s.Loss
+		}
+	}
+	return rep
+}

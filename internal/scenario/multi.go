@@ -40,6 +40,10 @@ type MultiResult struct {
 	// Spec.Telemetry only): per mechanism, the across-seed distribution of
 	// degraded accuracy and flow coverage.
 	Telemetry []TelemetryCI
+	// Detection aggregates the per-seed adversarial detection reports
+	// (specs with Spec.Adversary only): per mechanism, the across-seed
+	// exposure distribution and the fraction of seeds it detected on.
+	Detection []DetectionCI
 	// Fleet merges every run's collector snapshot in seed order.
 	Fleet []collector.FlowAgg
 }
@@ -78,6 +82,49 @@ type TelemetryCI struct {
 	DeltaMedianRelErr    Metric
 	// DegradedAggRelErr scores the surviving aggregate estimate.
 	DegradedAggRelErr Metric
+}
+
+// DetectionCI is one mechanism's across-seed adversarial-detection row:
+// how much of the hidden delay it exposed, as mean ± 95% CI over the
+// sweep's seeds, and on what fraction of seeds it cleared the detection
+// threshold.
+type DetectionCI struct {
+	Name string
+	// Exposure is the across-seed distribution of the exposed fraction of
+	// the true aggregate shift.
+	Exposure Metric
+	// DetectedFrac is the fraction of seeds on which the mechanism's
+	// exposure cleared DetectionThreshold.
+	DetectedFrac float64
+}
+
+// detectionCIs folds the per-seed detection reports into across-seed rows,
+// nil when the spec ran without an adversary.
+func detectionCIs(perSeed []*Result) []DetectionCI {
+	if len(perSeed) == 0 || perSeed[0].Detection == nil {
+		return nil
+	}
+	rows := make([]DetectionCI, len(perSeed[0].Detection.Rows))
+	for i, first := range perSeed[0].Detection.Rows {
+		var exp []float64
+		detected := 0
+		for _, r := range perSeed {
+			row := r.Detection.Rows[i]
+			if row.Estimator != first.Estimator {
+				panic("scenario: detection tables diverge across seeds")
+			}
+			exp = append(exp, row.Exposure)
+			if row.Detected {
+				detected++
+			}
+		}
+		rows[i] = DetectionCI{
+			Name:         first.Estimator,
+			Exposure:     experiments.MetricOf(exp),
+			DetectedFrac: float64(detected) / float64(len(perSeed)),
+		}
+	}
+	return rows
 }
 
 // telemetryCIs folds the per-seed telemetry reports into across-seed rows,
@@ -203,6 +250,7 @@ func RunMulti(spec Spec, opts MultiOpts) (*MultiResult, error) {
 	mr.EstP99Us = experiments.MetricOf(p99us)
 	mr.Estimators = estimatorCIs(mr.PerSeed)
 	mr.Telemetry = telemetryCIs(mr.PerSeed)
+	mr.Detection = detectionCIs(mr.PerSeed)
 	mr.Fleet = collector.Merge(snaps...)
 	return mr, nil
 }
@@ -236,6 +284,15 @@ func (mr *MultiResult) Render() string {
 			fmt.Fprintf(&b, "%-16s %-12.0f %-18s %-18s %-18s %12.0f %12.0f\n",
 				e.Name, e.Flows.Mean, e.MedianRelErr, e.P99RelErr, e.AggRelErr,
 				e.InjectedBytes.Mean, e.SampledBytes.Mean)
+		}
+	}
+	if len(mr.Detection) > 0 {
+		d := mr.PerSeed[0].Detection
+		fmt.Fprintf(&b, "adversarial delay detection (hidden=%v; mean ±95%% CI over %d seeds):\n",
+			d.HiddenDelay, len(mr.Seeds))
+		fmt.Fprintf(&b, "%-16s %-18s %-10s\n", "estimator", "exposure", "detected")
+		for _, row := range mr.Detection {
+			fmt.Fprintf(&b, "%-16s %-18s %4.0f%%\n", row.Name, row.Exposure, row.DetectedFrac*100)
 		}
 	}
 	if len(mr.Telemetry) > 0 {

@@ -45,6 +45,22 @@ func canonNaN(v reflect.Value) {
 }
 
 func TestParallelBitIdenticalRegistry(t *testing.T) {
+	// The adversarial/trace-driven families must ride this acceptance bar:
+	// their hooks (selective delay, link emulation, replication) were built
+	// to be pure per (packet, instant), and this pins that they actually
+	// are. Guard against a registry refactor silently dropping them.
+	covered := map[string]bool{}
+	for _, sc := range All() {
+		if sc.Spec.Topology.Kind != TopoFatTree {
+			continue
+		}
+		covered[sc.Name] = true
+	}
+	for _, name := range []string{"adversarial-delay", "trace-replay", "repflow"} {
+		if !covered[name] {
+			t.Fatalf("scenario %s is not a fat-tree registry scenario; bit-identity coverage lost", name)
+		}
+	}
 	for _, sc := range All() {
 		if sc.Spec.Topology.Kind != TopoFatTree {
 			continue

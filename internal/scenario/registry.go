@@ -627,6 +627,186 @@ func init() {
 		},
 	})
 
+	// adversarial-delay: a compromised aggregation switch hides extra
+	// latency from the packets it predicts will be measured (RLI references
+	// and the periodic sampler's subset). The detection report pairs the
+	// run with a clean run at the same seed: secret-key hash sampling must
+	// expose the hidden delay, and the predictable mechanisms must miss it
+	// — the attack RLI alone cannot see.
+	register(Scenario{
+		Name:      "adversarial-delay",
+		Stresses:  "a delay-gaming aggregation switch sparing RLI references and predicted periodic samples",
+		Invariant: "hash-sample exposes the hidden delay shift; periodic-sample and reference-based RLI both stay blind to it",
+		Spec: Spec{
+			Version:  SpecVersion,
+			Topology: small(),
+			Workload: WorkloadSpec{Pattern: PatternConverging, LoadFrac: 0.45, DestPod: -1},
+			Adversary: &AdversarySpec{
+				AggPod: 3,
+				AggIdx: 0,
+				Extra:  2 * time.Millisecond,
+				Start:  20 * time.Millisecond,
+				End:    200 * time.Millisecond,
+			},
+			Deploy:   DeploymentSpec{Scheme: SchemeStatic, StaticN: 50, Demux: DemuxReverseECMP},
+			Duration: 200 * time.Millisecond,
+			Seed:     1,
+		},
+		Check: func(r *Result) error {
+			// Accuracy is NOT bounded tightly here: the adversary's whole
+			// point is that reference-based estimates go wrong. Flows and
+			// estimates still must exist and stream.
+			if err := requireAccuracy(r, 50, 0.99); err != nil {
+				return err
+			}
+			if err := requireCollector(r); err != nil {
+				return err
+			}
+			if err := requireEstimators(r); err != nil {
+				return err
+			}
+			d := r.Detection
+			if d == nil {
+				return fmt.Errorf("spec set an adversary but the result carries no detection report")
+			}
+			if len(d.Rows) != len(r.Comparison) {
+				return fmt.Errorf("detection report has %d rows, comparison %d", len(d.Rows), len(r.Comparison))
+			}
+			if d.TrueShift < d.HiddenDelay/10 {
+				return fmt.Errorf("true aggregate shift %v under 10%% of the %v hidden delay; the adversary is not biting",
+					d.TrueShift, d.HiddenDelay)
+			}
+			hash, ok := d.Row("hash-sample")
+			if !ok || !hash.Detected {
+				return fmt.Errorf("hash-sample exposed only %.2f of the hidden shift (want >= %.2f): the keyed sample set is predictable",
+					hash.Exposure, d.Threshold)
+			}
+			per, ok := d.Row("periodic-sample")
+			if !ok || per.Detected {
+				return fmt.Errorf("periodic-sample exposed %.2f of the hidden shift; the adversary failed to spare its predictable subset",
+					per.Exposure)
+			}
+			rli, ok := d.Row("rli")
+			if !ok || rli.Detected {
+				return fmt.Errorf("rli exposed %.2f of the hidden shift; spared references should have blinded interpolation",
+					rli.Exposure)
+			}
+			return nil
+		},
+	})
+
+	// trace-replay: one core down-link's delay and loss driven by a
+	// recorded time series instead of synthetic constants — the replay path
+	// cmd/scenario -link-trace exercises with tracegen-produced files,
+	// registered here with the rows inline so CI needs no fixture file.
+	register(Scenario{
+		Name:      "trace-replay",
+		Stresses:  "a recorded per-link delay/loss time series replayed on one core down-link",
+		Invariant: "the emulated link applies the trace (drops observed, reported bounds match the rows) and RLI accuracy stays bounded through it",
+		Spec: Spec{
+			Version:  SpecVersion,
+			Topology: small(),
+			Workload: WorkloadSpec{Pattern: PatternConverging, LoadFrac: 0.45, DestPod: -1},
+			LinkTrace: &LinkTraceSpec{
+				CoreJ:   0,
+				CoreI:   0,
+				DownPod: 3,
+				Samples: []LinkTraceSampleSpec{
+					{T: 0, Delay: 0, Loss: 0},
+					{T: 25 * time.Millisecond, Delay: 150 * time.Microsecond, Loss: 0},
+					{T: 50 * time.Millisecond, Delay: 400 * time.Microsecond, Loss: 0.05},
+					{T: 75 * time.Millisecond, Delay: 250 * time.Microsecond, Loss: 0},
+					{T: 100 * time.Millisecond, Delay: 50 * time.Microsecond, Loss: 0.02},
+					{T: 125 * time.Millisecond, Delay: 300 * time.Microsecond, Loss: 0},
+					{T: 150 * time.Millisecond, Delay: 100 * time.Microsecond, Loss: 0.04},
+					{T: 175 * time.Millisecond, Delay: 0, Loss: 0},
+				},
+			},
+			Deploy:   DeploymentSpec{Scheme: SchemeStatic, StaticN: 50, Demux: DemuxReverseECMP},
+			Duration: 200 * time.Millisecond,
+			Seed:     1,
+		},
+		Check: func(r *Result) error {
+			if err := requireAccuracy(r, 50, 0.80); err != nil {
+				return err
+			}
+			if err := requireCollector(r); err != nil {
+				return err
+			}
+			if err := requireEstimators(r); err != nil {
+				return err
+			}
+			lt := r.LinkTrace
+			if lt == nil {
+				return fmt.Errorf("spec set a link trace but the result carries no link-trace report")
+			}
+			if lt.Link != "core0.0->pod3" {
+				return fmt.Errorf("link-trace report covers %s, want core0.0->pod3", lt.Link)
+			}
+			if lt.Rows != 8 || lt.Span != 175*time.Millisecond {
+				return fmt.Errorf("link-trace report replayed %d rows over %v, want 8 over 175ms", lt.Rows, lt.Span)
+			}
+			if lt.MaxDelay != 400*time.Microsecond || lt.MaxLoss != 0.05 {
+				return fmt.Errorf("link-trace bounds delay=%v loss=%.3f diverge from the rows", lt.MaxDelay, lt.MaxLoss)
+			}
+			if lt.Drops == 0 {
+				return fmt.Errorf("loss episodes up to 5%% dropped nothing; the emulator is not applied")
+			}
+			return nil
+		},
+	})
+
+	// repflow: every flow sent twice over (usually) distinct ECMP paths,
+	// first arrival wins — the replication trick from the RepFlow line of
+	// work (PAPERS.md), here measuring what path diversity buys at the
+	// monitored segment and that demux attribution survives it.
+	register(Scenario{
+		Name:      "repflow",
+		Stresses:  "flow replication: each flow duplicated onto a second ECMP path, first arrival wins",
+		Invariant: "replicated pairs mostly take distinct core paths, first-arrival latency never exceeds either copy's mean, and reverse-ECMP attribution stays exact",
+		Spec: Spec{
+			Version:  SpecVersion,
+			Topology: small(),
+			Workload: WorkloadSpec{Pattern: PatternConverging, LoadFrac: 0.30, DestPod: -1, Replicate: true},
+			Deploy:   DeploymentSpec{Scheme: SchemeStatic, StaticN: 50, Demux: DemuxReverseECMP},
+			Duration: 200 * time.Millisecond,
+			Seed:     1,
+		},
+		Check: func(r *Result) error {
+			if err := requireAccuracy(r, 50, 0.80); err != nil {
+				return err
+			}
+			if err := requireCollector(r); err != nil {
+				return err
+			}
+			if err := requireEstimators(r); err != nil {
+				return err
+			}
+			rf := r.RepFlow
+			if rf == nil {
+				return fmt.Errorf("spec set replicate but the result carries no repflow report")
+			}
+			if rf.Pairs < 100 {
+				return fmt.Errorf("only %d replicated pairs; the workload is too thin to score", rf.Pairs)
+			}
+			if rf.Matched*10 < rf.Pairs*8 {
+				return fmt.Errorf("only %d of %d pairs matched at the monitored edge", rf.Matched, rf.Pairs)
+			}
+			if rf.DistinctPathFrac < 0.3 {
+				return fmt.Errorf("distinct-path fraction %.3f; the replica port flip is not diversifying ECMP", rf.DistinctPathFrac)
+			}
+			if rf.FirstArrivalMean <= 0 ||
+				rf.FirstArrivalMean > rf.PrimaryMean || rf.FirstArrivalMean > rf.ReplicaMean {
+				return fmt.Errorf("first-arrival mean %v not below primary %v / replica %v",
+					rf.FirstArrivalMean, rf.PrimaryMean, rf.ReplicaMean)
+			}
+			if r.Misattribution != 0 {
+				return fmt.Errorf("reverse-ECMP misattribution %.4f under replication, want exactly 0", r.Misattribution)
+			}
+			return nil
+		},
+	})
+
 	// hotspot: skewed senders concentrating load through one ToR's uplinks
 	// (the survey's "skewed ECMP / elephant concentration" pathology).
 	register(Scenario{

@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/netmeasure/rlir/internal/simtime"
+)
+
+// repPair tracks one replicated packet pair (RepFlow-style) from injection
+// to the monitored edge: the original and replica packet IDs, the shared
+// injection instant, and whether ECMP resolved the two copies onto distinct
+// core paths.
+type repPair struct {
+	orig, rep uint64
+	at        simtime.Time
+	distinct  bool
+}
+
+// RepFlowReport scores a replicated workload (Workload.Replicate): every
+// flow's packets are sent twice, the replica under a source port differing
+// in one bit, and the logical latency is the first arrival's — the
+// replication trick RepFlow applies to short flows, here used to measure how
+// much path diversity buys at the measured segment.
+type RepFlowReport struct {
+	// Pairs counts replicated packet pairs injected.
+	Pairs int
+	// Matched pairs had both copies observed at the monitored edge;
+	// LostPairs had at least one copy unobserved (dropped or unmonitored).
+	Matched   int
+	LostPairs int
+	// DistinctPathFrac is the fraction of pairs whose two copies ECMP
+	// placed on different core paths — the diversity replication bought.
+	DistinctPathFrac float64
+	// ReplicaWinFrac is the fraction of matched pairs where the replica
+	// arrived strictly before the original.
+	ReplicaWinFrac float64
+	// PrimaryMean / ReplicaMean are the mean injection-to-edge latencies of
+	// each copy over matched pairs; FirstArrivalMean is the mean of the
+	// per-pair minimum — the logical flow's latency under replication,
+	// never above either per-copy mean.
+	PrimaryMean      time.Duration
+	ReplicaMean      time.Duration
+	FirstArrivalMean time.Duration
+}
+
+// Render formats the report as a text block.
+func (r *RepFlowReport) Render() string {
+	var b strings.Builder
+	b.WriteString("flow replication (RepFlow-style, first arrival wins):\n")
+	fmt.Fprintf(&b, "pairs=%d matched=%d lost=%d distinctPaths=%.3f replicaWins=%.3f\n",
+		r.Pairs, r.Matched, r.LostPairs, r.DistinctPathFrac, r.ReplicaWinFrac)
+	fmt.Fprintf(&b, "latency: primary=%v replica=%v firstArrival=%v\n",
+		r.PrimaryMean, r.ReplicaMean, r.FirstArrivalMean)
+	return b.String()
+}
+
+// buildRepFlow folds the injection-time pair log and the observed edge
+// arrivals into the report. Pairs are iterated in injection order and the
+// arrival map is only ever read, so the fold is deterministic.
+func buildRepFlow(pairs []repPair, arrivals map[uint64]simtime.Time) *RepFlowReport {
+	rep := &RepFlowReport{Pairs: len(pairs)}
+	distinct := 0
+	wins := 0
+	var primary, replica, first float64
+	for _, pr := range pairs {
+		if pr.distinct {
+			distinct++
+		}
+		a1, ok1 := arrivals[pr.orig]
+		a2, ok2 := arrivals[pr.rep]
+		if !ok1 || !ok2 {
+			rep.LostPairs++
+			continue
+		}
+		rep.Matched++
+		d1 := float64(a1.Sub(pr.at))
+		d2 := float64(a2.Sub(pr.at))
+		primary += d1
+		replica += d2
+		if d2 < d1 {
+			wins++
+			first += d2
+		} else {
+			first += d1
+		}
+	}
+	if rep.Pairs > 0 {
+		rep.DistinctPathFrac = float64(distinct) / float64(rep.Pairs)
+	}
+	if rep.Matched > 0 {
+		n := float64(rep.Matched)
+		rep.ReplicaWinFrac = float64(wins) / n
+		rep.PrimaryMean = time.Duration(primary / n)
+		rep.ReplicaMean = time.Duration(replica / n)
+		rep.FirstArrivalMean = time.Duration(first / n)
+	}
+	return rep
+}

@@ -57,6 +57,11 @@ type Result struct {
 	// tails across all monitored routers.
 	EstP50, EstP99   time.Duration
 	TrueP50, TrueP99 time.Duration
+	// TrueAggMean is the ground-truth aggregate mean delay over every
+	// monitored downstream packet — the reference every estimator's
+	// aggregate is ultimately chasing (and the scale detection scores
+	// shifts against).
+	TrueAggMean time.Duration
 	// Routers lists per-router accuracy (cores first, then monitored ToRs),
 	// sorted by name.
 	Routers []RouterStats
@@ -89,6 +94,16 @@ type Result struct {
 	// collection tier's exact-merge equivalence and (with a failure
 	// injected) quantifies per-estimator accuracy under instance loss.
 	FleetReport *FleetReport
+	// Detection, when the spec sets Spec.Adversary, scores every estimator
+	// on whether it exposed the compromised switch's hidden delay against a
+	// paired clean run at the same seed.
+	Detection *DetectionReport
+	// RepFlow, when the spec sets Workload.Replicate, scores the replicated
+	// workload's first-arrival latency and path diversity.
+	RepFlow *RepFlowReport
+	// LinkTrace, when the spec sets Spec.LinkTrace, summarizes the replayed
+	// link time series and the drops it caused.
+	LinkTrace *LinkTraceReport
 }
 
 // Estimator returns the named mechanism's comparison row.
@@ -155,6 +170,15 @@ func (r *Result) Render() string {
 	}
 	if r.FleetReport != nil {
 		b.WriteString(r.FleetReport.Render())
+	}
+	if r.LinkTrace != nil {
+		b.WriteString(r.LinkTrace.Render())
+	}
+	if r.RepFlow != nil {
+		b.WriteString(r.RepFlow.Render())
+	}
+	if r.Detection != nil {
+		b.WriteString(r.Detection.Render())
 	}
 	return b.String()
 }

@@ -10,6 +10,7 @@ import (
 
 	"github.com/netmeasure/rlir/internal/measure"
 	"github.com/netmeasure/rlir/internal/topo"
+	"github.com/netmeasure/rlir/internal/trace"
 )
 
 // SpecVersion is the current Spec schema version. Encoded specs carry it so
@@ -144,6 +145,12 @@ type WorkloadSpec struct {
 	// bottleneck. Ignored on fat-trees.
 	CrossModel string  `json:"cross_model,omitempty"`
 	CrossUtil  float64 `json:"cross_util,omitempty"`
+	// Replicate, when true, sends every flow twice (RepFlow-style): the
+	// original plus a replica under a source port differing in one bit, so
+	// ECMP usually spreads the pair across distinct core paths and the
+	// logical flow's latency is the first arrival's. Fat-tree only; the run
+	// gains a RepFlowReport scoring attribution under replication.
+	Replicate bool `json:"replicate,omitempty"`
 }
 
 // FaultSpec schedules one mid-run fault.
@@ -232,6 +239,57 @@ type FleetSpec struct {
 	FailInstance *int `json:"fail_instance,omitempty"`
 }
 
+// AdversarySpec compromises one aggregation switch: during the window it
+// adds Extra delay to every packet EXCEPT those it predicts will be
+// measured — RLI reference packets (identifiable on the wire by kind) and
+// the periodic sampler's subset (every PredictRate-th packet ID, computable
+// from headers alone). The site is the same one FaultHopDelay uses, inside
+// the downstream measured segment, so an honest estimator looking at the
+// right packets WOULD see the delay; whether it does is the detection
+// question the run's DetectionReport answers. Secret-key hash sampling
+// ("hash-sample") is the counter: the switch cannot predict its subset, so
+// the hidden delay lands on sampled packets and is exposed.
+type AdversarySpec struct {
+	// AggPod/AggIdx address the compromised aggregation switch.
+	AggPod int `json:"agg_pod,omitempty"`
+	AggIdx int `json:"agg_idx,omitempty"`
+	// Extra is the hidden per-packet delay added to unmeasured traffic.
+	Extra time.Duration `json:"extra_ns"`
+	// Start/End bound the compromised window within the run, Start < End.
+	Start time.Duration `json:"start_ns"`
+	End   time.Duration `json:"end_ns"`
+	// PredictRate is the 1-in-N periodic sampling rate the switch assumes
+	// when sparing predicted samples (0: measure.DefaultSampleRate).
+	PredictRate int `json:"predict_rate,omitempty"`
+}
+
+// LinkTraceSampleSpec is one inline link-trace row (trace.LinkSample in
+// spec form).
+type LinkTraceSampleSpec struct {
+	// T is the row's offset from run start.
+	T time.Duration `json:"t_ns"`
+	// Delay is the extra one-way delay in effect from T.
+	Delay time.Duration `json:"delay_ns"`
+	// Loss is the drop probability in [0, 1] in effect from T.
+	Loss float64 `json:"loss"`
+}
+
+// LinkTraceSpec replays a recorded per-link time series on one core
+// down-link: each row sets the link's extra one-way delay and loss
+// probability from its offset until the next row (trace.LinkTrace
+// semantics). Registered scenarios carry the rows inline so they are
+// self-contained; cmd/scenario -link-trace loads them from a
+// tracegen-producible JSON/CSV file instead.
+type LinkTraceSpec struct {
+	// CoreJ/CoreI/DownPod address the emulated core down-link, the same way
+	// FaultLinkDegrade does.
+	CoreJ   int `json:"core_j,omitempty"`
+	CoreI   int `json:"core_i,omitempty"`
+	DownPod int `json:"down_pod,omitempty"`
+	// Samples is the time series, strictly increasing in T.
+	Samples []LinkTraceSampleSpec `json:"samples"`
+}
+
 // Spec is one complete declarative scenario.
 type Spec struct {
 	Version  int            `json:"version"`
@@ -246,6 +304,14 @@ type Spec struct {
 	// Fleet, when set, partitions the collected stream across an in-process
 	// fleet and verifies exact-merge equivalence (Result.FleetReport).
 	Fleet *FleetSpec `json:"fleet,omitempty"`
+	// Adversary, when set, compromises one aggregation switch with selective
+	// delay; the run gains a paired-clean-run DetectionReport scoring every
+	// estimator on whether it exposed the hidden delay (Result.Detection).
+	Adversary *AdversarySpec `json:"adversary,omitempty"`
+	// LinkTrace, when set, drives one core down-link's delay/loss from a
+	// recorded time series instead of the synthetic constants
+	// (Result.LinkTrace reports what the emulation did).
+	LinkTrace *LinkTraceSpec `json:"link_trace,omitempty"`
 	// Duration is the trace window length.
 	Duration time.Duration `json:"duration_ns"`
 	// Seed drives every random choice; derived per-run seeds come from it
@@ -472,6 +538,43 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario: fleet fail_instance %d outside [0, %d)", *fi, f.Instances)
 		}
 	}
+	if a := s.Adversary; a != nil {
+		if t.Kind != TopoFatTree {
+			return fmt.Errorf("scenario: adversary compromises an aggregation switch and needs a fattree topology")
+		}
+		h := s.half()
+		if a.AggPod < 0 || a.AggPod >= t.K || a.AggIdx < 0 || a.AggIdx >= h {
+			return fmt.Errorf("scenario: adversary targets aggregation switch (%d,%d) outside pods [0,%d) x aggs [0,%d)",
+				a.AggPod, a.AggIdx, t.K, h)
+		}
+		if a.Extra <= 0 {
+			return fmt.Errorf("scenario: adversary adds non-positive delay %v", a.Extra)
+		}
+		if a.Start < 0 || a.End <= a.Start {
+			return fmt.Errorf("scenario: adversary window [%v, %v) is empty or negative", a.Start, a.End)
+		}
+		if a.End > s.Duration {
+			return fmt.Errorf("scenario: adversary window ends at %v, past the %v run", a.End, s.Duration)
+		}
+		if a.PredictRate < 0 {
+			return fmt.Errorf("scenario: negative adversary predict_rate %d", a.PredictRate)
+		}
+	}
+	if l := s.LinkTrace; l != nil {
+		if t.Kind != TopoFatTree {
+			return fmt.Errorf("scenario: link_trace emulates a core down-link and needs a fattree topology")
+		}
+		h := s.half()
+		if l.CoreJ < 0 || l.CoreJ >= h || l.CoreI < 0 || l.CoreI >= h {
+			return fmt.Errorf("scenario: link_trace targets core (%d,%d) outside the %dx%d core grid", l.CoreJ, l.CoreI, h, h)
+		}
+		if l.DownPod < 0 || l.DownPod >= t.K {
+			return fmt.Errorf("scenario: link_trace down-pod %d outside [0, %d)", l.DownPod, t.K)
+		}
+		if _, err := l.trace(); err != nil {
+			return err
+		}
+	}
 	return s.validateDeploy()
 }
 
@@ -490,6 +593,9 @@ func (s Spec) validateWorkload() error {
 		return fmt.Errorf("scenario: invalid burst timing on=%v period=%v", w.BurstOn, w.BurstPeriod)
 	}
 	if s.Topology.Kind == TopoTandem {
+		if w.Replicate {
+			return fmt.Errorf("scenario: replicate needs a fattree topology (the tandem has a single path)")
+		}
 		switch w.CrossModel {
 		case "", CrossNone, CrossUniform, CrossBursty:
 		default:
@@ -612,6 +718,15 @@ func (s Spec) validateDeploy() error {
 		}
 	}
 	return nil
+}
+
+// trace converts the inline rows to a validated trace.LinkTrace.
+func (l *LinkTraceSpec) trace() (*trace.LinkTrace, error) {
+	rows := make([]trace.LinkSample, len(l.Samples))
+	for i, s := range l.Samples {
+		rows[i] = trace.LinkSample{At: s.T, Delay: s.Delay, Loss: s.Loss}
+	}
+	return trace.NewLinkTrace(rows)
 }
 
 // sortedFaults returns the faults ordered by start time (stable), the order

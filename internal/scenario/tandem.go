@@ -104,6 +104,7 @@ func runTandem(spec Spec, seed int64, cap *capture) (*Result, error) {
 		reports = append(reports, b.Finalize())
 	}
 	res.Comparison = measure.Compare(truth, reports...)
+	res.TrueAggMean = truth.AggMean()
 	if spec.Telemetry != nil {
 		res.Telemetry = applyTelemetry(*spec.Telemetry, seed, truth, res.Comparison, reports)
 	}

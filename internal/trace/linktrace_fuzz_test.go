@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzParseLinkTrace is the ISSUE-required robustness target: on arbitrary
+// bytes the parser must either return a valid trace or a descriptive error —
+// it must never panic. When it accepts input, the parsed trace must satisfy
+// the documented invariants and survive a re-encode round trip, which fuzzes
+// the encoders for free.
+func FuzzParseLinkTrace(f *testing.F) {
+	f.Add([]byte(`{"version":1,"samples":[{"t_ns":0,"delay_ns":50000,"loss":0.01}]}`))
+	f.Add([]byte(`{"version":1,"samples":[{"t_ns":0,"delay_ns":0,"loss":0},{"t_ns":1000,"delay_ns":250,"loss":1}]}`))
+	f.Add([]byte("t_ns,delay_ns,loss\n0,50000,0.01\n1000000,400000,0.05\n"))
+	f.Add([]byte("t_ns,delay_ns,loss\r\n0,0,0\r\n"))
+	f.Add([]byte(`{"version":2,"samples":[]}`))
+	f.Add([]byte(`{"version":1,"samples":[{"t_ns":5,"delay_ns":0,"loss":0},{"t_ns":3,"delay_ns":0,"loss":0}]}`))
+	f.Add([]byte("t_ns,delay_ns,loss\n0,0,NaN\n"))
+	f.Add([]byte("t_ns,delay_ns,loss\n9223372036854775807,1,0.5\n"))
+	f.Add([]byte("t_ns,delay_ns,loss\n0,0,1e309\n"))
+	f.Add([]byte("{"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lt, err := ParseLinkTrace(data)
+		if err != nil {
+			return
+		}
+		if lt == nil || len(lt.Samples) == 0 {
+			t.Fatal("nil error with empty trace")
+		}
+		prev := time.Duration(-1)
+		for i, s := range lt.Samples {
+			if s.At <= prev {
+				t.Fatalf("row %d offset %v not strictly increasing after %v", i, s.At, prev)
+			}
+			prev = s.At
+			if s.At < 0 || s.Delay < 0 {
+				t.Fatalf("row %d carries negative time: %+v", i, s)
+			}
+			if math.IsNaN(s.Loss) || s.Loss < 0 || s.Loss > 1 {
+				t.Fatalf("row %d loss %v outside [0, 1]", i, s.Loss)
+			}
+		}
+		// Accepted traces must survive both re-encodings.
+		js, err := lt.EncodeJSON()
+		if err != nil {
+			t.Fatalf("EncodeJSON of accepted trace: %v", err)
+		}
+		if _, err := ParseLinkTrace(js); err != nil {
+			t.Fatalf("re-parse of JSON encoding: %v", err)
+		}
+		if _, err := ParseLinkTrace(lt.EncodeCSV()); err != nil {
+			t.Fatalf("re-parse of CSV encoding: %v", err)
+		}
+	})
+}

@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustLinkTrace(t *testing.T, samples []LinkSample) *LinkTrace {
+	t.Helper()
+	lt, err := NewLinkTrace(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lt
+}
+
+// TestLinkTraceAtStepSemantics pins the step-function contract: a row is in
+// effect from its offset until the next row, the last row holds forever, and
+// before the first row the trace is the identity.
+func TestLinkTraceAtStepSemantics(t *testing.T) {
+	lt := mustLinkTrace(t, []LinkSample{
+		{At: 10 * time.Millisecond, Delay: 100 * time.Microsecond, Loss: 0.1},
+		{At: 20 * time.Millisecond, Delay: 300 * time.Microsecond, Loss: 0},
+	})
+	if got := lt.At(0); got != (LinkSample{}) {
+		t.Fatalf("before first row got %+v, want zero sample", got)
+	}
+	if got := lt.At(10 * time.Millisecond); got.Delay != 100*time.Microsecond {
+		t.Fatalf("at first boundary got %+v", got)
+	}
+	if got := lt.At(19_999_999 * time.Nanosecond); got.Delay != 100*time.Microsecond {
+		t.Fatalf("just before second row got %+v", got)
+	}
+	if got := lt.At(time.Hour); got.Delay != 300*time.Microsecond || got.Loss != 0 {
+		t.Fatalf("last row must hold forever, got %+v", got)
+	}
+	if lt.Duration() != 20*time.Millisecond {
+		t.Fatalf("Duration() = %v, want 20ms", lt.Duration())
+	}
+	empty := &LinkTrace{}
+	if empty.At(time.Second) != (LinkSample{}) || empty.Duration() != 0 {
+		t.Fatal("zero-value trace must be the identity emulator")
+	}
+}
+
+// TestLinkTraceRoundTrip pins that both encodings reproduce the parsed trace
+// exactly, using a generated trace as the fixture.
+func TestLinkTraceRoundTrip(t *testing.T) {
+	lt, err := GenLinkTrace(LinkTraceConfig{
+		Seed: 7, Duration: 50 * time.Millisecond, Step: 5 * time.Millisecond,
+		BaseDelay: 20 * time.Microsecond, MaxExtra: 400 * time.Microsecond, MaxLoss: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := lt.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ParseLinkTrace(js)
+	if err != nil {
+		t.Fatalf("parse of own JSON encoding: %v", err)
+	}
+	if !reflect.DeepEqual(fromJSON, lt) {
+		t.Fatal("JSON round trip altered the trace")
+	}
+	fromCSV, err := ParseLinkTrace(lt.EncodeCSV())
+	if err != nil {
+		t.Fatalf("parse of own CSV encoding: %v", err)
+	}
+	if !reflect.DeepEqual(fromCSV, lt) {
+		t.Fatal("CSV round trip altered the trace")
+	}
+}
+
+// TestGenLinkTraceDeterministic pins the tracegen contract: the same config
+// always yields the same rows, a different seed yields different rows, and
+// invalid configs fail loudly.
+func TestGenLinkTraceDeterministic(t *testing.T) {
+	cfg := LinkTraceConfig{
+		Seed: 42, Duration: 100 * time.Millisecond, Step: 10 * time.Millisecond,
+		BaseDelay: 10 * time.Microsecond, MaxExtra: 200 * time.Microsecond, MaxLoss: 0.1,
+	}
+	a, err := GenLinkTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenLinkTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different traces")
+	}
+	cfg.Seed = 43
+	c, err := GenLinkTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+	if len(a.Samples) != 11 {
+		t.Fatalf("100ms at 10ms step yields %d rows, want 11", len(a.Samples))
+	}
+	for i, s := range a.Samples {
+		if s.Delay < cfg.BaseDelay || s.Delay > cfg.BaseDelay+200*time.Microsecond {
+			t.Fatalf("row %d delay %v outside [base, base+max]", i, s.Delay)
+		}
+		if s.Loss < 0 || s.Loss > 0.1 {
+			t.Fatalf("row %d loss %v outside [0, MaxLoss]", i, s.Loss)
+		}
+	}
+	for _, bad := range []LinkTraceConfig{
+		{Duration: 0, Step: time.Millisecond},
+		{Duration: time.Second, Step: 0},
+		{Duration: time.Second, Step: time.Millisecond, BaseDelay: -1},
+		{Duration: time.Second, Step: time.Millisecond, MaxLoss: 1.5},
+	} {
+		if _, err := GenLinkTrace(bad); err == nil {
+			t.Fatalf("config %+v accepted, want error", bad)
+		}
+	}
+}
+
+// TestLinkTraceEmulateDeterministic pins the drop decision as a pure
+// function of (pktID, seed, row): replaying the same packet yields the same
+// outcome, and the realized drop rate over many IDs tracks the row's loss.
+func TestLinkTraceEmulateDeterministic(t *testing.T) {
+	lt := mustLinkTrace(t, []LinkSample{
+		{At: 0, Delay: 250 * time.Microsecond, Loss: 0.25},
+	})
+	const seed = 0x9e3779b97f4a7c15
+	drops := 0
+	for id := uint64(0); id < 10_000; id++ {
+		d1, drop1 := lt.Emulate(id, seed, time.Millisecond)
+		d2, drop2 := lt.Emulate(id, seed, time.Millisecond)
+		if d1 != d2 || drop1 != drop2 {
+			t.Fatalf("id %d: Emulate is not deterministic", id)
+		}
+		if drop1 {
+			if d1 != 0 {
+				t.Fatalf("id %d: dropped packet carries delay %v", id, d1)
+			}
+			drops++
+		} else if d1 != 250*time.Microsecond {
+			t.Fatalf("id %d: delay %v, want 250µs", id, d1)
+		}
+	}
+	if frac := float64(drops) / 10_000; frac < 0.22 || frac > 0.28 {
+		t.Fatalf("realized drop rate %.3f, want ~0.25", frac)
+	}
+	// A zero-loss row never consults the hash.
+	clean := mustLinkTrace(t, []LinkSample{{At: 0, Delay: time.Microsecond}})
+	for id := uint64(0); id < 1000; id++ {
+		if _, drop := clean.Emulate(id, seed, 0); drop {
+			t.Fatalf("id %d dropped on a zero-loss row", id)
+		}
+	}
+}
+
+// TestParseLinkTraceRejectsMalformed pins the error contract ISSUE requires:
+// every malformed input is a descriptive error, never a panic (the fuzz
+// target extends this over arbitrary bytes).
+func TestParseLinkTraceRejectsMalformed(t *testing.T) {
+	for _, tc := range []struct {
+		name, in, wantErr string
+	}{
+		{"empty", "", "empty"},
+		{"whitespace only", "  \n\t", "empty"},
+		{"json truncated", `{"version":1,"samples":[{"t_ns":0,`, "JSON"},
+		{"json bad version", `{"version":2,"samples":[{"t_ns":0,"delay_ns":0,"loss":0}]}`, "version"},
+		{"json unknown field", `{"version":1,"samples":[{"t_ns":0,"delay_ns":0,"loss":0,"x":1}]}`, "unknown field"},
+		{"json trailing data", `{"version":1,"samples":[{"t_ns":0,"delay_ns":0,"loss":0}]}{}`, "trailing"},
+		{"json no samples", `{"version":1,"samples":[]}`, "no samples"},
+		{"json out of order", `{"version":1,"samples":[{"t_ns":5,"delay_ns":0,"loss":0},{"t_ns":3,"delay_ns":0,"loss":0}]}`, "strictly increasing"},
+		{"json duplicate t", `{"version":1,"samples":[{"t_ns":5,"delay_ns":0,"loss":0},{"t_ns":5,"delay_ns":0,"loss":0}]}`, "strictly increasing"},
+		{"json negative t", `{"version":1,"samples":[{"t_ns":-1,"delay_ns":0,"loss":0}]}`, "t_ns"},
+		{"json negative delay", `{"version":1,"samples":[{"t_ns":0,"delay_ns":-5,"loss":0}]}`, "delay_ns"},
+		{"json loss above one", `{"version":1,"samples":[{"t_ns":0,"delay_ns":0,"loss":1.5}]}`, "outside [0, 1]"},
+		{"csv missing header", "0,0,0\n", "header"},
+		{"csv wrong fields", "t_ns,delay_ns,loss\n1,2\n", "want 3"},
+		{"csv bad number", "t_ns,delay_ns,loss\nabc,0,0\n", "t_ns"},
+		{"csv nan loss", "t_ns,delay_ns,loss\n0,0,NaN\n", "not finite"},
+		{"csv inf loss", "t_ns,delay_ns,loss\n0,0,+Inf\n", "not finite"},
+		{"csv no rows", "t_ns,delay_ns,loss\n", "no samples"},
+		{"csv out of order", "t_ns,delay_ns,loss\n10,0,0\n5,0,0\n", "strictly increasing"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseLinkTrace([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("input %q accepted, want error", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -559,6 +559,95 @@ func RunScenarioMulti(spec ScenarioSpec, opts ScenarioMultiOpts) (*ScenarioMulti
 	return scenario.RunMulti(spec, opts)
 }
 
+// ---- Adversarial & trace-driven scenarios ----
+//
+// Three spec extensions stress measurement trustworthiness rather than
+// accuracy: a compromised switch that delays only the packets it predicts
+// won't be measured (countered by secret-key hash sampling), replay of a
+// recorded per-link delay/loss time series, and RepFlow-style flow
+// replication across distinct ECMP paths. The registered scenarios
+// adversarial-delay, trace-replay and repflow exercise them under CI.
+
+// ScenarioAdversarySpec puts a delay-gaming compromised switch into a run
+// (ScenarioSpec.Adversary): it adds Extra hidden delay to every regular
+// packet in [Start, End) except reference packets and packets a 1-in-
+// PredictRate periodic sampler would measure. Estimators keyed on a secret
+// the switch cannot see still expose the delay; predictable ones are blinded.
+type ScenarioAdversarySpec = scenario.AdversarySpec
+
+// ScenarioDetectionThreshold is the exposure fraction at which an estimator
+// counts as having detected hidden adversarial delay.
+const ScenarioDetectionThreshold = scenario.DetectionThreshold
+
+// ScenarioDetectionReport scores every estimator on detecting the hidden
+// delay — a paired clean run at the same seed provides the baseline
+// (ScenarioResult.Detection).
+type ScenarioDetectionReport = scenario.DetectionReport
+
+// ScenarioDetectionRow is one estimator's clean-vs-adversarial aggregate
+// shift and detection verdict.
+type ScenarioDetectionRow = scenario.DetectionRow
+
+// ScenarioDetectionCI is one estimator's across-seed detection fold: mean
+// exposure and the fraction of seeds on which it detected the adversary.
+type ScenarioDetectionCI = scenario.DetectionCI
+
+// ScenarioLinkTraceSpec replays a recorded per-link delay/loss time series
+// on one core down-link (ScenarioSpec.LinkTrace).
+type ScenarioLinkTraceSpec = scenario.LinkTraceSpec
+
+// ScenarioLinkTraceSampleSpec is one inline link-trace row in spec form.
+type ScenarioLinkTraceSampleSpec = scenario.LinkTraceSampleSpec
+
+// ScenarioLinkTraceReport summarizes a replayed link trace's effect on the
+// run (ScenarioResult.LinkTrace).
+type ScenarioLinkTraceReport = scenario.LinkTraceReport
+
+// ScenarioRepFlowReport is the flow-replication outcome: per-pair primary
+// vs replica vs first-arrival delay (ScenarioResult.RepFlow).
+type ScenarioRepFlowReport = scenario.RepFlowReport
+
+// LinkTrace is a parsed per-link delay/loss time series: a step function
+// over offsets from trace start, replayed deterministically by the
+// simulator. The zero value is the identity emulator.
+type LinkTrace = trace.LinkTrace
+
+// LinkSample is one link-trace row: extra delay and drop probability in
+// effect from offset At until the next row.
+type LinkSample = trace.LinkSample
+
+// LinkTraceConfig parameterizes synthetic link-trace generation
+// (cmd/tracegen -emit link).
+type LinkTraceConfig = trace.LinkTraceConfig
+
+// LinkTraceVersion is the link-trace file format version ParseLinkTrace
+// accepts.
+const LinkTraceVersion = trace.LinkTraceVersion
+
+// ParseLinkTrace parses a link trace in either tracegen-producible encoding
+// (JSON sniffed by its leading '{', CSV otherwise). Malformed input is an
+// error naming the offending row — never a panic.
+func ParseLinkTrace(data []byte) (*LinkTrace, error) { return trace.ParseLinkTrace(data) }
+
+// NewLinkTrace builds a link trace from in-memory rows with the same
+// validation as the file parser.
+func NewLinkTrace(samples []LinkSample) (*LinkTrace, error) { return trace.NewLinkTrace(samples) }
+
+// GenLinkTrace synthesizes a deterministic link trace from the config — the
+// stand-in for a recorded link time series.
+func GenLinkTrace(c LinkTraceConfig) (*LinkTrace, error) { return trace.GenLinkTrace(c) }
+
+// ShouldSample is the secret-key sampling decision: whether the holder of
+// key measures packet id at a 1-in-rate target. It is uniform over the ID
+// space and unpredictable without the key — the property that defeats the
+// delay-gaming switch (the hash-sample estimator is its registry form).
+func ShouldSample(key, id, rate uint64) bool { return measure.ShouldSample(key, id, rate) }
+
+// PredictPeriodic is the adversary's oracle against the periodic baseline:
+// it reproduces the 1-in-rate periodic sampler's decision from the packet
+// header alone, which is exactly why that baseline is gameable.
+func PredictPeriodic(id uint64, rate int) bool { return measure.PredictPeriodic(id, rate) }
+
 // ---- Measurement service (internal/service, cmd/rlird) ----
 //
 // The long-lived streaming form of the collection tier: routers (or

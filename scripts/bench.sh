@@ -15,7 +15,10 @@
 # (BenchmarkRunnerSweep1 vs BenchmarkRunnerSweep4: an 8-seed sweep at 1 vs
 # 4 workers, with the wall-clock speedup ratio), the estimator layer's
 # shared-tap dispatch overhead (BenchmarkSharedTap in internal/measure:
-# per-packet cost of fanning one stream to the full comparison set), and
+# per-packet cost of fanning one stream to the full comparison set), the
+# secret-key sampling tap (BenchmarkHashSampleTap in internal/measure:
+# per-packet cost of the keyed-hash sample decision plus pair matching —
+# the path that defeats the delay-gaming router, gated at 0 allocs/op), and
 # the streaming service's ingest throughput (BenchmarkServiceIngest4Conns
 # in internal/service: four concurrent connections writing pre-encoded
 # wire frames over loopback TCP through the full rlird path), and the
@@ -52,7 +55,7 @@ raw_collector=$(go test -run '^$' -bench 'BenchmarkIngest$' \
   -benchmem ./internal/collector 2>&1)
 raw_runner=$(go test -run '^$' -bench 'BenchmarkRunnerSweep[14]$' \
   -benchtime 3x . 2>&1)
-raw_measure=$(go test -run '^$' -bench 'BenchmarkSharedTap$' \
+raw_measure=$(go test -run '^$' -bench 'BenchmarkSharedTap$|BenchmarkHashSampleTap$' \
   -benchmem ./internal/measure 2>&1)
 raw_service=$(go test -run '^$' -bench 'BenchmarkServiceIngest4Conns$' \
   -benchtime 2s ./internal/service 2>&1)
@@ -109,6 +112,13 @@ echo "$raw" | awk -v bench="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
       if ($(i + 1) == "allocs/op") tapallocs = $i
     }
   }
+  /^BenchmarkHashSampleTap/ {
+    for (i = 1; i < NF; i++) {
+      if ($(i + 1) == "pkts/s") htap = $i
+      if ($(i + 1) == "ns/op") htapns = $i
+      if ($(i + 1) == "allocs/op") htapallocs = $i
+    }
+  }
   /^BenchmarkServiceIngest4Conns/ {
     for (i = 1; i < NF; i++) {
       if ($(i + 1) == "samples/s") svc = $i
@@ -148,6 +158,7 @@ echo "$raw" | awk -v bench="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     if (ingest == "") { print "bench.sh: no collector ingest result parsed" > "/dev/stderr"; exit 1 }
     if (sweep1 == "" || sweep4 == "") { print "bench.sh: no runner scaling result parsed" > "/dev/stderr"; exit 1 }
     if (tap == "") { print "bench.sh: no shared-tap result parsed" > "/dev/stderr"; exit 1 }
+    if (htap == "") { print "bench.sh: no hash-sample tap result parsed" > "/dev/stderr"; exit 1 }
     if (svc == "") { print "bench.sh: no service ingest result parsed" > "/dev/stderr"; exit 1 }
     if (fleet == "" || fleetq == "") { print "bench.sh: no fleet result parsed" > "/dev/stderr"; exit 1 }
     if (sketch == "") { print "bench.sh: no sketch ingest result parsed" > "/dev/stderr"; exit 1 }
@@ -176,6 +187,12 @@ echo "$raw" | awk -v bench="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     printf "    \"pkts_per_s\": %s,\n", tap
     printf "    \"ns_per_op\": %s,\n", tapns
     printf "    \"allocs_per_op\": %s\n", tapallocs
+    printf "  },\n"
+    printf "  \"hash_sample_tap\": {\n"
+    printf "    \"cpus\": %s,\n", maxprocs
+    printf "    \"pkts_per_s\": %s,\n", htap
+    printf "    \"ns_per_op\": %s,\n", htapns
+    printf "    \"allocs_per_op\": %s\n", htapallocs
     printf "  },\n"
     printf "  \"service_ingest\": {\n"
     printf "    \"cpus\": %s,\n", maxprocs

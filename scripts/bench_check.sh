@@ -4,7 +4,8 @@
 # Compares fresh simulator throughput (pkts/s) against the last committed
 # BENCH_<N>.json (highest N) and fails when the fresh number falls more
 # than 25% below the recorded one. Also gates simulator allocs/op (lower
-# is better) and the speedup ratios (runner sweep at 4 workers, parallel
+# is better), the hash-sample tap (relative pkts/s plus an absolute
+# 0-allocs/op gate on the keyed sampling path) and the speedup ratios (runner sweep at 4 workers, parallel
 # engine at 2 partitions); speedup gates are skipped — with the reason
 # logged — when either side was measured with fewer CPUs than the
 # benchmark's workers, since such a ratio carries no scaling signal.
@@ -49,6 +50,22 @@ pkts_from_json() {
 tap_from_json() {
   awk '/"shared_tap"/ { intap = 1 }
        intap && /"pkts_per_s"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2; exit }' "$1"
+}
+
+# hashtap_from_json extracts hash_sample_tap.pkts_per_s (the secret-key
+# sampling tap's per-packet throughput). Empty when the baseline predates
+# the adversarial scenario family.
+hashtap_from_json() {
+  awk '/"hash_sample_tap"/ { inht = 1 }
+       inht && /"pkts_per_s"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2; exit }' "$1"
+}
+
+# hashtapallocs_from_json extracts hash_sample_tap.allocs_per_op — gated
+# at an absolute zero: a single allocation on the keyed sampling path
+# would wreck the shared-tap hot loop.
+hashtapallocs_from_json() {
+  awk '/"hash_sample_tap"/ { inht = 1 }
+       inht && /"allocs_per_op"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2; exit }' "$1"
 }
 
 # service_from_json extracts service_ingest.samples_per_s (the streaming
@@ -137,6 +154,7 @@ if [ -z "$base" ]; then
 fi
 
 base_tap=$(tap_from_json "$base_file")
+base_hashtap=$(hashtap_from_json "$base_file")
 base_svc=$(service_from_json "$base_file")
 base_fleet=$(fleet_from_json "$base_file")
 base_fleetq=$(fleetq_from_json "$base_file")
@@ -150,6 +168,8 @@ ncpu=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 if [ -n "$fresh_file" ]; then
   fresh=$(pkts_from_json "$fresh_file")
   fresh_tap=$(tap_from_json "$fresh_file")
+  fresh_hashtap=$(hashtap_from_json "$fresh_file")
+  fresh_hashtap_allocs=$(hashtapallocs_from_json "$fresh_file")
   fresh_svc=$(service_from_json "$fresh_file")
   fresh_fleet=$(fleet_from_json "$fresh_file")
   fresh_fleetq=$(fleetq_from_json "$fresh_file")
@@ -164,6 +184,10 @@ if [ -n "$fresh_file" ]; then
   par_cpus=$(seccpus_from_json "$fresh_file" parallel_sim)
   if [ -n "$base_tap" ] && [ -z "$fresh_tap" ]; then
     echo "bench_check: baseline $base_file has shared_tap but $fresh_file does not; refusing to skip the gate" >&2
+    exit 2
+  fi
+  if [ -n "$base_hashtap" ] && [ -z "$fresh_hashtap" ]; then
+    echo "bench_check: baseline $base_file has hash_sample_tap but $fresh_file does not; refusing to skip the gate" >&2
     exit 2
   fi
   if [ -n "$base_svc" ] && [ -z "$fresh_svc" ]; then
@@ -211,6 +235,23 @@ else
     }' | tail -1)
     if [ -z "$fresh_tap" ]; then
       echo "bench_check: no shared-tap number parsed from local bench" >&2
+      exit 2
+    fi
+  fi
+  fresh_hashtap=""
+  fresh_hashtap_allocs=""
+  if [ -n "$base_hashtap" ]; then
+    echo "bench_check: measuring hash-sample tap throughput..." >&2
+    raw_htap=$(go test -run '^$' -bench 'BenchmarkHashSampleTap$' -benchmem ./internal/measure 2>&1)
+    echo "$raw_htap" | grep -E '^Benchmark' >&2 || true
+    fresh_hashtap=$(echo "$raw_htap" | awk '/^BenchmarkHashSampleTap/ {
+      for (i = 1; i < NF; i++) if ($(i + 1) == "pkts/s") print $i
+    }' | tail -1)
+    fresh_hashtap_allocs=$(echo "$raw_htap" | awk '/^BenchmarkHashSampleTap/ {
+      for (i = 1; i < NF; i++) if ($(i + 1) == "allocs/op") print $i
+    }' | tail -1)
+    if [ -z "$fresh_hashtap" ] || [ -z "$fresh_hashtap_allocs" ]; then
+      echo "bench_check: no hash-sample tap numbers parsed from local bench" >&2
       exit 2
     fi
   fi
@@ -371,6 +412,21 @@ status=0
 compare "simulator" "$fresh" "$base" || status=1
 if [ -n "$base_tap" ] && [ -n "$fresh_tap" ]; then
   compare "shared-tap" "$fresh_tap" "$base_tap" || status=1
+fi
+if [ -n "$base_hashtap" ] && [ -n "$fresh_hashtap" ]; then
+  compare "hash-sample-tap" "$fresh_hashtap" "$base_hashtap" || status=1
+  # The allocation gate is absolute, not relative: the keyed sampling path
+  # must stay at exactly zero allocations per packet.
+  if [ -n "$fresh_hashtap_allocs" ]; then
+    awk -v a="$fresh_hashtap_allocs" -v force="$force" 'BEGIN {
+      printf "bench_check: hash-sample-tap %.0f allocs/op (gate: 0)\n", a
+      if (a + 0 != 0) {
+        print "bench_check: REGRESSION: hash-sample tap allocates on the per-packet path"
+        if (force == "1") { print "bench_check: override in effect; not failing"; exit 0 }
+        exit 1
+      }
+    }' || status=1
+  fi
 fi
 if [ -n "$base_svc" ] && [ -n "$fresh_svc" ]; then
   compare "service-ingest" "$fresh_svc" "$base_svc" "samples/s" || status=1
